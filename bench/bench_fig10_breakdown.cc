@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reproduces Figure 10: area and energy breakdown of the 210-core
+ * MAICC. Paper reference: area — CMem 65% (1/3 of it adder trees),
+ * core 11%, on-chip memory 10%, NoC 9%, LLC 5%, total 28 mm^2;
+ * energy — DRAM 71%, CMem 11%, NoC 11%, core+memories <10%.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+#include "energy/energy.hh"
+#include "runtime/system.hh"
+
+using namespace maicc;
+
+namespace
+{
+
+void
+pie(const char *name, double value, double total)
+{
+    std::printf("  %-18s %6.2f  (%4.1f%%) ", name, value,
+                100.0 * value / total);
+    for (int i = 0; i < int(50.0 * value / total); ++i)
+        std::printf("#");
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    // Area (independent of workload).
+    AreaBreakdown a = computeArea(210);
+    std::printf("== Figure 10 (left): area breakdown, mm^2 ==\n");
+    pie("CMem cells", a.cmemCells, a.total());
+    pie("CMem adder trees", a.cmemLogic, a.total());
+    pie("RISC-V cores", a.core, a.total());
+    pie("On-chip memory", a.onchipMem, a.total());
+    pie("NoC", a.noc, a.total());
+    pie("LL Cache", a.llc, a.total());
+    std::printf("  total %.1f mm^2 (paper: 28 mm^2, CMem 65%%)\n\n",
+                a.total());
+
+    // Energy: from the heuristic ResNet18 run.
+    Network net = buildResNet18();
+    auto weights = randomWeights(net, 3);
+    Tensor3 input(56, 56, 64);
+    Rng rng(4);
+    input.randomize(rng);
+    MaiccSystem sys(net, weights);
+    RunResult r =
+        sys.run(planMapping(net, Strategy::Heuristic, 210), input);
+    EnergyBreakdown e = computeEnergy(r.activity);
+
+    std::printf("== Figure 10 (right): energy breakdown of one "
+                "ResNet18 inference, mJ ==\n");
+    pie("DRAM", e.dram, e.total());
+    pie("CMem", e.cmem, e.total());
+    pie("NoC", e.noc, e.total());
+    pie("Cores", e.core, e.total());
+    pie("LL Cache", e.llc, e.total());
+    pie("On-chip memory", e.onchipMem, e.total());
+    std::printf("  total %.1f mJ over %.2f ms -> %.2f W "
+                "(paper: DRAM 71%%, CMem 11%%, NoC 11%%; "
+                "24.67 W)\n",
+                e.total(), r.latencyMs(),
+                e.averagePowerW(r.totalCycles));
+
+    bool ok = e.dram > e.cmem && e.dram > e.noc
+        && e.dram / e.total() > 0.5
+        && a.cmem() / a.total() > 0.55;
+    std::printf("\nShape check (DRAM-dominant energy, "
+                "CMem-dominant area): %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Reproduces Table 2: cycle counts of the CMem ISA extension, and
+ * verifies the modelled latencies against the cycle-level core
+ * simulator by timing single-instruction programs.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "cmem/cmem.hh"
+#include "common/table.hh"
+#include "core/timing.hh"
+#include "mem/node_memory.hh"
+#include "mem/row_store.hh"
+#include "rv32/assembler.hh"
+
+using namespace maicc;
+using namespace maicc::rv32;
+
+namespace
+{
+
+/** Cycles a lone CMem instruction adds over an empty program. */
+Cycles
+measure(void (*emit)(Assembler &, unsigned), unsigned n)
+{
+    auto run = [&](bool with_op) {
+        Assembler a;
+        a.li(t2, cmemDesc(1, 0));
+        a.li(t3, cmemDesc(1, 8));
+        if (with_op)
+            emit(a, n);
+        a.ecall();
+        Program p = a.finish();
+        CMem cmem;
+        FlatMemory ext;
+        RowStore rows;
+        NodeMemory mem(cmem, &ext);
+        CoreTimingModel m(p, mem, &cmem, &rows, CoreConfig{});
+        return m.run().cycles;
+    };
+    return run(true) - run(false);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Table 2: ISA extensions of computing memory "
+                "==\n\n");
+    TextTable t({"Operation", "Model cycles (n=8)", "Formula",
+                 "Measured on core sim"});
+
+    t.addRow({"MAC.C", TextTable::num(CMem::maccCycles(8)), "n^2",
+              TextTable::num(measure(
+                  [](Assembler &a, unsigned n) {
+                      a.maccC(a0, t2, t3, n);
+                  },
+                  8))});
+    t.addRow({"Move.C", TextTable::num(CMem::moveCycles(8)), "n",
+              TextTable::num(measure(
+                  [](Assembler &a, unsigned n) {
+                      a.moveC(t2, t3, n);
+                  },
+                  8))});
+    t.addRow({"SetRow.C", TextTable::num(CMem::setRowCycles()), "1",
+              TextTable::num(measure(
+                  [](Assembler &a, unsigned) {
+                      a.setRowC(t2, true);
+                  },
+                  8))});
+    t.addRow({"ShiftRow.C", TextTable::num(CMem::shiftRowCycles()),
+              "2",
+              TextTable::num(measure(
+                  [](Assembler &a, unsigned) {
+                      a.shiftRowC(t2, t3);
+                  },
+                  8))});
+    t.addRow({"LoadRow.RC / StoreRow.RC",
+              TextTable::num(CMem::rowXferCycles()), "1", "n/a"});
+    t.print(std::cout);
+
+    std::printf("\nMAC.C cycles across precisions:\n");
+    TextTable p({"n", "MAC.C", "Move.C"});
+    for (unsigned n : {2u, 4u, 8u, 16u}) {
+        p.addRow({TextTable::num(uint64_t(n)),
+                  TextTable::num(CMem::maccCycles(n)),
+                  TextTable::num(CMem::moveCycles(n))});
+    }
+    p.print(std::cout);
+    std::printf("\nNote: the end-to-end measurement includes the "
+                "issue/write-back pipeline overhead of the core "
+                "(a few cycles) on top of the CMem occupancy.\n");
+    return 0;
+}

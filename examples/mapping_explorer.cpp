@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Mapping explorer: prints, for a chosen strategy and core budget,
+ * how ResNet18's layers are segmented, how many cores and filters
+ * per node each layer receives, and the modelled per-layer
+ * latency. A quick way to reason about Eq. (1) and §4.3 without
+ * running the full simulation.
+ *
+ * Usage: mapping_explorer [single|greedy|heuristic] [budget]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "common/table.hh"
+#include "mapping/placement.hh"
+#include "mapping/segmentation.hh"
+#include "nn/network.hh"
+
+using namespace maicc;
+
+int
+main(int argc, char **argv)
+{
+    Strategy strategy = Strategy::Heuristic;
+    unsigned budget = 210;
+    if (argc > 1) {
+        if (!std::strcmp(argv[1], "single"))
+            strategy = Strategy::SingleLayer;
+        else if (!std::strcmp(argv[1], "greedy"))
+            strategy = Strategy::Greedy;
+        else if (!std::strcmp(argv[1], "heuristic"))
+            strategy = Strategy::Heuristic;
+        else
+            maicc_fatal("unknown strategy '%s'", argv[1]);
+    }
+    if (argc > 2)
+        budget = static_cast<unsigned>(std::atoi(argv[2]));
+
+    Network net = buildResNet18();
+    MappingPlan plan = planMapping(net, strategy, budget);
+
+    std::printf("ResNet18, strategy=%s, budget=%u cores\n\n",
+                strategyName(strategy), budget);
+
+    for (size_t si = 0; si < plan.segments.size(); ++si) {
+        const Segment &seg = plan.segments[si];
+        std::printf("Segment %zu (%u cores):\n", si + 1,
+                    seg.totalCores());
+        TextTable t({"Layer", "ifmap", "filters", "splits",
+                     "units/node", "cores(DC+chain+merge)",
+                     "model latency (ms)"});
+        for (const auto &lm : seg.layers) {
+            const LayerSpec &l = net.layer(lm.layerIdx);
+            bool from_dram =
+                !inputInsideSegment(net, seg, lm.layerIdx);
+            Cycles lat =
+                modelLayerLatency(l, lm.alloc, from_dram);
+            t.addRow(
+                {l.name,
+                 format("%dx%dx%d", l.inH, l.inW, l.inC),
+                 TextTable::num(uint64_t(l.outC)),
+                 TextTable::num(uint64_t(
+                     lm.alloc.channelSplits)),
+                 TextTable::num(uint64_t(lm.alloc.unitsPerNode)),
+                 format("1+%u+%u", lm.alloc.computeCores,
+                        lm.alloc.auxCores - 1),
+                 TextTable::num(lat / 1e6, 3)});
+        }
+        t.print(std::cout);
+        std::printf("  modelled segment latency: %.3f ms\n\n",
+                    modelSegmentLatency(net, seg) / 1e6);
+
+        SegmentPlacement sp = placeSegment(seg);
+        std::printf("  zig-zag placement spans %zu tiles; first "
+                    "at (%d,%d), last at (%d,%d)\n\n",
+                    sp.nodes.size(), sp.nodes.front().coord.x,
+                    sp.nodes.front().coord.y,
+                    sp.nodes.back().coord.x,
+                    sp.nodes.back().coord.y);
+    }
+    std::printf("Modelled end-to-end latency: %.3f ms (run "
+                "bench_table6_mapping for the simulated value)\n",
+                modelPlanLatency(net, plan) / 1e6);
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Quickstart: the MAICC stack in one page.
+ *
+ *  1. Put two int8 vectors into the computing memory.
+ *  2. Write a small RV32 + CMem-extension program with the
+ *     assembler (transpose via slice 0, Move.C, MAC.C).
+ *  3. Run it on the cycle-level core model and read back the dot
+ *     product and the cycle count.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "cmem/cmem.hh"
+#include "core/timing.hh"
+#include "mem/node_memory.hh"
+#include "mem/row_store.hh"
+#include "rv32/assembler.hh"
+
+using namespace maicc;
+using namespace maicc::rv32;
+
+int
+main()
+{
+    // A node: computing memory + local memory + the core model.
+    CMem cmem;
+    FlatMemory external;
+    RowStore rows;
+    NodeMemory memory(cmem, &external);
+
+    // Two 256-element int8 vectors, staged directly into compute
+    // slice 1 (in a real flow they arrive through slice 0 or
+    // LoadRow.RC; see tests/rv32 for the full transpose path).
+    std::vector<int32_t> a(256), b(256);
+    int64_t expected = 0;
+    for (int k = 0; k < 256; ++k) {
+        a[k] = (k % 11) - 5;
+        b[k] = (k % 7) - 3;
+        expected += a[k] * b[k];
+    }
+    cmem.pokeVector(1, 0, 8, a);
+    cmem.pokeVector(1, 8, 8, b);
+
+    // The program: one MAC.C between the two resident vectors.
+    Assembler as;
+    as.li(t2, cmemDesc(1, 0)); // descriptor of vector A
+    as.li(t3, cmemDesc(1, 8)); // descriptor of vector B
+    as.maccC(a0, t2, t3, 8);   // a0 <- dot(A, B), 64 CMem cycles
+    as.add(a1, a0, a0);        // use the result in the pipeline
+    as.ecall();
+    Program program = as.finish();
+
+    std::printf("Program:\n");
+    for (const auto &inst : program.insts)
+        std::printf("  %s\n", inst.toString().c_str());
+
+    // Timing + functional execution together.
+    CoreTimingModel core(program, memory, &cmem, &rows,
+                         CoreConfig{});
+    CoreRunStats stats = core.run();
+
+    int32_t dot = static_cast<int32_t>(core.executor().reg(a0));
+    std::printf("\ndot(A, B) = %d (expected %lld) %s\n", dot,
+                static_cast<long long>(expected),
+                dot == expected ? "[ok]" : "[MISMATCH]");
+    std::printf("cycles = %llu, instructions = %llu, "
+                "CMem busy = %llu\n",
+                static_cast<unsigned long long>(stats.cycles),
+                static_cast<unsigned long long>(stats.insts),
+                static_cast<unsigned long long>(
+                    stats.cmemBusyCycles));
+    return 0;
+}

@@ -1,0 +1,88 @@
+#include "baseline/platforms.hh"
+
+#include <algorithm>
+
+namespace maicc
+{
+
+PlatformSpec
+i9_13900k()
+{
+    PlatformSpec s;
+    s.name = "Intel i9-13900K";
+    s.cores = 24;
+    s.freqGhz = 3.0;
+    // 8 P-cores with 2x AVX2 FMA (16 FLOPs/cycle) + 16 E-cores at
+    // roughly half throughput; a flat per-core average.
+    s.flopsPerCyclePerCore = 10.7;
+    s.memBandwidthGBs = 64.0; // dual-channel DDR4 (Table 3)
+    s.measuredLatencyMs = 22.3;
+    s.measuredPowerW = 176.4;
+    return s;
+}
+
+PlatformSpec
+rtx4090()
+{
+    PlatformSpec s;
+    s.name = "NVIDIA RTX 4090";
+    s.cores = 16384;
+    s.freqGhz = 2.235;
+    s.flopsPerCyclePerCore = 2.0; // FMA per CUDA core
+    s.memBandwidthGBs = 1008.0;   // GDDR6X
+    s.measuredLatencyMs = 1.02;
+    s.measuredPowerW = 228.6;
+    return s;
+}
+
+namespace
+{
+
+double
+rooflineMs(const PlatformSpec &spec, const Network &net)
+{
+    double flops = 2.0 * double(net.totalMacs());
+    double peak_flops =
+        spec.cores * spec.freqGhz * 1e9 * spec.flopsPerCyclePerCore;
+    // Batch-1 inference touches every weight once (FP32).
+    double weight_bytes = 0;
+    double fmap_bytes = 0;
+    for (const auto &l : net.layers) {
+        if (l.isCompute()) {
+            weight_bytes +=
+                4.0 * l.outC * l.R * l.S * l.inC;
+        }
+        fmap_bytes += 4.0 * l.outH() * l.outW() * l.outC;
+    }
+    double compute_ms = flops / peak_flops * 1e3;
+    double memory_ms = (weight_bytes + fmap_bytes)
+        / (spec.memBandwidthGBs * 1e9) * 1e3;
+    return std::max(compute_ms, memory_ms);
+}
+
+} // namespace
+
+PlatformResult
+evalPlatform(const PlatformSpec &spec, const Network &net)
+{
+    PlatformResult r;
+    r.rooflineLatencyMs = rooflineMs(spec, net);
+    // Calibrate the achievable fraction of the roofline once,
+    // against the paper's measured ResNet18 latency; apply the
+    // same efficiency to whatever network is being evaluated.
+    if (spec.measuredLatencyMs > 0) {
+        double resnet_roofline =
+            rooflineMs(spec, buildResNet18());
+        r.efficiency = resnet_roofline / spec.measuredLatencyMs;
+        r.latencyMs = r.rooflineLatencyMs / r.efficiency;
+    } else {
+        r.efficiency = 1.0;
+        r.latencyMs = r.rooflineLatencyMs;
+    }
+    r.throughput = 1e3 / r.latencyMs;
+    r.powerW = spec.measuredPowerW;
+    r.throughputPerWatt = r.throughput / r.powerW;
+    return r;
+}
+
+} // namespace maicc

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * CPU / GPU baseline models for Table 3 / Table 7.
+ *
+ * The paper measured an Intel i9-13900K (PyTorch + RAPL) and an
+ * NVIDIA RTX 4090 (PyTorch + nvidia-smi). Neither device is
+ * available to a simulator, so each platform is modelled as a
+ * roofline (peak-FLOPS / memory-bandwidth bound) with an
+ * efficiency factor calibrated once against the paper's measured
+ * latency; the measured power is carried as published data. The
+ * substitution and its provenance are documented in DESIGN.md.
+ */
+
+#ifndef MAICC_BASELINE_PLATFORMS_HH
+#define MAICC_BASELINE_PLATFORMS_HH
+
+#include <string>
+
+#include "nn/network.hh"
+
+namespace maicc
+{
+
+/** Hardware parameters of a baseline platform (paper Table 3). */
+struct PlatformSpec
+{
+    std::string name;
+    unsigned cores = 0;
+    double freqGhz = 0.0;
+    double flopsPerCyclePerCore = 0.0; ///< FMA lanes x 2
+    double memBandwidthGBs = 0.0;
+    double measuredLatencyMs = 0.0; ///< paper-reported, ResNet18
+    double measuredPowerW = 0.0;    ///< paper-reported
+};
+
+/** Intel Core i9-13900K (Table 3 + paper measurements). */
+PlatformSpec i9_13900k();
+
+/** NVIDIA RTX 4090 (Table 3 + paper measurements). */
+PlatformSpec rtx4090();
+
+/** Evaluation result of one platform on one network. */
+struct PlatformResult
+{
+    double rooflineLatencyMs = 0.0; ///< ideal-machine bound
+    double latencyMs = 0.0;         ///< calibrated estimate
+    double efficiency = 0.0;        ///< roofline / calibrated
+    double throughput = 0.0;        ///< samples/s (batch 1)
+    double powerW = 0.0;
+    double throughputPerWatt = 0.0;
+};
+
+/**
+ * Evaluate @p net on @p spec. FP32 inference (the paper compares
+ * against the unquantized versions on CPU/GPU, §5).
+ */
+PlatformResult evalPlatform(const PlatformSpec &spec,
+                            const Network &net);
+
+} // namespace maicc
+
+#endif // MAICC_BASELINE_PLATFORMS_HH

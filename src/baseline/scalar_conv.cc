@@ -1,0 +1,148 @@
+#include "baseline/scalar_conv.hh"
+
+#include "common/logging.hh"
+#include "core/timing.hh"
+#include "mem/row_store.hh"
+
+namespace maicc
+{
+
+using namespace rv32;
+
+rv32::Program
+buildScalarConvProgram(const ConvNodeWorkload &w)
+{
+    Assembler a;
+    // s0=f s1=ox s2=oy s3=psum s4=r s5=s; a1/a2 stream pointers.
+    a.li(s0, 0);
+    auto Lf = a.newLabel();
+    a.bind(Lf);
+    a.li(s1, 0);
+    auto Lox = a.newLabel();
+    a.bind(Lox);
+    a.li(s2, 0);
+    auto Loy = a.newLabel();
+    a.bind(Loy);
+    a.li(s3, 0);
+    a.li(s4, 0);
+    auto Lr = a.newLabel();
+    a.bind(Lr);
+    a.li(s5, 0);
+    auto Ls = a.newLabel();
+    a.bind(Ls);
+
+    // a1 = ifmapBase + ((ox+r)*W + oy+s)*C
+    a.add(t0, s1, s4);
+    a.li(t1, w.W);
+    a.mul(t0, t0, t1);
+    a.add(t0, t0, s2);
+    a.add(t0, t0, s5);
+    a.li(t1, w.C);
+    a.mul(t0, t0, t1);
+    a.li(a1, static_cast<int32_t>(scalarIfmapBase));
+    a.add(a1, a1, t0);
+    // a2 = filterBase + ((f*R + r)*S + s)*C
+    a.li(t1, w.R);
+    a.mul(t0, s0, t1);
+    a.add(t0, t0, s4);
+    a.li(t1, w.S);
+    a.mul(t0, t0, t1);
+    a.add(t0, t0, s5);
+    a.li(t1, w.C);
+    a.mul(t0, t0, t1);
+    a.li(a2, static_cast<int32_t>(scalarFilterBase));
+    a.add(a2, a2, t0);
+    // a3 = a1 + C (channel-loop bound)
+    a.li(t1, w.C);
+    a.add(a3, a1, t1);
+
+    auto Lc = a.newLabel();
+    a.bind(Lc);
+    a.lb(t2, a1, 0);
+    a.lb(t3, a2, 0);
+    a.mul(t4, t2, t3);
+    a.add(s3, s3, t4);
+    a.addi(a1, a1, 1);
+    a.addi(a2, a2, 1);
+    a.bne(a1, a3, Lc);
+
+    a.addi(s5, s5, 1);
+    a.li(t1, w.S);
+    a.blt(s5, t1, Ls);
+    a.addi(s4, s4, 1);
+    a.li(t1, w.R);
+    a.blt(s4, t1, Lr);
+
+    // Auxiliary functions: branchless ReLU, requantize, store.
+    if (w.relu) {
+        a.srai(t1, s3, 31);
+        a.xori(t1, t1, -1);
+        a.andr(s3, s3, t1);
+    }
+    a.srai(s3, s3, w.shift);
+    a.li(t1, w.outH());
+    a.mul(t0, s0, t1);
+    a.add(t0, t0, s1);
+    a.li(t1, w.outW());
+    a.mul(t0, t0, t1);
+    a.add(t0, t0, s2);
+    a.li(t1, static_cast<int32_t>(convOutBase));
+    a.add(t0, t0, t1);
+    a.sb(s3, t0, 0);
+
+    a.addi(s2, s2, 1);
+    a.li(t1, w.outW());
+    a.blt(s2, t1, Loy);
+    a.addi(s1, s1, 1);
+    a.li(t1, w.outH());
+    a.blt(s1, t1, Lox);
+    a.addi(s0, s0, 1);
+    a.li(t1, w.numFilters);
+    a.blt(s0, t1, Lf);
+    a.ecall();
+    return a.finish();
+}
+
+void
+stageScalarConv(const ConvNodeWorkload &w, FlatMemory &ext,
+                const std::vector<int8_t> &ifmap,
+                const std::vector<int8_t> &filters)
+{
+    maicc_assert(ifmap.size() == size_t(w.H) * w.W * w.C);
+    maicc_assert(filters.size()
+                 == size_t(w.numFilters) * w.R * w.S * w.C);
+    for (size_t i = 0; i < ifmap.size(); ++i)
+        ext.poke(scalarIfmapBase + Addr(i),
+                 static_cast<uint8_t>(ifmap[i]));
+    for (size_t i = 0; i < filters.size(); ++i)
+        ext.poke(scalarFilterBase + Addr(i),
+                 static_cast<uint8_t>(filters[i]));
+}
+
+ScalarConvResult
+runScalarConv(const ConvNodeWorkload &w,
+              const std::vector<int8_t> &ifmap,
+              const std::vector<int8_t> &filters,
+              const CoreConfig &cfg)
+{
+    rv32::Program prog = buildScalarConvProgram(w);
+    CMem cmem;
+    FlatMemory ext;
+    RowStore rows;
+    NodeMemory mem(cmem, &ext);
+    stageScalarConv(w, ext, ifmap, filters);
+    CoreTimingModel model(prog, mem, &cmem, &rows, cfg);
+    ScalarConvResult res;
+    res.stats = model.run(400'000'000);
+    for (unsigned f = 0; f < w.numFilters; ++f) {
+        for (unsigned ox = 0; ox < w.outH(); ++ox) {
+            for (unsigned oy = 0; oy < w.outW(); ++oy) {
+                res.out.push_back(static_cast<int8_t>(
+                    mem.peekDmem(convOutOffset(w, f, ox, oy))));
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace maicc

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Scalar-core baseline for Table 4: the same CONV workload
+ * executed entirely in software on the lightweight RV32IMA core
+ * (no CMem), with ifmap and filters streamed from external memory
+ * through the remote load primitive.
+ */
+
+#ifndef MAICC_BASELINE_SCALAR_CONV_HH
+#define MAICC_BASELINE_SCALAR_CONV_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/conv_kernel.hh"
+#include "core/core_config.hh"
+#include "mem/node_memory.hh"
+#include "rv32/assembler.hh"
+
+namespace maicc
+{
+
+/** External-memory layout used by the scalar kernel. */
+constexpr Addr scalarIfmapBase = 0x80000000u;
+constexpr Addr scalarFilterBase = 0x80100000u;
+
+/** Emit the software conv loop (triple-nested, byte loads). */
+rv32::Program buildScalarConvProgram(const ConvNodeWorkload &w);
+
+/** Stage ifmap/filters into the external memory. */
+void stageScalarConv(const ConvNodeWorkload &w, FlatMemory &ext,
+                     const std::vector<int8_t> &ifmap,
+                     const std::vector<int8_t> &filters);
+
+/** Run the kernel on the cycle model; outputs land at
+ * convOutBase in node dmem, same layout as the CMem kernel. */
+struct ScalarConvResult
+{
+    CoreRunStats stats;
+    std::vector<int8_t> out;
+};
+
+ScalarConvResult runScalarConv(const ConvNodeWorkload &w,
+                               const std::vector<int8_t> &ifmap,
+                               const std::vector<int8_t> &filters,
+                               const CoreConfig &cfg = CoreConfig{});
+
+} // namespace maicc
+
+#endif // MAICC_BASELINE_SCALAR_CONV_HH

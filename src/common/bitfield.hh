@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the ISA, the CMem, and the NoC
+ * address decoding logic.
+ */
+
+#ifndef MAICC_COMMON_BITFIELD_HH
+#define MAICC_COMMON_BITFIELD_HH
+
+#include <cstdint>
+
+namespace maicc
+{
+
+/** @return a mask with the low @p nbits bits set. */
+constexpr uint64_t
+mask(unsigned nbits)
+{
+    return nbits >= 64 ? ~0ULL : (1ULL << nbits) - 1;
+}
+
+/** Extract bits [@p last : @p first] (inclusive) of @p val. */
+constexpr uint64_t
+bits(uint64_t val, unsigned last, unsigned first)
+{
+    return (val >> first) & mask(last - first + 1);
+}
+
+/** Extract a single bit of @p val. */
+constexpr uint64_t
+bits(uint64_t val, unsigned bit)
+{
+    return (val >> bit) & 1;
+}
+
+/** Replace bits [@p last : @p first] of @p val with @p field. */
+constexpr uint64_t
+insertBits(uint64_t val, unsigned last, unsigned first, uint64_t field)
+{
+    uint64_t m = mask(last - first + 1) << first;
+    return (val & ~m) | ((field << first) & m);
+}
+
+/** Sign-extend the low @p nbits bits of @p val to 64 bits. */
+constexpr int64_t
+sext(uint64_t val, unsigned nbits)
+{
+    uint64_t sign_bit = 1ULL << (nbits - 1);
+    uint64_t v = val & mask(nbits);
+    return static_cast<int64_t>((v ^ sign_bit) - sign_bit);
+}
+
+/** Sign-extend the low @p nbits bits of @p val to 32 bits. */
+constexpr int32_t
+sext32(uint32_t val, unsigned nbits)
+{
+    return static_cast<int32_t>(sext(val, nbits));
+}
+
+/** @return true when @p val is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(uint64_t val)
+{
+    return val != 0 && (val & (val - 1)) == 0;
+}
+
+/** Integer log2 for powers of two. */
+constexpr unsigned
+log2i(uint64_t val)
+{
+    unsigned l = 0;
+    while (val > 1) {
+        val >>= 1;
+        ++l;
+    }
+    return l;
+}
+
+/** Ceiling division of non-negative integers. */
+constexpr uint64_t
+divCeil(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace maicc
+
+#endif // MAICC_COMMON_BITFIELD_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers in the gem5 tradition.
+ *
+ * panic()  — an internal invariant of the simulator was violated; this
+ *            is a bug in MAICC itself. Aborts (may dump core).
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, impossible mapping, ...). Exits(1).
+ * warn()   — something is modelled approximately; results may be off.
+ * inform() — plain status output for the user.
+ */
+
+#ifndef MAICC_COMMON_LOGGING_HH
+#define MAICC_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace maicc
+{
+
+/** Format a printf-style message into a std::string. */
+std::string vformat(const char *fmt, va_list ap);
+
+/** Format a printf-style message into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+
+void warnImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+void informImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Toggle warn()/inform() output (tests silence it). */
+void setVerbose(bool verbose);
+
+/** @return whether warn()/inform() currently print. */
+bool verbose();
+
+} // namespace maicc
+
+#define maicc_panic(...) \
+    ::maicc::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define maicc_fatal(...) \
+    ::maicc::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define maicc_warn(...) ::maicc::warnImpl(__VA_ARGS__)
+#define maicc_inform(...) ::maicc::informImpl(__VA_ARGS__)
+
+/**
+ * Invariant check that survives NDEBUG builds: panics with the
+ * stringified condition when @p cond is false.
+ */
+#define maicc_assert(cond)                                          \
+    do {                                                            \
+        if (!(cond))                                                \
+            maicc_panic("assertion failed: %s", #cond);             \
+    } while (0)
+
+#endif // MAICC_COMMON_LOGGING_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * Every experiment in this repository is seeded so that benchmark
+ * tables are reproducible run to run. We avoid std::mt19937 only to
+ * guarantee bit-identical streams across standard libraries.
+ */
+
+#ifndef MAICC_COMMON_RANDOM_HH
+#define MAICC_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace maicc
+{
+
+/** xoshiro256** generator with splitmix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL)
+    {
+        uint64_t x = seed;
+        for (auto &word : state) {
+            // splitmix64 step
+            x += 0x9E3779B97F4A7C15ULL;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t result = rotl(state[1] * 5, 7) * 9;
+        uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(below(hi - lo + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Signed 8-bit sample, full range. */
+    int8_t
+    int8()
+    {
+        return static_cast<int8_t>(next() & 0xFF);
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state[4];
+};
+
+} // namespace maicc
+
+#endif // MAICC_COMMON_RANDOM_HH

@@ -1,0 +1,86 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace maicc
+{
+
+void
+StatSummary::sample(double v)
+{
+    if (_count == 0) {
+        _min = _max = v;
+    } else {
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+    _sum += v;
+    ++_count;
+}
+
+void
+StatSummary::reset()
+{
+    _count = 0;
+    _sum = _min = _max = 0.0;
+}
+
+std::string
+StatGroup::qualify(const std::string &name) const
+{
+    return _prefix.empty() ? name : _prefix + "." + name;
+}
+
+StatCounter &
+StatGroup::counter(const std::string &name)
+{
+    auto it = _counters.find(name);
+    if (it == _counters.end()) {
+        it = _counters.emplace(name, StatCounter(qualify(name))).first;
+    }
+    return it->second;
+}
+
+StatSummary &
+StatGroup::summary(const std::string &name)
+{
+    auto it = _summaries.find(name);
+    if (it == _summaries.end()) {
+        it = _summaries.emplace(name, StatSummary(qualify(name))).first;
+    }
+    return it->second;
+}
+
+uint64_t
+StatGroup::get(const std::string &name) const
+{
+    auto it = _counters.find(name);
+    return it == _counters.end() ? 0 : it->second.value();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &kv : _counters)
+        kv.second.reset();
+    for (auto &kv : _summaries)
+        kv.second.reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &kv : _counters) {
+        os << std::left << std::setw(40) << kv.second.name()
+           << kv.second.value() << "\n";
+    }
+    for (const auto &kv : _summaries) {
+        const auto &s = kv.second;
+        os << std::left << std::setw(40) << s.name()
+           << "count=" << s.count() << " mean=" << s.mean()
+           << " min=" << s.min() << " max=" << s.max() << "\n";
+    }
+}
+
+} // namespace maicc

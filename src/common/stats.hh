@@ -1,0 +1,108 @@
+/**
+ * @file
+ * A miniature statistics package: named scalar counters and
+ * histograms attached to a registry, dumpable as text. Components of
+ * the simulator register their event counters here so the energy
+ * model (src/energy) can read them back after a run.
+ */
+
+#ifndef MAICC_COMMON_STATS_HH
+#define MAICC_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace maicc
+{
+
+/** A named monotonically increasing event counter. */
+class StatCounter
+{
+  public:
+    StatCounter() = default;
+    explicit StatCounter(std::string name) : _name(std::move(name)) {}
+
+    void inc(uint64_t n = 1) { _value += n; }
+    void reset() { _value = 0; }
+
+    uint64_t value() const { return _value; }
+    const std::string &name() const { return _name; }
+
+  private:
+    std::string _name;
+    uint64_t _value = 0;
+};
+
+/** Running min/max/mean/count summary of a sampled quantity. */
+class StatSummary
+{
+  public:
+    StatSummary() = default;
+    explicit StatSummary(std::string name) : _name(std::move(name)) {}
+
+    void sample(double v);
+    void reset();
+
+    uint64_t count() const { return _count; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double sum() const { return _sum; }
+    const std::string &name() const { return _name; }
+
+  private:
+    std::string _name;
+    uint64_t _count = 0;
+    double _sum = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/**
+ * A flat registry of counters and summaries. Each simulated component
+ * owns a StatGroup and registers stats under hierarchical dotted
+ * names ("node12.cmem.macOps").
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string prefix = "")
+        : _prefix(std::move(prefix))
+    {}
+
+    /** Create (or fetch) a counter named prefix.name. */
+    StatCounter &counter(const std::string &name);
+
+    /** Create (or fetch) a summary named prefix.name. */
+    StatSummary &summary(const std::string &name);
+
+    /** Read a counter's value; 0 when absent. */
+    uint64_t get(const std::string &name) const;
+
+    /** Zero every stat in the group. */
+    void resetAll();
+
+    /** Pretty-print every stat. */
+    void dump(std::ostream &os) const;
+
+    const std::string &prefix() const { return _prefix; }
+
+    const std::map<std::string, StatCounter> &counters() const
+    {
+        return _counters;
+    }
+
+  private:
+    std::string qualify(const std::string &name) const;
+
+    std::string _prefix;
+    std::map<std::string, StatCounter> _counters;
+    std::map<std::string, StatSummary> _summaries;
+};
+
+} // namespace maicc
+
+#endif // MAICC_COMMON_STATS_HH

@@ -1,0 +1,79 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace maicc
+{
+
+TextTable::TextTable(std::vector<std::string> header)
+    : _header(std::move(header))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    maicc_assert(row.size() == _header.size());
+    _rows.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+TextTable::num(uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<size_t> width(_header.size());
+    for (size_t c = 0; c < _header.size(); ++c)
+        width[c] = _header[c].size();
+    for (const auto &row : _rows) {
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto rule = [&]() {
+        os << "+";
+        for (size_t c = 0; c < width.size(); ++c) {
+            for (size_t i = 0; i < width[c] + 2; ++i)
+                os << "-";
+            os << "+";
+        }
+        os << "\n";
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        os << "|";
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << " " << cells[c];
+            for (size_t i = cells[c].size(); i < width[c] + 1; ++i)
+                os << " ";
+            os << "|";
+        }
+        os << "\n";
+    };
+
+    rule();
+    line(_header);
+    rule();
+    for (const auto &row : _rows)
+        line(row);
+    rule();
+}
+
+} // namespace maicc

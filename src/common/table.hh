@@ -1,0 +1,43 @@
+/**
+ * @file
+ * A small ASCII table printer used by the benchmark binaries to
+ * render the paper's tables (Table 4, 5, 6, 7, ...) in a comparable
+ * layout.
+ */
+
+#ifndef MAICC_COMMON_TABLE_HH
+#define MAICC_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace maicc
+{
+
+/** Row-by-row ASCII table with a header row and aligned columns. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one row; must match the header's column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with @p digits decimals. */
+    static std::string num(double v, int digits = 3);
+
+    /** Convenience: format an integer. */
+    static std::string num(uint64_t v);
+
+    /** Render with box-drawing separators. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace maicc
+
+#endif // MAICC_COMMON_TABLE_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Basic simulator-wide types: addresses, cycle counts, node ids.
+ */
+
+#ifndef MAICC_COMMON_TYPES_HH
+#define MAICC_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace maicc
+{
+
+/** A 32-bit physical/virtual address in the partitioned global space. */
+using Addr = uint32_t;
+
+/** A simulation cycle count (1 GHz core clock unless noted). */
+using Cycles = uint64_t;
+
+/** Picojoules, the unit of all dynamic-energy accounting. */
+using PicoJoules = double;
+
+/** Square millimetres, the unit of all area accounting. */
+using SquareMm = double;
+
+/**
+ * Coordinates of a tile in the 16x16 mesh. x grows east, y grows
+ * south; (0,0) is the north-west corner.
+ */
+struct NodeCoord
+{
+    int x = 0;
+    int y = 0;
+
+    bool operator==(const NodeCoord &o) const = default;
+};
+
+/** Flat node id: y * meshWidth + x. */
+using NodeId = int;
+
+} // namespace maicc
+
+#endif // MAICC_COMMON_TYPES_HH

@@ -1,0 +1,246 @@
+#include "core/aux_kernels.hh"
+
+#include "common/logging.hh"
+#include "mem/address_map.hh"
+#include "rv32/encoding.hh"
+
+namespace maicc
+{
+
+using namespace rv32;
+
+namespace
+{
+
+/** Branchless ReLU on @p r (sign-mask trick). */
+void
+emitRelu(Assembler &a, Reg r, Reg scratch)
+{
+    a.srai(scratch, r, 31);
+    a.xori(scratch, scratch, -1);
+    a.andr(r, r, scratch);
+}
+
+/** Saturate @p r to [-128, 127] with branches. */
+void
+emitSat8(Assembler &a, Reg r, Reg scratch)
+{
+    auto hi_ok = a.newLabel();
+    a.li(scratch, 127);
+    a.blt(r, scratch, hi_ok);
+    a.mv(r, scratch);
+    a.bind(hi_ok);
+    auto lo_ok = a.newLabel();
+    a.li(scratch, -128);
+    a.bge(r, scratch, lo_ok);
+    a.mv(r, scratch);
+    a.bind(lo_ok);
+}
+
+} // namespace
+
+// ---- FC node kernel ---------------------------------------------------
+
+Addr
+fcRowAddr(unsigned bit)
+{
+    return amap::dramBase + 0x200000u + bit * 64;
+}
+
+rv32::Program
+buildFcNodeProgram(const FcNodeWorkload &w)
+{
+    maicc_assert(w.C == 256);
+    maicc_assert(w.M <= w.maxOutputs());
+    maicc_assert(fcOutBase + w.M <= amap::dmemSize);
+    unsigned n = w.nBits;
+    Assembler a;
+
+    // Fetch the transposed input vector into slice 0.
+    a.li(t0, static_cast<int32_t>(fcRowAddr(0)));
+    for (unsigned bit = 0; bit < n; ++bit) {
+        a.li(t1, static_cast<int32_t>(cmemDesc(0, bit)));
+        a.loadRowRC(t0, t1);
+        a.addi(t0, t0, 64);
+    }
+    // Broadcast to every compute slice.
+    for (unsigned sl = 1; sl <= 7; ++sl) {
+        a.li(t2, static_cast<int32_t>(cmemDesc(sl, 0)));
+        a.moveC(zero, t2, n);
+    }
+    // One MAC per output, aux on the core.
+    for (unsigned m = 0; m < w.M; ++m) {
+        unsigned sl = 1 + m % 7;
+        unsigned slot = m / 7;
+        a.li(t2, static_cast<int32_t>(cmemDesc(sl, 0)));
+        a.li(t3, static_cast<int32_t>(cmemDesc(sl, n + n * slot)));
+        a.maccC(t4, t2, t3, n);
+        if (w.relu)
+            emitRelu(a, t4, t1);
+        a.srai(t4, t4, w.shift);
+        if (w.saturate)
+            emitSat8(a, t4, t1);
+        a.sb(t4, zero, static_cast<int32_t>(fcOutBase + m));
+    }
+    a.ecall();
+    return a.finish();
+}
+
+void
+stageFcNode(const FcNodeWorkload &w, CMem &cmem, RowStore &rows,
+            const std::vector<int8_t> &input,
+            const std::vector<int8_t> &weights)
+{
+    maicc_assert(input.size() == w.C);
+    maicc_assert(weights.size() == size_t(w.M) * w.C);
+    unsigned n = w.nBits;
+    std::vector<int32_t> vec(w.C);
+    for (unsigned m = 0; m < w.M; ++m) {
+        for (unsigned c = 0; c < w.C; ++c)
+            vec[c] = weights[m * w.C + c];
+        cmem.pokeVector(1 + m % 7, n + n * (m / 7), n, vec);
+    }
+    for (unsigned bit = 0; bit < n; ++bit) {
+        Row256 row;
+        for (unsigned c = 0; c < w.C; ++c) {
+            row.set(c, (static_cast<uint8_t>(input[c]) >> bit) & 1);
+        }
+        rows.storeRow(fcRowAddr(bit), row);
+    }
+}
+
+std::vector<int8_t>
+referenceFcNode(const FcNodeWorkload &w,
+                const std::vector<int8_t> &input,
+                const std::vector<int8_t> &weights)
+{
+    std::vector<int8_t> out(w.M);
+    for (unsigned m = 0; m < w.M; ++m) {
+        int32_t acc = 0;
+        for (unsigned c = 0; c < w.C; ++c)
+            acc += int32_t(input[c]) * weights[m * w.C + c];
+        if (w.relu && acc < 0)
+            acc = 0;
+        acc >>= w.shift;
+        if (w.saturate) {
+            if (acc > 127)
+                acc = 127;
+            if (acc < -128)
+                acc = -128;
+        }
+        out[m] = static_cast<int8_t>(acc);
+    }
+    return out;
+}
+
+// ---- Max pooling -------------------------------------------------------
+
+rv32::Program
+buildMaxPoolProgram(const PoolWorkload &w)
+{
+    maicc_assert(w.inBase + w.H * w.W <= amap::dmemSize);
+    maicc_assert(w.outBase + w.outH() * w.outW()
+                 <= amap::dmemSize);
+    Assembler a;
+    for (unsigned oh = 0; oh < w.outH(); ++oh) {
+        for (unsigned ow = 0; ow < w.outW(); ++ow) {
+            bool first = true;
+            for (unsigned r = 0; r < w.K; ++r) {
+                for (unsigned s = 0; s < w.K; ++s) {
+                    int32_t off = static_cast<int32_t>(
+                        w.inBase + (oh * w.K + r) * w.W
+                        + (ow * w.K + s));
+                    if (first) {
+                        a.lb(t0, zero, off);
+                        first = false;
+                        continue;
+                    }
+                    a.lb(t1, zero, off);
+                    auto keep = a.newLabel();
+                    a.bge(t0, t1, keep);
+                    a.mv(t0, t1);
+                    a.bind(keep);
+                }
+            }
+            a.sb(t0, zero,
+                 static_cast<int32_t>(w.outBase + oh * w.outW()
+                                      + ow));
+        }
+    }
+    a.ecall();
+    return a.finish();
+}
+
+std::vector<int8_t>
+referenceMaxPool(const PoolWorkload &w,
+                 const std::vector<int8_t> &in)
+{
+    maicc_assert(in.size() == size_t(w.H) * w.W);
+    std::vector<int8_t> out(w.outH() * w.outW());
+    for (unsigned oh = 0; oh < w.outH(); ++oh) {
+        for (unsigned ow = 0; ow < w.outW(); ++ow) {
+            int8_t best = in[(oh * w.K) * w.W + ow * w.K];
+            for (unsigned r = 0; r < w.K; ++r) {
+                for (unsigned s = 0; s < w.K; ++s) {
+                    int8_t v =
+                        in[(oh * w.K + r) * w.W + (ow * w.K + s)];
+                    if (v > best)
+                        best = v;
+                }
+            }
+            out[oh * w.outW() + ow] = best;
+        }
+    }
+    return out;
+}
+
+// ---- Residual add + requantization -------------------------------------
+
+rv32::Program
+buildRequantProgram(const RequantWorkload &w)
+{
+    maicc_assert(w.psumBase + 4 * w.count <= amap::dmemSize);
+    maicc_assert(w.outBase + w.count <= amap::dmemSize);
+    Assembler a;
+    for (unsigned i = 0; i < w.count; ++i) {
+        a.lw(t0, zero, static_cast<int32_t>(w.psumBase + 4 * i));
+        if (w.withResidual) {
+            a.lb(t1, zero,
+                 static_cast<int32_t>(w.residualBase + i));
+            a.slli(t1, t1, w.shift);
+            a.add(t0, t0, t1);
+        }
+        if (w.relu)
+            emitRelu(a, t0, t1);
+        a.srai(t0, t0, w.shift);
+        emitSat8(a, t0, t1);
+        a.sb(t0, zero, static_cast<int32_t>(w.outBase + i));
+    }
+    a.ecall();
+    return a.finish();
+}
+
+std::vector<int8_t>
+referenceRequant(const RequantWorkload &w,
+                 const std::vector<int32_t> &psum,
+                 const std::vector<int8_t> &residual)
+{
+    maicc_assert(psum.size() == w.count);
+    std::vector<int8_t> out(w.count);
+    for (unsigned i = 0; i < w.count; ++i) {
+        int32_t acc = psum[i];
+        if (w.withResidual)
+            acc += int32_t(residual[i]) << w.shift;
+        if (w.relu && acc < 0)
+            acc = 0;
+        acc >>= w.shift;
+        if (acc > 127)
+            acc = 127;
+        if (acc < -128)
+            acc = -128;
+        out[i] = static_cast<int8_t>(acc);
+    }
+    return out;
+}
+
+} // namespace maicc

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Auxiliary node-kernel library (paper §2.1/§4.1): beyond the CONV
+ * kernel, nodes run FC layers on the CMem and the diverse,
+ * irregular auxiliary functions (pooling, residual add,
+ * saturating requantization) in plain RV32 software — the
+ * programmability argument that motivates a core per node instead
+ * of a fixed-function cache controller.
+ *
+ * Every generator returns a runnable rv32::Program; companion
+ * reference functions define the exact semantics, and the tests
+ * check bit-exactness on the cycle-level core model.
+ */
+
+#ifndef MAICC_CORE_AUX_KERNELS_HH
+#define MAICC_CORE_AUX_KERNELS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cmem/cmem.hh"
+#include "common/types.hh"
+#include "mem/row_store.hh"
+#include "rv32/assembler.hh"
+
+namespace maicc
+{
+
+// ------------------------------------------------------------------
+// Fully connected layer on one node (CMem MACs + software aux).
+// ------------------------------------------------------------------
+
+struct FcNodeWorkload
+{
+    unsigned C = 256;       ///< input features (= bit-lines)
+    unsigned M = 32;        ///< outputs resident on this node
+    unsigned nBits = 8;
+    unsigned shift = 9;
+    bool relu = true;
+    bool saturate = true;   ///< clamp to int8 (branchy aux path)
+
+    /** Max outputs one node can hold (7 slices x Q vectors). */
+    unsigned
+    maxOutputs() const
+    {
+        return 7 * (64 / nBits - 1);
+    }
+};
+
+/** dmem byte offset of FC output m. */
+constexpr Addr fcOutBase = 512;
+
+/** Staged global address of the input-vector row @p bit. */
+Addr fcRowAddr(unsigned bit);
+
+/** Emit the FC node program (LoadRow -> Move -> MACs -> aux). */
+rv32::Program buildFcNodeProgram(const FcNodeWorkload &w);
+
+/** Stage the weight matrix into CMem and the input into rows. */
+void stageFcNode(const FcNodeWorkload &w, CMem &cmem, RowStore &rows,
+                 const std::vector<int8_t> &input,
+                 const std::vector<int8_t> &weights);
+
+/** Bit-exact reference: out[m] = requant(sum_c in[c]*w[m][c]). */
+std::vector<int8_t> referenceFcNode(
+    const FcNodeWorkload &w, const std::vector<int8_t> &input,
+    const std::vector<int8_t> &weights);
+
+// ------------------------------------------------------------------
+// Software max pooling over a dmem-resident fmap.
+// ------------------------------------------------------------------
+
+struct PoolWorkload
+{
+    unsigned H = 8, W = 8; ///< input plane (single channel)
+    unsigned K = 2;        ///< kernel and stride
+    Addr inBase = 0;       ///< int8 input plane in dmem
+    Addr outBase = 256;    ///< int8 output plane in dmem
+
+    unsigned outH() const { return H / K; }
+    unsigned outW() const { return W / K; }
+};
+
+/** Emit a branchy software KxK max pool. */
+rv32::Program buildMaxPoolProgram(const PoolWorkload &w);
+
+/** Reference max pool. */
+std::vector<int8_t> referenceMaxPool(const PoolWorkload &w,
+                                     const std::vector<int8_t> &in);
+
+// ------------------------------------------------------------------
+// Residual add + saturating requantization over int32 psums.
+// ------------------------------------------------------------------
+
+struct RequantWorkload
+{
+    unsigned count = 64;  ///< elements
+    unsigned shift = 5;
+    bool relu = true;
+    Addr psumBase = 0;    ///< int32 accumulators in dmem
+    Addr residualBase = 512; ///< int8 residual (may be unused)
+    Addr outBase = 768;   ///< int8 outputs
+    bool withResidual = true;
+};
+
+/** Emit: out[i] = sat8(relu(psum[i] + (res[i]<<shift)) >> shift) */
+rv32::Program buildRequantProgram(const RequantWorkload &w);
+
+/** Reference for buildRequantProgram. */
+std::vector<int8_t> referenceRequant(
+    const RequantWorkload &w, const std::vector<int32_t> &psum,
+    const std::vector<int8_t> &residual);
+
+} // namespace maicc
+
+#endif // MAICC_CORE_AUX_KERNELS_HH

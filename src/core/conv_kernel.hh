@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Generator for the single-node CONV workload of the paper's node
+ * evaluation (§6.1, Tables 4 and 5): a CONV layer applying
+ * `numFilters` filters of R*S*C to an H*W*C ifmap, 8-bit fixed
+ * point, executed per Algorithm 1:
+ *
+ *  - the transposed ifmap vector for pixel (x, y) arrives in slice 0
+ *    via LoadRow.RC (staged rows stand in for the neighbour /
+ *    data-collection core);
+ *  - Move.C broadcasts it to the seven compute slices;
+ *  - MAC.C against every resident filter vector, partial sums
+ *    accumulated into the ofmap in data memory by the core;
+ *  - auxiliary functions (ReLU + power-of-two requantization) run on
+ *    the core for each completed ofmap pixel.
+ *
+ * The emitted order is the textual Algorithm-1 order; apply
+ * staticSchedule() for the "with static scheduling" rows of
+ * Table 5.
+ */
+
+#ifndef MAICC_CORE_CONV_KERNEL_HH
+#define MAICC_CORE_CONV_KERNEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cmem/cmem.hh"
+#include "common/types.hh"
+#include "mem/row_store.hh"
+#include "rv32/assembler.hh"
+
+namespace maicc
+{
+
+/** Parameters of the single-node CONV workload. */
+struct ConvNodeWorkload
+{
+    unsigned R = 3;          ///< filter height
+    unsigned S = 3;          ///< filter width
+    unsigned C = 256;        ///< channels (= bit-lines)
+    unsigned H = 9;          ///< ifmap height
+    unsigned W = 9;          ///< ifmap width
+    unsigned numFilters = 5; ///< filters resident in this node
+    unsigned nBits = 8;      ///< fixed-point precision
+    unsigned shift = 9;      ///< requantization right-shift
+    bool relu = true;        ///< apply ReLU before requantization
+
+    unsigned outH() const { return H - R + 1; }
+    unsigned outW() const { return W - S + 1; }
+
+    /** Filter vectors per compute slice (Q in §4.1). */
+    unsigned vectorsPerSlice() const { return 64 / nBits - 1; }
+
+    /** Paper §4.1: max filters a node can hold. */
+    unsigned
+    maxFilters() const
+    {
+        return 7 * vectorsPerSlice() / (R * S);
+    }
+};
+
+/** dmem layout used by the generated kernel. */
+constexpr Addr convPsumBase = 0;    ///< int32 partial sums
+constexpr Addr convOutBase = 2048;  ///< int8 requantized outputs
+
+/** dmem byte offset of psum (f, ox, oy). */
+unsigned convPsumOffset(const ConvNodeWorkload &w, unsigned f,
+                        unsigned ox, unsigned oy);
+
+/** dmem byte offset of the int8 output (f, ox, oy). */
+unsigned convOutOffset(const ConvNodeWorkload &w, unsigned f,
+                       unsigned ox, unsigned oy);
+
+/** Staged global address of ifmap row (x, y, bit). */
+Addr convRowAddr(const ConvNodeWorkload &w, unsigned x, unsigned y,
+                 unsigned bit);
+
+/** Emit the Algorithm-1 node program for workload @p w. */
+rv32::Program buildConvNodeProgram(const ConvNodeWorkload &w);
+
+/**
+ * Stage inputs: filters are transposed into the CMem compute
+ * slices (the filter-load phase, not timed — paper §6.2), and the
+ * transposed ifmap vectors are placed in @p rows at convRowAddr().
+ *
+ * @param ifmap  H*W*C int8 values, index ((x*W)+y)*C + c.
+ * @param filters numFilters*R*S*C int8, index ((f*R+r)*S+s)*C + c.
+ */
+void stageConvNode(const ConvNodeWorkload &w, CMem &cmem,
+                   RowStore &rows, const std::vector<int8_t> &ifmap,
+                   const std::vector<int8_t> &filters);
+
+/**
+ * Bit-exact reference of what the kernel leaves at convOutBase:
+ * conv psum -> optional ReLU -> arithmetic >> shift -> int8
+ * truncation. Index ((f*outH)+ox)*outW + oy.
+ */
+std::vector<int8_t> referenceConvNode(
+    const ConvNodeWorkload &w, const std::vector<int8_t> &ifmap,
+    const std::vector<int8_t> &filters);
+
+} // namespace maicc
+
+#endif // MAICC_CORE_CONV_KERNEL_HH

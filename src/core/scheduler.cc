@@ -1,0 +1,230 @@
+#include "core/scheduler.hh"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "cmem/cmem.hh"
+#include "common/logging.hh"
+#include "rv32/inst.hh"
+
+namespace maicc
+{
+
+using rv32::Inst;
+using rv32::Op;
+
+namespace
+{
+
+bool
+isTerminator(Op op)
+{
+    return rv32::isControlOp(op) || op == Op::ECALL
+        || op == Op::EBREAK;
+}
+
+bool
+isMemOp(const Inst &in)
+{
+    return rv32::isLoadOp(in.op) || rv32::isStoreOp(in.op)
+        || rv32::isAmoOp(in.op);
+}
+
+bool
+isMemWriter(const Inst &in)
+{
+    return rv32::isStoreOp(in.op) || rv32::isAmoOp(in.op);
+}
+
+/** Estimated issue-to-result latency, for priority. */
+unsigned
+estLatency(const Inst &in)
+{
+    switch (in.op) {
+      case Op::MAC_C:
+        return in.cmemN * in.cmemN;
+      case Op::MOVE_C:
+        return in.cmemN;
+      case Op::LOADROW_RC:
+        return 20;
+      case Op::STOREROW_RC:
+      case Op::SETROW_C:
+      case Op::SHIFTROW_C:
+      case Op::SETMASK_C:
+        return 2;
+      case Op::DIV: case Op::DIVU: case Op::REM: case Op::REMU:
+        return 16;
+      case Op::MUL: case Op::MULH: case Op::MULHSU: case Op::MULHU:
+        return 3;
+      case Op::LB: case Op::LH: case Op::LW: case Op::LBU:
+      case Op::LHU: case Op::LR_W:
+        return 2;
+      default:
+        return 1;
+    }
+}
+
+/** Schedule one block [lo, hi) in place; @return moved count. */
+unsigned
+scheduleBlock(std::vector<Inst> &insts, size_t lo, size_t hi)
+{
+    // The terminator (if any) is pinned at hi-1.
+    size_t body_hi = hi;
+    if (body_hi > lo && isTerminator(insts[body_hi - 1].op))
+        --body_hi;
+    size_t n = body_hi - lo;
+    if (n < 2)
+        return 0;
+
+    // AUIPC results depend on their own pc; don't touch the block.
+    for (size_t i = lo; i < body_hi; ++i) {
+        if (insts[i].op == Op::AUIPC)
+            return 0;
+    }
+
+    // Dependence edges (index-local to the block body), built in
+    // one pass with last-writer / last-reader tracking so the edge
+    // set stays linear in block size.
+    std::vector<std::vector<unsigned>> succs(n);
+    std::vector<unsigned> npreds(n, 0);
+    auto add_edge = [&](int i, unsigned j) {
+        if (i < 0 || static_cast<unsigned>(i) == j)
+            return;
+        succs[i].push_back(j);
+        ++npreds[j];
+    };
+
+    std::vector<int> last_writer(32, -1);
+    std::vector<std::vector<unsigned>> readers_since(32);
+    int last_store = -1;
+    std::vector<unsigned> loads_since_store;
+    int last_cmem = -1;
+
+    for (unsigned j = 0; j < n; ++j) {
+        const Inst &bj = insts[lo + j];
+        if (bj.readsRs1()) {
+            add_edge(last_writer[bj.rs1], j); // RAW
+            readers_since[bj.rs1].push_back(j);
+        }
+        if (bj.readsRs2()) {
+            add_edge(last_writer[bj.rs2], j); // RAW
+            readers_since[bj.rs2].push_back(j);
+        }
+        if (bj.writesRd()) {
+            add_edge(last_writer[bj.rd], j); // WAW
+            for (unsigned r : readers_since[bj.rd])
+                add_edge(static_cast<int>(r), j); // WAR
+            readers_since[bj.rd].clear();
+            last_writer[bj.rd] = static_cast<int>(j);
+        }
+        if (isMemOp(bj)) {
+            if (isMemWriter(bj)) {
+                add_edge(last_store, j);
+                for (unsigned l : loads_since_store)
+                    add_edge(static_cast<int>(l), j);
+                loads_since_store.clear();
+                last_store = static_cast<int>(j);
+            } else {
+                add_edge(last_store, j);
+                loads_since_store.push_back(j);
+            }
+        }
+        if (rv32::isCMemOp(bj.op)) {
+            add_edge(last_cmem, j); // CMem FIFO / slice state
+            last_cmem = static_cast<int>(j);
+        }
+    }
+
+    // Critical-path heights.
+    std::vector<unsigned> height(n, 0);
+    for (unsigned i = n; i-- > 0;) {
+        unsigned h = 0;
+        for (unsigned s : succs[i])
+            h = std::max(h, height[s]);
+        height[i] = h + estLatency(insts[lo + i]);
+    }
+
+    // Greedy list scheduling: highest height first, original order
+    // as the tie-break. A set ordered by (height desc, index asc)
+    // serves as the ready priority queue.
+    auto better = [&](unsigned a, unsigned b) {
+        if (height[a] != height[b])
+            return height[a] > height[b];
+        return a < b;
+    };
+    std::vector<unsigned> order;
+    order.reserve(n);
+    std::set<unsigned, decltype(better)> ready(better);
+    std::vector<unsigned> pending = npreds;
+    for (unsigned i = 0; i < n; ++i) {
+        if (pending[i] == 0)
+            ready.insert(i);
+    }
+    while (!ready.empty()) {
+        unsigned pick = *ready.begin();
+        ready.erase(ready.begin());
+        order.push_back(pick);
+        for (unsigned s : succs[pick]) {
+            if (--pending[s] == 0)
+                ready.insert(s);
+        }
+    }
+    maicc_assert(order.size() == n);
+
+    std::vector<Inst> scheduled;
+    scheduled.reserve(n);
+    for (unsigned idx : order)
+        scheduled.push_back(insts[lo + idx]);
+    unsigned moved = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        if (order[i] != i)
+            ++moved;
+        insts[lo + i] = scheduled[i];
+    }
+    return moved;
+}
+
+} // namespace
+
+ScheduleStats
+staticSchedule(rv32::Program &program)
+{
+    auto &insts = program.insts;
+    ScheduleStats st;
+    if (insts.empty())
+        return st;
+
+    // Leaders: index 0, branch/jump targets, fall-throughs after
+    // terminators.
+    std::vector<bool> leader(insts.size() + 1, false);
+    leader[0] = true;
+    leader[insts.size()] = true;
+    for (size_t i = 0; i < insts.size(); ++i) {
+        const Inst &in = insts[i];
+        if (isTerminator(in.op)) {
+            if (i + 1 <= insts.size())
+                leader[i + 1] = true;
+            if (in.op != Op::JALR && in.op != Op::ECALL
+                && in.op != Op::EBREAK) {
+                long target =
+                    static_cast<long>(i) + in.imm / 4;
+                if (target >= 0
+                    && target <= static_cast<long>(insts.size()))
+                    leader[target] = true;
+            }
+        }
+    }
+
+    size_t lo = 0;
+    for (size_t i = 1; i <= insts.size(); ++i) {
+        if (leader[i]) {
+            ++st.basicBlocks;
+            st.movedInsts += scheduleBlock(insts, lo, i);
+            lo = i;
+        }
+    }
+    return st;
+}
+
+} // namespace maicc

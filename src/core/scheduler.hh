@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Compile-time (static) instruction scheduling (paper §3.3).
+ *
+ * After assembly, the latency and data dependences of every CMem
+ * instruction are known, so delay slots of multi-cycle CMem
+ * instructions can be filled by hoisting independent instructions.
+ * This pass list-schedules each basic block by critical-path
+ * priority, preserving:
+ *
+ *  - register RAW / WAR / WAW dependences,
+ *  - load/store ordering (stores and AMOs are barriers; loads may
+ *    reorder among themselves),
+ *  - the relative order of CMem instructions (they share the FIFO
+ *    issue queue and per-slice state).
+ *
+ * Loads and stores are assumed not to alias the CMem slice-0
+ * window while CMem instructions are in flight within a block; the
+ * kernels generated in this repository obey this, mirroring the
+ * paper's manual scheduling.
+ */
+
+#ifndef MAICC_CORE_SCHEDULER_HH
+#define MAICC_CORE_SCHEDULER_HH
+
+#include "rv32/assembler.hh"
+
+namespace maicc
+{
+
+/** Statistics from a scheduling pass. */
+struct ScheduleStats
+{
+    unsigned basicBlocks = 0;
+    unsigned movedInsts = 0; ///< instructions not in original slot
+};
+
+/**
+ * Reorder @p program in place; @return what changed. Control-flow
+ * layout (block boundaries, branch targets) is preserved because
+ * instructions never cross block boundaries and branches stay last
+ * in their block.
+ */
+ScheduleStats staticSchedule(rv32::Program &program);
+
+} // namespace maicc
+
+#endif // MAICC_CORE_SCHEDULER_HH

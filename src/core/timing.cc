@@ -1,0 +1,284 @@
+#include "core/timing.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "mem/address_map.hh"
+#include "rv32/encoding.hh"
+
+namespace maicc
+{
+
+using rv32::Inst;
+using rv32::Op;
+
+CoreTimingModel::CoreTimingModel(const rv32::Program &program,
+                                 rv32::MemIf &mem, CMem *cm,
+                                 rv32::RowPortIf *rows,
+                                 const CoreConfig &config)
+    : cfg(config), exec(program, mem, cm, rows), cmem(cm),
+      regReady(32, 0), regWbDone(32, 0),
+      sliceFree(cm ? cm->config().numSlices : 0, 0),
+      sliceDataReady(cm ? cm->config().numSlices : 0, 0)
+{
+    maicc_assert(config.wbPorts >= 1);
+}
+
+Cycles
+CoreTimingModel::bookWbPort(Cycles ready)
+{
+    Cycles slot = ready;
+    while (true) {
+        auto it = wbBookings.find(slot);
+        if (it == wbBookings.end()) {
+            wbBookings.emplace(slot, 1);
+            return slot;
+        }
+        if (it->second < cfg.wbPorts) {
+            ++it->second;
+            return slot;
+        }
+        ++slot;
+    }
+}
+
+CoreRunStats
+CoreTimingModel::run(uint64_t max_insts)
+{
+    stats = CoreRunStats{};
+    Cycles end_time = 0;
+
+    while (!exec.halted()) {
+        if (stats.insts >= max_insts)
+            maicc_fatal("timing run exceeded %llu instructions",
+                        (unsigned long long)max_insts);
+
+        const Inst &in = exec.current();
+        Addr pc_before = exec.pc();
+
+        // Bookings older than the in-order issue front can never be
+        // contended again; prune to bound memory on long runs.
+        while (!wbBookings.empty()
+               && wbBookings.begin()->first + 4 < fetchReady) {
+            wbBookings.erase(wbBookings.begin());
+        }
+
+        // Operand values before architectural execution: with
+        // in-order issue these are exactly the values the hardware
+        // reads.
+        uint32_t rs1_val = exec.reg(in.rs1);
+        uint32_t rs2_val = exec.reg(in.rs2);
+
+        Cycles issue = fetchReady;
+
+        // RAW interlock via the scoreboard / bypass network.
+        Cycles raw = issue;
+        if (in.readsRs1())
+            raw = std::max(raw, regReady[in.rs1]);
+        if (in.readsRs2())
+            raw = std::max(raw, regReady[in.rs2]);
+        stats.stallRaw += raw - issue;
+        issue = raw;
+
+        // WAW: destination must have retired its previous write.
+        if (in.writesRd()) {
+            Cycles waw = std::max(issue, regWbDone[in.rd]);
+            stats.stallWaw += waw - issue;
+            issue = waw;
+        }
+
+        bool cmem_op = rv32::isCMemOp(in.op);
+        Cycles dispatch = 0;
+        unsigned slice_a = 0, slice_b = 0;
+        bool uses_slice_b = false;
+
+        if (cmem_op) {
+            maicc_assert(cmem);
+            switch (in.op) {
+              case Op::MAC_C:
+                slice_a = rv32::descSlice(rs1_val);
+                break;
+              case Op::MOVE_C:
+                slice_a = rv32::descSlice(rs1_val);
+                slice_b = rv32::descSlice(rs2_val);
+                uses_slice_b = true;
+                break;
+              case Op::SETROW_C:
+              case Op::SHIFTROW_C:
+                slice_a = rv32::descSlice(rs1_val);
+                break;
+              case Op::LOADROW_RC:
+              case Op::STOREROW_RC:
+                slice_a = rv32::descSlice(rs2_val);
+                break;
+              case Op::SETMASK_C:
+                slice_a = rs1_val & 0x7;
+                break;
+              default:
+                maicc_panic("unhandled CMem op");
+            }
+
+            Cycles busy = 0;
+            switch (in.op) {
+              case Op::MAC_C: busy = CMem::maccCycles(in.cmemN); break;
+              case Op::MOVE_C: busy = CMem::moveCycles(in.cmemN); break;
+              case Op::SETROW_C: busy = CMem::setRowCycles(); break;
+              case Op::SHIFTROW_C:
+                busy = CMem::shiftRowCycles();
+                break;
+              case Op::LOADROW_RC:
+              case Op::STOREROW_RC:
+                busy = CMem::rowXferCycles();
+                break;
+              case Op::SETMASK_C: busy = 1; break;
+              default: break;
+            }
+
+            // Earliest the target slice(s) can accept the op.
+            // LoadRow.RC only needs the slice port; compute ops
+            // additionally wait for any in-flight remote rows.
+            Cycles slice_ready =
+                std::max(lastCMemDispatch, sliceFree[slice_a]);
+            if (in.op != Op::LOADROW_RC) {
+                slice_ready = std::max(slice_ready,
+                                       sliceDataReady[slice_a]);
+            }
+            if (uses_slice_b) {
+                slice_ready =
+                    std::max({slice_ready, sliceFree[slice_b],
+                              sliceDataReady[slice_b]});
+            }
+
+            if (cfg.cmemQueueSize == 0) {
+                // No issue queue: the instruction blocks in ID
+                // until the CMem can start it.
+                Cycles d = std::max(issue, slice_ready);
+                stats.stallQueueFull += d - issue;
+                issue = d;
+                dispatch = d;
+            } else {
+                // FIFO queue (bypassed when empty): issue blocks
+                // only when the queue is full, i.e. the oldest of
+                // the last queueSize CMem instructions has not yet
+                // dispatched.
+                if (cmemDispatch.size() >= cfg.cmemQueueSize) {
+                    Cycles q = std::max(
+                        issue,
+                        cmemDispatch[cmemDispatch.size()
+                                     - cfg.cmemQueueSize]);
+                    stats.stallQueueFull += q - issue;
+                    issue = q;
+                }
+                dispatch = std::max(issue, slice_ready);
+            }
+
+            cmemDispatch.push_back(dispatch);
+            if (cmemDispatch.size() > cfg.cmemQueueSize + 1)
+                cmemDispatch.pop_front();
+            lastCMemDispatch = dispatch;
+
+            sliceFree[slice_a] = dispatch + busy;
+            if (uses_slice_b)
+                sliceFree[slice_b] = dispatch + busy;
+            stats.cmemBusyCycles += busy;
+            ++stats.cmemInsts;
+
+            Cycles done = dispatch + busy;
+            if (in.op == Op::LOADROW_RC) {
+                // Remote round trip before the row lands; fetches
+                // pipeline (the slice port frees immediately).
+                done += cfg.remoteLatency;
+                sliceDataReady[slice_a] =
+                    std::max(sliceDataReady[slice_a], done);
+            }
+
+            if (in.writesRd()) {
+                // CMem results return through the register file.
+                Cycles wb = bookWbPort(done);
+                regReady[in.rd] = wb;
+                regWbDone[in.rd] = wb;
+                end_time = std::max(end_time, wb + 1);
+            } else {
+                end_time = std::max(end_time, done);
+            }
+        } else if (rv32::isLoadOp(in.op) || rv32::isStoreOp(in.op)
+                   || rv32::isAmoOp(in.op)) {
+            Cycles s = std::max(issue, memPortFree);
+            stats.stallStructural += s - issue;
+            issue = s;
+            memPortFree = issue + 1;
+
+            Addr ea = rs1_val
+                + (rv32::isAmoOp(in.op) || in.op == Op::LR_W
+                           || in.op == Op::SC_W
+                       ? 0
+                       : in.imm);
+            bool local = amap::isLocalDmem(ea)
+                || amap::isLocalSlice0(ea);
+            Cycles lat = local ? cfg.loadLatency : cfg.remoteLatency;
+            if (local)
+                ++stats.localMemOps;
+            else
+                ++stats.remoteOps;
+
+            if (in.writesRd()) {
+                Cycles done = issue + lat;
+                regReady[in.rd] = done; // bypass at fill
+                Cycles wb = bookWbPort(done);
+                regWbDone[in.rd] = wb;
+                end_time = std::max(end_time, wb + 1);
+            } else {
+                // Stores are fire-and-forget (posted writes).
+                end_time = std::max(end_time, issue + 1);
+            }
+        } else if (in.op == Op::DIV || in.op == Op::DIVU
+                   || in.op == Op::REM || in.op == Op::REMU) {
+            Cycles s = std::max(issue, divFree);
+            stats.stallStructural += s - issue;
+            issue = s;
+            Cycles done = issue + cfg.divLatency;
+            divFree = done; // unpipelined
+            regReady[in.rd] = done;
+            Cycles wb = bookWbPort(done);
+            regWbDone[in.rd] = wb;
+            end_time = std::max(end_time, wb + 1);
+        } else if (in.op == Op::MUL || in.op == Op::MULH
+                   || in.op == Op::MULHSU || in.op == Op::MULHU) {
+            Cycles done = issue + cfg.mulLatency;
+            regReady[in.rd] = done;
+            Cycles wb = bookWbPort(done);
+            regWbDone[in.rd] = wb;
+            end_time = std::max(end_time, wb + 1);
+        } else {
+            // Single-cycle ALU / control.
+            Cycles done = issue + 1;
+            if (in.writesRd()) {
+                regReady[in.rd] = done; // full bypass
+                Cycles wb = bookWbPort(done);
+                regWbDone[in.rd] = wb;
+                end_time = std::max(end_time, wb + 1);
+            } else {
+                end_time = std::max(end_time, done);
+            }
+        }
+
+        // Architectural execution and fetch redirect.
+        exec.step();
+        ++stats.insts;
+        bool taken = rv32::isControlOp(in.op)
+            && exec.pc() != pc_before + 4;
+        fetchReady = issue + 1;
+        if (taken) {
+            fetchReady += cfg.branchPenalty;
+            stats.branchPenaltyCycles += cfg.branchPenalty;
+        }
+        end_time = std::max(end_time, fetchReady);
+    }
+
+    for (Cycles t : sliceFree)
+        end_time = std::max(end_time, t);
+    stats.cycles = end_time;
+    return stats;
+}
+
+} // namespace maicc

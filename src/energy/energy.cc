@@ -1,0 +1,82 @@
+#include "energy/energy.hh"
+
+#include <algorithm>
+
+namespace maicc
+{
+
+ActivityCounts &
+ActivityCounts::operator+=(const ActivityCounts &o)
+{
+    runtime = std::max(runtime, o.runtime);
+    activeCoreCycles += o.activeCoreCycles;
+    macActivations += o.macActivations;
+    moveRows += o.moveRows;
+    remoteRows += o.remoteRows;
+    verticalWriteBytes += o.verticalWriteBytes;
+    dmemAccesses += o.dmemAccesses;
+    llcAccesses += o.llcAccesses;
+    nocFlitHops += o.nocFlitHops;
+    dramAccesses += o.dramAccesses;
+    return *this;
+}
+
+double
+EnergyBreakdown::total() const
+{
+    return cmem + core + onchipMem + noc + llc + dram;
+}
+
+double
+EnergyBreakdown::averagePowerW(Cycles runtime, double freq_hz) const
+{
+    if (runtime == 0)
+        return 0.0;
+    double seconds = runtime / freq_hz;
+    return total() * 1e-3 / seconds;
+}
+
+double
+AreaBreakdown::total() const
+{
+    return cmemCells + cmemLogic + core + onchipMem + noc + llc;
+}
+
+EnergyBreakdown
+computeEnergy(const ActivityCounts &a, const EnergyParams &p)
+{
+    EnergyBreakdown e;
+    const double pj_to_mj = 1e-9;
+    double seconds = a.runtime / p.frequencyHz;
+
+    e.cmem = (a.macActivations * p.macActivationPj
+              + a.moveRows * p.moveRowPj
+              + a.remoteRows * p.remoteRowPj
+              + a.verticalWriteBytes * p.verticalWriteBytePj)
+        * pj_to_mj;
+    e.core = a.activeCoreCycles * p.corePerCycleP * pj_to_mj;
+    e.onchipMem = a.dmemAccesses * p.dmemAccessPj * pj_to_mj;
+    e.noc = a.nocFlitHops * p.nocFlitHopPj * pj_to_mj
+        + p.nocStaticW * seconds * 1e3;
+    e.llc = a.llcAccesses * p.llcAccessPj * pj_to_mj
+        + p.llcStaticW * seconds * 1e3;
+    e.dram = a.dramAccesses * p.dramAccessPj * pj_to_mj
+        + p.dramStaticW * seconds * 1e3;
+    return e;
+}
+
+AreaBreakdown
+computeArea(unsigned num_cores, const AreaParams &p)
+{
+    AreaBreakdown a;
+    a.cmemCells =
+        num_cores * p.cmemMm2 * (1.0 - p.cmemLogicFraction);
+    a.cmemLogic = num_cores * p.cmemMm2 * p.cmemLogicFraction;
+    a.core = num_cores * p.coreMm2;
+    a.onchipMem = num_cores * p.onchipMemMm2;
+    a.noc = p.nocMm2;
+    a.llc = p.llcMm2;
+    return a;
+}
+
+} // namespace maicc

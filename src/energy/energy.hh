@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Event-count energy and area model (paper §5, Fig. 10).
+ *
+ * Dynamic energies are charged per architectural event, using the
+ * paper's HSPICE / Design Compiler derived constants:
+ *
+ *   MAC.C          28.25 pJ per dual word-line activation (one of
+ *                  the n^2 cycles of a MAC) — this reproduces
+ *                  Table 4's 3.96 uJ node energy exactly:
+ *                  2205 MACs x 64 activations x 28.25 pJ.
+ *   Move.C         52.75 pJ per row moved
+ *   LoadRow/StoreRow.RC  53.01 pJ per row
+ *   vertical write  4.75 pJ per byte
+ *   NoC             5.4 pJ per flit per hop + 2.20 W static
+ *   core            8 pJ per active cycle (8 mW @ 1 GHz)
+ *
+ * DRAM is modelled as a background power (32-channel subsystem)
+ * plus per-64B-access energy — reproducing Fig. 10's 71% DRAM
+ * share of the ResNet18 inference energy.
+ *
+ * Areas (28 nm): derived from the paper's published totals; they
+ * reproduce both the Table 4 node area (0.114 mm^2) and the
+ * Fig. 10 area shares of the 28 mm^2 210-core chip.
+ */
+
+#ifndef MAICC_ENERGY_ENERGY_HH
+#define MAICC_ENERGY_ENERGY_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace maicc
+{
+
+/** All model constants, overridable for sensitivity studies. */
+struct EnergyParams
+{
+    // Dynamic, picojoules per event.
+    double macActivationPj = 28.25;
+    double moveRowPj = 52.75;
+    double remoteRowPj = 53.01;
+    double verticalWriteBytePj = 4.75;
+    double dmemAccessPj = 1.0;
+    double llcAccessPj = 10.0;
+    double nocFlitHopPj = 5.4;
+    double dramAccessPj = 15000.0; ///< per 64 B transaction
+
+    // Static / background, watts.
+    double corePerCycleP = 8.0;  ///< pJ per active core cycle
+    double nocStaticW = 2.20;
+    double llcStaticW = 0.30;
+    double dramStaticW = 16.0;
+
+    double frequencyHz = 1e9;
+};
+
+/** Per-node and chip-level areas, square millimetres. */
+struct AreaParams
+{
+    double coreMm2 = 0.014;       ///< RV32IMA core (28 nm, RTL)
+    double cmemMm2 = 0.0867;      ///< 16 KB CMem incl. adder trees
+    double cmemLogicFraction = 1.0 / 3.0;
+    double onchipMemMm2 = 0.0133; ///< 4 KB icache + 4 KB dmem
+    double nocMm2 = 2.61;         ///< whole-chip mesh (DSENT)
+    double llcMm2 = 1.40;         ///< 32 LLC nodes
+};
+
+/** Activity counters collected from a simulation. */
+struct ActivityCounts
+{
+    Cycles runtime = 0;          ///< wall-clock cycles @ 1 GHz
+    uint64_t activeCoreCycles = 0; ///< sum over cores
+    uint64_t macActivations = 0;
+    uint64_t moveRows = 0;
+    uint64_t remoteRows = 0;
+    uint64_t verticalWriteBytes = 0;
+    uint64_t dmemAccesses = 0;
+    uint64_t llcAccesses = 0;
+    uint64_t nocFlitHops = 0;
+    uint64_t dramAccesses = 0;   ///< 64 B transactions
+
+    ActivityCounts &operator+=(const ActivityCounts &o);
+};
+
+/** Energy split by component, millijoules. */
+struct EnergyBreakdown
+{
+    double cmem = 0;
+    double core = 0;
+    double onchipMem = 0;
+    double noc = 0;
+    double llc = 0;
+    double dram = 0;
+
+    double total() const;
+
+    /** Average power in watts given the runtime. */
+    double averagePowerW(Cycles runtime, double freq_hz = 1e9) const;
+};
+
+/** Area split by component, mm^2, for @p num_cores nodes. */
+struct AreaBreakdown
+{
+    double cmemCells = 0;
+    double cmemLogic = 0;
+    double core = 0;
+    double onchipMem = 0;
+    double noc = 0;
+    double llc = 0;
+
+    double total() const;
+    double cmem() const { return cmemCells + cmemLogic; }
+};
+
+/** Evaluate the energy model. */
+EnergyBreakdown computeEnergy(const ActivityCounts &activity,
+                              const EnergyParams &p = EnergyParams{});
+
+/** Evaluate the area model for an array of @p num_cores nodes. */
+AreaBreakdown computeArea(unsigned num_cores = 210,
+                          const AreaParams &p = AreaParams{});
+
+} // namespace maicc
+
+#endif // MAICC_ENERGY_ENERGY_HH

@@ -1,0 +1,145 @@
+#include "mapping/allocation.hh"
+
+#include <algorithm>
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace maicc
+{
+
+unsigned
+vectorSlotsPerNode(unsigned n_bits)
+{
+    maicc_assert(n_bits >= 2 && n_bits <= 16);
+    return 7 * (64 / n_bits - 1);
+}
+
+unsigned
+packFactor(const LayerSpec &l)
+{
+    return l.inC < 256 ? 256u / l.inC : 1u;
+}
+
+unsigned
+NodeAllocation::vectorsPerNode(const LayerSpec &l) const
+{
+    return divCeil(unitsPerNode * l.R * l.S, packFactor(l));
+}
+
+unsigned
+NodeAllocation::macsPerIter(const LayerSpec &l) const
+{
+    return unitsPerNode * l.R * l.S;
+}
+
+unsigned
+totalUnits(const LayerSpec &l)
+{
+    unsigned splits = divCeil(l.inC, 256);
+    return l.outC * splits;
+}
+
+namespace
+{
+
+unsigned
+auxCoresFor(unsigned splits)
+{
+    // One data-collection core, plus one merge core per channel
+    // split when filters are fragmented.
+    return 1 + (splits > 1 ? splits : 0);
+}
+
+NodeAllocation
+allocationForUnitsPerNode(const LayerSpec &l, unsigned units_per_node)
+{
+    NodeAllocation a;
+    a.channelSplits = divCeil(l.inC, 256);
+    a.unitsPerNode = units_per_node;
+    a.computeCores = divCeil(totalUnits(l), units_per_node);
+    a.auxCores = auxCoresFor(a.channelSplits);
+    return a;
+}
+
+} // namespace
+
+NodeAllocation
+minAllocation(const LayerSpec &l)
+{
+    unsigned slots = vectorSlotsPerNode(l.nBits) * packFactor(l);
+    unsigned vecs_per_unit = l.R * l.S;
+    maicc_assert(vecs_per_unit <= slots);
+    unsigned max_units = slots / vecs_per_unit;
+    return allocationForUnitsPerNode(
+        l, std::min(max_units, totalUnits(l)));
+}
+
+NodeAllocation
+spreadAllocation(const LayerSpec &l, unsigned core_budget)
+{
+    unsigned slots = vectorSlotsPerNode(l.nBits) * packFactor(l);
+    unsigned vecs_per_unit = l.R * l.S;
+    unsigned max_units = slots / vecs_per_unit;
+    for (unsigned u = 1; u <= max_units; ++u) {
+        NodeAllocation a = allocationForUnitsPerNode(l, u);
+        if (a.totalCores() <= core_budget)
+            return a;
+    }
+    maicc_fatal("layer %s does not fit in %u cores "
+                "(needs %u at densest packing)",
+                l.name.c_str(), core_budget,
+                allocationForUnitsPerNode(l, max_units)
+                    .totalCores());
+}
+
+NodeAllocation
+allocationForCores(const LayerSpec &l, unsigned compute_cores)
+{
+    unsigned units = totalUnits(l);
+    unsigned slots = vectorSlotsPerNode(l.nBits) * packFactor(l);
+    unsigned max_units = slots / (l.R * l.S);
+    unsigned min_cores = divCeil(units, max_units);
+    unsigned cores = std::clamp(compute_cores, min_cores, units);
+    unsigned u = divCeil(units, cores);
+    return allocationForUnitsPerNode(l, u);
+}
+
+CoreIterCost
+coreIterCost(const LayerSpec &l, const NodeAllocation &alloc)
+{
+    CoreIterCost c;
+    unsigned n = l.nBits;
+    unsigned macs = alloc.macsPerIter(l);
+    unsigned pack = packFactor(l);
+    // Broadcast to 7 slices (serialized on slice 0), replicate the
+    // sub-256 vector across packed lane groups (ShiftRow.C), then
+    // per-slice serial masked MACs (slices run in parallel):
+    // 7N + ceil(macs/7) * N^2.
+    c.cmem = 7 * n + (pack > 1 ? 7 * (pack - 1) * 2 : 0)
+        + divCeil(macs, 7) * Cycles(n) * n;
+    // lw/add/sw plus descriptor setup per MAC result.
+    c.accumulate = Cycles(macs) * 5;
+    // Forward the vector to the next core: N row sends plus the
+    // p/nextp handshake.
+    c.forward = Cycles(n) * 2 + 8;
+    // Requantize + ReLU + optional residual add + remote store of
+    // one output value.
+    c.auxPerPixel = 10 + (l.addFrom != -2 ? 4 : 0);
+    return c;
+}
+
+Cycles
+dcIterCost(const LayerSpec &l, bool from_dram)
+{
+    // Gather C bytes, store them into slice 0 through the vertical
+    // window (word granularity), and push N rows to the first
+    // compute core.
+    unsigned c_bytes = l.inC;
+    Cycles gather = from_dram
+        ? Cycles(c_bytes) * dramByteLoadCycles
+        : Cycles(c_bytes) / 4;
+    return gather + Cycles(c_bytes) / 4 + Cycles(l.nBits) * 2 + 16;
+}
+
+} // namespace maicc

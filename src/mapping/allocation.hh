@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Node-capacity and allocation model (paper §4.1/§4.3).
+ *
+ * A compute node's CMem offers 7 compute slices x Q vector slots,
+ * Q = 64/N - 1. A filter of R*S*C needs R*S transposed vectors per
+ * 256-channel group; layers with C > 256 split each filter into
+ * ceil(C/256) fragments whose partial sums are merged by extra
+ * cores. A node group = one data-collection core + the chain of
+ * compute cores (+ merge cores when channel-split).
+ */
+
+#ifndef MAICC_MAPPING_ALLOCATION_HH
+#define MAICC_MAPPING_ALLOCATION_HH
+
+#include "common/types.hh"
+#include "nn/network.hh"
+
+namespace maicc
+{
+
+/** Vector slots per compute node (7 slices x Q). */
+unsigned vectorSlotsPerNode(unsigned n_bits);
+
+/**
+ * How many sub-256-channel vectors share one word-line slot
+ * (paper §4.1: for C < 256 multiple vectors are placed on the same
+ * word-lines using ShiftRow.C and the mask CSR). 256/C for C < 256,
+ * otherwise 1. Packing multiplies capacity, not MAC throughput:
+ * each packed vector still needs its own masked MAC.C.
+ */
+unsigned packFactor(const LayerSpec &l);
+
+/** How a layer is spread over a node group. */
+struct NodeAllocation
+{
+    unsigned channelSplits = 1;  ///< ceil(C/256)
+    unsigned unitsPerNode = 0;   ///< filter fragments per node
+    unsigned computeCores = 0;   ///< weight-holding cores
+    unsigned auxCores = 0;       ///< DC + merge cores
+
+    unsigned
+    totalCores() const
+    {
+        return computeCores + auxCores;
+    }
+
+    /** Physical word-line slots in use on a (full) compute node. */
+    unsigned vectorsPerNode(const LayerSpec &l) const;
+
+    /** Masked MAC.C operations per iteration on a full node. */
+    unsigned macsPerIter(const LayerSpec &l) const;
+};
+
+/** Total filter fragments (M x channelSplits) of a layer. */
+unsigned totalUnits(const LayerSpec &l);
+
+/** Densest packing (fewest cores). */
+NodeAllocation minAllocation(const LayerSpec &l);
+
+/**
+ * Widest useful spread that fits @p core_budget cores: the
+ * smallest units-per-node whose group fits. Fatal when even the
+ * densest packing does not fit.
+ */
+NodeAllocation spreadAllocation(const LayerSpec &l,
+                                unsigned core_budget);
+
+/** Allocation with an exact compute-core count (clamped to valid). */
+NodeAllocation allocationForCores(const LayerSpec &l,
+                                  unsigned compute_cores);
+
+/**
+ * Analytic per-iteration costs of one compute node (§4.1). An
+ * iteration consumes one ifmap pixel vector.
+ */
+struct CoreIterCost
+{
+    Cycles cmem = 0;        ///< 7N + ceil(vecs/7) * N^2
+    Cycles accumulate = 0;  ///< psum lw/add/sw per MAC result
+    Cycles forward = 0;     ///< pass the vector to the next core
+    Cycles auxPerPixel = 0; ///< requant/ReLU/residual + send, per
+                            ///< completed ofmap pixel and filter
+
+    /**
+     * Steady-state iteration time: the CMem and the accumulation
+     * pipeline overlap (paper §5: "CMem and the RISC-V pipeline
+     * can be fully overlapped"); vector forwarding and ofmap/aux
+     * sends serialize after the compute phase (Algorithm 1 lines
+     * 9-17), giving the additive Fig. 9-style breakdown.
+     */
+    Cycles
+    iteration(double aux_pixels_per_iter) const
+    {
+        return std::max(cmem, accumulate) + forward
+            + static_cast<Cycles>(auxPerPixel
+                                  * aux_pixels_per_iter);
+    }
+};
+
+/** Costs of one compute node under @p alloc. */
+CoreIterCost coreIterCost(const LayerSpec &l,
+                          const NodeAllocation &alloc);
+
+/**
+ * Round-trip cost of one remote byte load from DRAM/LLC issued by
+ * a data-collection core. Segment inputs are pulled with the
+ * remote load primitive (§3.1), serialized per element — this is
+ * what makes DRAM-fed layers supply-bound (Fig. 9's "wait ifmap").
+ */
+constexpr Cycles dramByteLoadCycles = 10;
+
+/**
+ * Per-vector cost of the data-collection core: assembling and
+ * transposing one C-byte pixel vector and issuing it to the first
+ * compute core (word-granularity stores into slice 0, Fig. 5).
+ * When @p from_dram, the C input bytes are pulled from many-core
+ * DRAM with remote loads; otherwise the previous node group has
+ * already pushed them into local data memory.
+ */
+Cycles dcIterCost(const LayerSpec &l, bool from_dram);
+
+} // namespace maicc
+
+#endif // MAICC_MAPPING_ALLOCATION_HH

@@ -1,0 +1,64 @@
+#include "mapping/placement.hh"
+
+#include "common/logging.hh"
+
+namespace maicc
+{
+
+NodeCoord
+ArrayGeometry::serpentine(unsigned idx) const
+{
+    maicc_assert(idx < computeNodes());
+    int row = idx / computeW;
+    int col = idx % computeW;
+    int x = (row % 2 == 0) ? computeX0 + col
+                           : computeX0 + computeW - 1 - col;
+    return {x, computeY0 + row};
+}
+
+NodeCoord
+ArrayGeometry::llcForChannel(unsigned ch) const
+{
+    maicc_assert(ch < 2u * meshW);
+    if (ch < static_cast<unsigned>(meshW))
+        return {static_cast<int>(ch), 0};
+    return {static_cast<int>(ch) - meshW, meshH - 1};
+}
+
+std::vector<const PlacedNode *>
+SegmentPlacement::layerNodes(size_t layer) const
+{
+    std::vector<const PlacedNode *> out;
+    for (const auto &n : nodes) {
+        if (n.layerIdx == layer)
+            out.push_back(&n);
+    }
+    return out;
+}
+
+SegmentPlacement
+placeSegment(const Segment &seg, const ArrayGeometry &geo)
+{
+    SegmentPlacement placement;
+    unsigned pos = 0;
+    for (const auto &lm : seg.layers) {
+        // Data-collection core leads its chain.
+        placement.nodes.push_back(
+            {geo.serpentine(pos++), lm.layerIdx,
+             NodeRole::DataCollect, 0});
+        for (unsigned c = 0; c < lm.alloc.computeCores; ++c) {
+            placement.nodes.push_back({geo.serpentine(pos++),
+                                       lm.layerIdx,
+                                       NodeRole::Compute, c});
+        }
+        for (unsigned m = 0; m + 1 < lm.alloc.auxCores; ++m) {
+            placement.nodes.push_back({geo.serpentine(pos++),
+                                       lm.layerIdx, NodeRole::Merge,
+                                       m});
+        }
+    }
+    maicc_assert(pos <= geo.computeNodes());
+    return placement;
+}
+
+} // namespace maicc

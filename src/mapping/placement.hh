@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Physical placement of node groups onto the 16x16 array
+ * (Fig. 3(a) / Fig. 7(c)): the host CPU occupies column 0, two
+ * rows of LLC nodes sit at the top and bottom, and the 15x14
+ * compute region is filled in zig-zag (serpentine) order so that
+ * consecutive cores of a node group are physically adjacent and
+ * the next layer's data-collection core is nearby.
+ */
+
+#ifndef MAICC_MAPPING_PLACEMENT_HH
+#define MAICC_MAPPING_PLACEMENT_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "mapping/segmentation.hh"
+
+namespace maicc
+{
+
+/** Geometry of the MAICC array. */
+struct ArrayGeometry
+{
+    int meshW = 16;
+    int meshH = 16;
+    int computeX0 = 1; ///< column 0 is the host CPU
+    int computeY0 = 1; ///< row 0 is LLC
+    int computeW = 15;
+    int computeH = 14; ///< row 15 is LLC
+
+    unsigned
+    computeNodes() const
+    {
+        return computeW * computeH;
+    }
+
+    /** Serpentine position @p idx within the compute region. */
+    NodeCoord serpentine(unsigned idx) const;
+
+    /** LLC node serving DRAM channel @p ch (top row then bottom). */
+    NodeCoord llcForChannel(unsigned ch) const;
+};
+
+enum class NodeRole
+{
+    DataCollect,
+    Compute,
+    Merge,
+};
+
+/** One placed node of a segment. */
+struct PlacedNode
+{
+    NodeCoord coord;
+    size_t layerIdx = 0;  ///< network layer index
+    NodeRole role = NodeRole::Compute;
+    unsigned chainPos = 0; ///< position in the layer's core chain
+};
+
+/** Placement of every node of a segment. */
+struct SegmentPlacement
+{
+    std::vector<PlacedNode> nodes;
+
+    /** Nodes of one layer, DC first, chain in order, then merge. */
+    std::vector<const PlacedNode *> layerNodes(size_t layer) const;
+};
+
+/** Place @p seg into the compute region in zig-zag order. */
+SegmentPlacement placeSegment(const Segment &seg,
+                              const ArrayGeometry &geo =
+                                  ArrayGeometry{});
+
+} // namespace maicc
+
+#endif // MAICC_MAPPING_PLACEMENT_HH

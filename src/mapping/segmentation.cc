@@ -1,0 +1,203 @@
+#include "mapping/segmentation.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace maicc
+{
+
+const char *
+strategyName(Strategy s)
+{
+    switch (s) {
+      case Strategy::SingleLayer: return "single-layer";
+      case Strategy::Greedy: return "greedy";
+      case Strategy::Heuristic: return "heuristic";
+    }
+    return "?";
+}
+
+unsigned
+Segment::totalCores() const
+{
+    unsigned total = 0;
+    for (const auto &lm : layers)
+        total += lm.alloc.totalCores();
+    return total;
+}
+
+Cycles
+modelLayerLatency(const LayerSpec &l, const NodeAllocation &alloc,
+                  bool from_dram)
+{
+    CoreIterCost cost = coreIterCost(l, alloc);
+    double out_pixels = double(l.outH()) * l.outW();
+    double in_pixels = double(l.inH) * l.inW;
+    double aux_rate = out_pixels / in_pixels
+        * (double(alloc.unitsPerNode) / alloc.channelSplits);
+    Cycles iter = std::max(cost.iteration(aux_rate),
+                           dcIterCost(l, from_dram));
+    return static_cast<Cycles>(in_pixels) * iter;
+}
+
+bool
+inputInsideSegment(const Network &net, const Segment &seg,
+                   size_t layer_idx)
+{
+    int from = net.layer(layer_idx).inputFrom;
+    if (from < 0)
+        return false;
+    for (const auto &lm : seg.layers) {
+        if (lm.layerIdx == static_cast<size_t>(from))
+            return true;
+    }
+    return false;
+}
+
+Cycles
+modelSegmentLatency(const Network &net, const Segment &seg)
+{
+    Cycles lat = 0;
+    for (const auto &lm : seg.layers) {
+        bool from_dram =
+            !inputInsideSegment(net, seg, lm.layerIdx);
+        lat = std::max(lat,
+                       modelLayerLatency(net.layer(lm.layerIdx),
+                                         lm.alloc, from_dram));
+    }
+    return lat;
+}
+
+Cycles
+modelPlanLatency(const Network &net, const MappingPlan &p)
+{
+    Cycles total = 0;
+    for (const auto &seg : p.segments)
+        total += modelSegmentLatency(net, seg);
+    return total;
+}
+
+namespace
+{
+
+/**
+ * Distribute leftover cores within a segment: repeatedly widen the
+ * layer with the largest modelled latency until the budget or the
+ * useful parallelism is exhausted (Eq. (1) min-max).
+ */
+void
+balanceSegment(const Network &net, Segment &seg, unsigned budget)
+{
+    while (true) {
+        unsigned used = seg.totalCores();
+        if (used >= budget)
+            return;
+        // Find the current bottleneck that can still be widened.
+        int best = -1;
+        Cycles best_lat = 0;
+        for (size_t i = 0; i < seg.layers.size(); ++i) {
+            auto &lm = seg.layers[i];
+            const LayerSpec &l = net.layer(lm.layerIdx);
+            if (lm.alloc.computeCores >= totalUnits(l))
+                continue; // already one unit per core
+            bool from_dram =
+                !inputInsideSegment(net, seg, lm.layerIdx);
+            Cycles lat =
+                modelLayerLatency(l, lm.alloc, from_dram);
+            if (best < 0 || lat > best_lat) {
+                best = static_cast<int>(i);
+                best_lat = lat;
+            }
+        }
+        if (best < 0)
+            return;
+        auto &lm = seg.layers[best];
+        const LayerSpec &l = net.layer(lm.layerIdx);
+        NodeAllocation wider =
+            allocationForCores(l, lm.alloc.computeCores + 1);
+        if (wider.computeCores <= lm.alloc.computeCores)
+            return; // no useful widening anywhere
+        unsigned delta =
+            wider.totalCores() - lm.alloc.totalCores();
+        if (used + delta > budget)
+            return;
+        lm.alloc = wider;
+    }
+}
+
+} // namespace
+
+MappingPlan
+planMapping(const Network &net, Strategy strategy,
+            unsigned core_budget)
+{
+    MappingPlan plan;
+    plan.strategy = strategy;
+    plan.coreBudget = core_budget;
+    auto compute = net.computeLayers();
+
+    switch (strategy) {
+      case Strategy::SingleLayer: {
+        for (size_t li : compute) {
+            Segment seg;
+            const LayerSpec &l = net.layer(li);
+            NodeAllocation a = l.kind == LayerKind::Linear
+                ? minAllocation(l)
+                : spreadAllocation(l, core_budget);
+            seg.layers.push_back({li, a});
+            plan.segments.push_back(std::move(seg));
+        }
+        break;
+      }
+      case Strategy::Greedy: {
+        Segment seg;
+        for (size_t li : compute) {
+            const LayerSpec &l = net.layer(li);
+            NodeAllocation a = minAllocation(l);
+            if (!seg.layers.empty()
+                && seg.totalCores() + a.totalCores()
+                    > core_budget) {
+                balanceSegment(net, seg, core_budget);
+                plan.segments.push_back(std::move(seg));
+                seg = Segment{};
+            }
+            seg.layers.push_back({li, a});
+        }
+        if (!seg.layers.empty()) {
+            balanceSegment(net, seg, core_budget);
+            plan.segments.push_back(std::move(seg));
+        }
+        break;
+      }
+      case Strategy::Heuristic: {
+        Segment seg;
+        int seg_fmap = -1;
+        for (size_t li : compute) {
+            const LayerSpec &l = net.layer(li);
+            NodeAllocation a = minAllocation(l);
+            int fmap = l.inH * l.inW;
+            bool same = seg_fmap < 0 || fmap == seg_fmap;
+            bool fits = seg.layers.empty()
+                || seg.totalCores() + a.totalCores() <= core_budget;
+            if (!seg.layers.empty() && (!same || !fits)) {
+                balanceSegment(net, seg, core_budget);
+                plan.segments.push_back(std::move(seg));
+                seg = Segment{};
+            }
+            seg_fmap = fmap;
+            seg.layers.push_back({li, a});
+        }
+        if (!seg.layers.empty()) {
+            balanceSegment(net, seg, core_budget);
+            plan.segments.push_back(std::move(seg));
+        }
+        break;
+      }
+    }
+    for (const auto &seg : plan.segments)
+        maicc_assert(seg.totalCores() <= core_budget);
+    return plan;
+}
+
+} // namespace maicc

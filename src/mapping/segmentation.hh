@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Layer segmentation and node-budget distribution (paper §4.3,
+ * Table 6).
+ *
+ * Three strategies are reproduced:
+ *  - SingleLayer: no segmentation; each compute layer gets the
+ *    whole array (spread as wide as useful) and runs alone.
+ *  - Greedy: pack as many consecutive layers as fit (at densest
+ *    packing) into each segment.
+ *  - Heuristic: group adjacent layers with the same ifmap size
+ *    (which pooling scales down exponentially, balancing H*W*T),
+ *    still subject to the array capacity.
+ *
+ * Within a segment, leftover cores are distributed by iteratively
+ * widening the layer with the largest modelled latency
+ * H*W * T_iter — the Eq. (1) min-max objective.
+ */
+
+#ifndef MAICC_MAPPING_SEGMENTATION_HH
+#define MAICC_MAPPING_SEGMENTATION_HH
+
+#include <vector>
+
+#include "mapping/allocation.hh"
+#include "nn/network.hh"
+
+namespace maicc
+{
+
+enum class Strategy
+{
+    SingleLayer,
+    Greedy,
+    Heuristic,
+};
+
+const char *strategyName(Strategy s);
+
+/** One layer's share of a segment. */
+struct LayerMapping
+{
+    size_t layerIdx = 0; ///< index into Network::layers
+    NodeAllocation alloc;
+};
+
+/** A set of layers mapped onto the array simultaneously. */
+struct Segment
+{
+    std::vector<LayerMapping> layers;
+
+    unsigned totalCores() const;
+};
+
+/** A full plan: segments execute one after another. */
+struct MappingPlan
+{
+    Strategy strategy = Strategy::Heuristic;
+    unsigned coreBudget = 210;
+    std::vector<Segment> segments;
+};
+
+/**
+ * Modelled standalone latency of one mapped layer: input pixels
+ * times the steady-state iteration interval of its node group.
+ * @p from_dram marks layers whose input fmap is pulled from
+ * many-core DRAM (segment inputs) rather than streamed on-chip.
+ */
+Cycles modelLayerLatency(const LayerSpec &l,
+                         const NodeAllocation &alloc,
+                         bool from_dram);
+
+/** True when @p layer's input producer lives inside @p seg. */
+bool inputInsideSegment(const Network &net, const Segment &seg,
+                        size_t layer_idx);
+
+/** Modelled latency of a whole segment (max over its layers). */
+Cycles modelSegmentLatency(const Network &net, const Segment &seg);
+
+/** Modelled end-to-end latency of a plan (segments in sequence). */
+Cycles modelPlanLatency(const Network &net, const MappingPlan &p);
+
+/** Build the plan for @p net under @p strategy. */
+MappingPlan planMapping(const Network &net, Strategy strategy,
+                        unsigned core_budget = 210);
+
+} // namespace maicc
+
+#endif // MAICC_MAPPING_SEGMENTATION_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The partitioned global virtual address space of MAICC (Table 1).
+ *
+ *   0x00000000 - 0x00000FFF : 4 KB local data memory
+ *   0x00001000 - 0x000017FF : 2 KB CMem slice 0 (vertical bytes)
+ *   0x40000000 - 0x7FFFFFFF : remote core windows
+ *       31 30 | 29 .. 22 | 21 .. 14 | 13 .. 0
+ *        0  1 |   x pos  |   y pos  |  offset   (16 KB per core)
+ *   0x80000000 - 0xFFFFFFFF : many-core DRAM, 32 channels
+ *
+ * Within a core's 14-bit remote offset, we additionally define a
+ * row-addressed alias used by LoadRow.RC / StoreRow.RC (the paper
+ * leaves this encoding to the implementation):
+ *
+ *   offset bit 13 set : CMem row space
+ *       12 .. 10 : slice (0-7)
+ *        9 ..  4 : row   (0-63)
+ */
+
+#ifndef MAICC_MEM_ADDRESS_MAP_HH
+#define MAICC_MEM_ADDRESS_MAP_HH
+
+#include "common/bitfield.hh"
+#include "common/types.hh"
+
+namespace maicc
+{
+namespace amap
+{
+
+constexpr Addr dmemBase = 0x00000000;
+constexpr Addr dmemSize = 0x1000; // 4 KB
+constexpr Addr slice0Base = 0x00001000;
+constexpr Addr slice0Size = 0x800; // 2 KB
+constexpr Addr remoteBase = 0x40000000;
+constexpr Addr remoteEnd = 0x7FFFFFFF;
+constexpr Addr dramBase = 0x80000000;
+constexpr unsigned dramChannels = 32;
+
+/** A decoded remote-core address. */
+struct RemoteAddr
+{
+    int x = 0;
+    int y = 0;
+    uint32_t offset = 0;
+};
+
+constexpr bool
+isLocalDmem(Addr a)
+{
+    return a < dmemBase + dmemSize;
+}
+
+constexpr bool
+isLocalSlice0(Addr a)
+{
+    return a >= slice0Base && a < slice0Base + slice0Size;
+}
+
+constexpr bool
+isRemote(Addr a)
+{
+    return a >= remoteBase && a <= remoteEnd;
+}
+
+constexpr bool
+isDram(Addr a)
+{
+    return a >= dramBase;
+}
+
+constexpr Addr
+encodeRemote(int x, int y, uint32_t offset)
+{
+    return remoteBase | (static_cast<Addr>(x & 0xFF) << 22)
+        | (static_cast<Addr>(y & 0xFF) << 14) | (offset & 0x3FFF);
+}
+
+constexpr RemoteAddr
+decodeRemote(Addr a)
+{
+    return RemoteAddr{static_cast<int>(bits(a, 29, 22)),
+                      static_cast<int>(bits(a, 21, 14)),
+                      static_cast<uint32_t>(bits(a, 13, 0))};
+}
+
+/** True when a remote offset addresses the CMem row space. */
+constexpr bool
+offsetIsRow(uint32_t offset)
+{
+    return (offset & 0x2000) != 0;
+}
+
+constexpr unsigned
+offsetSlice(uint32_t offset)
+{
+    return bits(offset, 12, 10);
+}
+
+constexpr unsigned
+offsetRow(uint32_t offset)
+{
+    return bits(offset, 9, 4);
+}
+
+/** Build a remote CMem-row address for LoadRow.RC / StoreRow.RC. */
+constexpr Addr
+encodeRemoteRow(int x, int y, unsigned slice, unsigned row)
+{
+    return encodeRemote(x, y,
+                        0x2000 | (slice << 10) | (row << 4));
+}
+
+/**
+ * DRAM channel of an address: 64-byte blocks are interleaved across
+ * the 32 channels so each LLC node serves a stripe.
+ */
+constexpr unsigned
+dramChannel(Addr a, unsigned channels = dramChannels)
+{
+    return (a >> 6) % channels;
+}
+
+} // namespace amap
+} // namespace maicc
+
+#endif // MAICC_MEM_ADDRESS_MAP_HH

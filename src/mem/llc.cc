@@ -1,0 +1,78 @@
+#include "mem/llc.hh"
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace maicc
+{
+
+SimpleCache::SimpleCache(const CacheConfig &config)
+    : cfg(config), lines(config.numSets() * config.ways)
+{
+    maicc_assert(isPowerOf2(cfg.lineBytes));
+    maicc_assert(cfg.numSets() >= 1);
+}
+
+unsigned
+SimpleCache::setOf(Addr addr) const
+{
+    return (addr / cfg.lineBytes) % cfg.numSets();
+}
+
+uint64_t
+SimpleCache::tagOf(Addr addr) const
+{
+    return (addr / cfg.lineBytes) / cfg.numSets();
+}
+
+bool
+SimpleCache::probe(Addr addr) const
+{
+    unsigned set = setOf(addr);
+    uint64_t tag = tagOf(addr);
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        const Line &l = lines[set * cfg.ways + w];
+        if (l.valid && l.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+CacheAccessResult
+SimpleCache::access(Addr addr, bool write)
+{
+    unsigned set = setOf(addr);
+    uint64_t tag = tagOf(addr);
+    Line *victim = nullptr;
+    ++stamp;
+
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        Line &l = lines[set * cfg.ways + w];
+        if (l.valid && l.tag == tag) {
+            ++st.hits;
+            l.lruStamp = stamp;
+            l.dirty = l.dirty || write;
+            return {true, false, 0};
+        }
+        if (!victim || !l.valid
+            || (victim->valid && l.lruStamp < victim->lruStamp))
+            victim = &l;
+    }
+
+    ++st.misses;
+    CacheAccessResult res;
+    res.hit = false;
+    if (victim->valid && victim->dirty) {
+        ++st.writebacks;
+        res.writeback = true;
+        res.victimAddr = static_cast<Addr>(
+            (victim->tag * cfg.numSets() + set) * cfg.lineBytes);
+    }
+    victim->valid = true;
+    victim->dirty = write;
+    victim->tag = tag;
+    victim->lruStamp = stamp;
+    return res;
+}
+
+} // namespace maicc

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Last-level cache node model. Two rows of 32 LLC nodes sit at the
+ * top and bottom of the MAICC array (Fig. 3(a)), each fronting one
+ * DRAM channel. A set-associative LRU cache with write-back /
+ * write-allocate semantics filters the channel's traffic.
+ */
+
+#ifndef MAICC_MEM_LLC_HH
+#define MAICC_MEM_LLC_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace maicc
+{
+
+struct CacheConfig
+{
+    unsigned sizeBytes = 128 * 1024;
+    unsigned lineBytes = 64;
+    unsigned ways = 8;
+    Cycles hitLatency = 4;
+
+    unsigned
+    numSets() const
+    {
+        return sizeBytes / (lineBytes * ways);
+    }
+};
+
+struct CacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t writebacks = 0;
+
+    double
+    hitRate() const
+    {
+        uint64_t total = hits + misses;
+        return total ? static_cast<double>(hits) / total : 0.0;
+    }
+};
+
+/** Result of one cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    bool writeback = false; ///< a dirty victim must go to DRAM
+    Addr victimAddr = 0;    ///< line address of the dirty victim
+};
+
+/** Set-associative write-back LRU cache (tags only, no data). */
+class SimpleCache
+{
+  public:
+    explicit SimpleCache(const CacheConfig &cfg = CacheConfig{});
+
+    /** Look up @p addr; allocate on miss. */
+    CacheAccessResult access(Addr addr, bool write);
+
+    /** True when the line is resident (no state change). */
+    bool probe(Addr addr) const;
+
+    const CacheStats &stats() const { return st; }
+    const CacheConfig &config() const { return cfg; }
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        uint64_t lruStamp = 0;
+    };
+
+    unsigned setOf(Addr addr) const;
+    uint64_t tagOf(Addr addr) const;
+
+    CacheConfig cfg;
+    std::vector<Line> lines; ///< numSets * ways
+    uint64_t stamp = 0;
+    CacheStats st;
+};
+
+} // namespace maicc
+
+#endif // MAICC_MEM_LLC_HH

@@ -1,0 +1,111 @@
+#include "mem/node_memory.hh"
+
+#include "common/logging.hh"
+
+namespace maicc
+{
+
+uint32_t
+FlatMemory::load(Addr addr, unsigned bytes)
+{
+    maicc_assert(bytes == 1 || bytes == 2 || bytes == 4);
+    uint32_t v = 0;
+    for (unsigned i = 0; i < bytes; ++i) {
+        auto it = data.find(addr + i);
+        uint8_t byte = it == data.end() ? 0 : it->second;
+        v |= static_cast<uint32_t>(byte) << (8 * i);
+    }
+    return v;
+}
+
+void
+FlatMemory::store(Addr addr, uint32_t value, unsigned bytes)
+{
+    maicc_assert(bytes == 1 || bytes == 2 || bytes == 4);
+    for (unsigned i = 0; i < bytes; ++i)
+        data[addr + i] = static_cast<uint8_t>(value >> (8 * i));
+}
+
+uint8_t
+FlatMemory::peek(Addr addr) const
+{
+    auto it = data.find(addr);
+    return it == data.end() ? 0 : it->second;
+}
+
+void
+FlatMemory::poke(Addr addr, uint8_t value)
+{
+    data[addr] = value;
+}
+
+NodeMemory::NodeMemory(CMem &cm, rv32::MemIf *ext)
+    : cmem(cm), external(ext), dmem(amap::dmemSize, 0)
+{
+}
+
+uint32_t
+NodeMemory::load(Addr addr, unsigned bytes)
+{
+    maicc_assert(bytes == 1 || bytes == 2 || bytes == 4);
+    if (amap::isLocalDmem(addr)) {
+        maicc_assert(addr + bytes <= amap::dmemSize);
+        uint32_t v = 0;
+        for (unsigned i = 0; i < bytes; ++i)
+            v |= static_cast<uint32_t>(dmem[addr + i]) << (8 * i);
+        return v;
+    }
+    if (amap::isLocalSlice0(addr)) {
+        unsigned off = addr - amap::slice0Base;
+        maicc_assert(off + bytes <= amap::slice0Size);
+        uint32_t v = 0;
+        for (unsigned i = 0; i < bytes; ++i)
+            v |= static_cast<uint32_t>(cmem.loadByte(off + i))
+                << (8 * i);
+        return v;
+    }
+    if (!external)
+        maicc_panic("non-local load 0x%08x with no external port",
+                    addr);
+    return external->load(addr, bytes);
+}
+
+void
+NodeMemory::store(Addr addr, uint32_t value, unsigned bytes)
+{
+    maicc_assert(bytes == 1 || bytes == 2 || bytes == 4);
+    if (amap::isLocalDmem(addr)) {
+        maicc_assert(addr + bytes <= amap::dmemSize);
+        for (unsigned i = 0; i < bytes; ++i)
+            dmem[addr + i] = static_cast<uint8_t>(value >> (8 * i));
+        return;
+    }
+    if (amap::isLocalSlice0(addr)) {
+        unsigned off = addr - amap::slice0Base;
+        maicc_assert(off + bytes <= amap::slice0Size);
+        for (unsigned i = 0; i < bytes; ++i)
+            cmem.storeByte(off + i,
+                           static_cast<uint8_t>(value >> (8 * i)));
+        return;
+    }
+    if (!external)
+        maicc_panic("non-local store 0x%08x with no external port",
+                    addr);
+    external->store(addr, value, bytes);
+}
+
+uint8_t
+NodeMemory::peekDmem(Addr offset) const
+{
+    maicc_assert(offset < amap::dmemSize);
+    return dmem[offset];
+}
+
+void
+NodeMemory::pokeDmem(Addr offset, uint8_t value)
+{
+    maicc_assert(offset < amap::dmemSize);
+    dmem[offset] = value;
+}
+
+} // namespace maicc

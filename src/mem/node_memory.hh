@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The local memory system of one MAICC node: 4 KB data memory plus
+ * the byte-addressed window onto CMem slice 0 (Fig. 5). Non-local
+ * accesses (remote cores, DRAM) are delegated to an attached
+ * handler; standalone single-node simulations attach a flat backing
+ * store instead of a NoC.
+ */
+
+#ifndef MAICC_MEM_NODE_MEMORY_HH
+#define MAICC_MEM_NODE_MEMORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cmem/cmem.hh"
+#include "mem/address_map.hh"
+#include "rv32/executor.hh"
+
+namespace maicc
+{
+
+/**
+ * A flat sparse 32-bit byte-addressable memory. Used as the
+ * standalone stand-in for DRAM/remote space in single-node runs and
+ * as the backing store of the DRAM model.
+ */
+class FlatMemory : public rv32::MemIf
+{
+  public:
+    uint32_t load(Addr addr, unsigned bytes) override;
+    void store(Addr addr, uint32_t value, unsigned bytes) override;
+
+    uint8_t peek(Addr addr) const;
+    void poke(Addr addr, uint8_t value);
+
+  private:
+    std::unordered_map<Addr, uint8_t> data;
+};
+
+/**
+ * Per-node memory front-end implementing the Table 1 map. Local
+ * dmem and slice 0 are served here; anything else goes to
+ * @c external (which may be a FlatMemory stub or the NoC bridge).
+ */
+class NodeMemory : public rv32::MemIf
+{
+  public:
+    NodeMemory(CMem &cmem, rv32::MemIf *external = nullptr);
+
+    uint32_t load(Addr addr, unsigned bytes) override;
+    void store(Addr addr, uint32_t value, unsigned bytes) override;
+
+    /** Direct access to the data-memory bytes (for test setup). */
+    uint8_t peekDmem(Addr offset) const;
+    void pokeDmem(Addr offset, uint8_t value);
+
+    void setExternal(rv32::MemIf *ext) { external = ext; }
+
+  private:
+    CMem &cmem;
+    rv32::MemIf *external;
+    std::vector<uint8_t> dmem;
+};
+
+} // namespace maicc
+
+#endif // MAICC_MEM_NODE_MEMORY_HH

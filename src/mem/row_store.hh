@@ -1,0 +1,45 @@
+/**
+ * @file
+ * A sparse store of 256-bit rows addressed by global address, plus a
+ * RowPortIf adapter. Single-node simulations use this as the
+ * stand-in for "transposed ifmap vectors staged in DRAM / delivered
+ * by a neighbour node": LoadRow.RC fetches rows from here and
+ * StoreRow.RC deposits rows here.
+ */
+
+#ifndef MAICC_MEM_ROW_STORE_HH
+#define MAICC_MEM_ROW_STORE_HH
+
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "rv32/executor.hh"
+#include "sram/bitvec.hh"
+
+namespace maicc
+{
+
+/** Sparse Addr -> Row256 map implementing RowPortIf. */
+class RowStore : public rv32::RowPortIf
+{
+  public:
+    Row256 loadRow(Addr addr) override;
+    void storeRow(Addr addr, const Row256 &row) override;
+
+    /** Number of distinct rows present. */
+    size_t size() const { return rows.size(); }
+
+    bool contains(Addr addr) const { return rows.count(addr) != 0; }
+
+    uint64_t loadCount() const { return loads; }
+    uint64_t storeCount() const { return stores; }
+
+  private:
+    std::unordered_map<Addr, Row256> rows;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+};
+
+} // namespace maicc
+
+#endif // MAICC_MEM_ROW_STORE_HH

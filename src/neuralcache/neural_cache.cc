@@ -1,0 +1,162 @@
+#include "neuralcache/neural_cache.hh"
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace maicc
+{
+
+namespace
+{
+
+/** XOR of two stored rows from one dual-row activation. */
+Row256
+xorFrom(const BitlineReadout &bl)
+{
+    return ~(bl.andBits | bl.norBits);
+}
+
+/** Shift a row toward lower lane indices by @p lanes. */
+Row256
+laneShiftDown(const Row256 &row, unsigned lanes)
+{
+    Row256 out;
+    for (unsigned i = 0; i + lanes < Row256::numBits; ++i)
+        out.set(i, row.get(i + lanes));
+    return out;
+}
+
+} // namespace
+
+Cycles
+NeuralCacheCosts::reductionCycles(unsigned n, unsigned lanes)
+{
+    // log2(lanes) shift+add iterations; operand width grows by one
+    // bit per step; a shift is a row-by-row copy.
+    Cycles total = 0;
+    unsigned width = n;
+    for (unsigned half = lanes / 2; half >= 1; half /= 2) {
+        total += width;          // shift (copy) the live rows
+        total += width + 1;      // bit-serial add
+        ++width;
+    }
+    return total;
+}
+
+void
+ncVectorAdd(SramArray &arr, unsigned row_a, unsigned row_b,
+            unsigned row_out, unsigned n)
+{
+    maicc_assert(row_out + n < arr.rows());
+    Row256 carry; // models the per-bit-line carry latch
+    for (unsigned i = 0; i < n; ++i) {
+        BitlineReadout bl = arr.computeRows(row_a + i, row_b + i);
+        Row256 x = xorFrom(bl);
+        Row256 sum = x ^ carry;
+        carry = bl.andBits | (x & carry);
+        arr.writeRow(row_out + i, sum);
+    }
+    arr.writeRow(row_out + n, carry);
+}
+
+void
+ncVectorMult(SramArray &arr, unsigned row_a, unsigned row_b,
+             unsigned row_out, unsigned n)
+{
+    maicc_assert(row_out + 2 * n <= arr.rows());
+    std::vector<Row256> acc(2 * n);
+    for (unsigned j = 0; j < n; ++j) {
+        Row256 carry;
+        unsigned pos = j;
+        for (unsigned i = 0; i < n; ++i, ++pos) {
+            // Partial-product bit: A_i AND B_j on the bit-lines.
+            Row256 pp =
+                arr.computeRows(row_a + i, row_b + j).andBits;
+            Row256 x = acc[pos] ^ pp;
+            Row256 sum = x ^ carry;
+            carry = (acc[pos] & pp) | (x & carry);
+            acc[pos] = sum;
+        }
+        // Ripple the remaining carry.
+        while (carry.popcount() != 0 && pos < 2 * n) {
+            Row256 sum = acc[pos] ^ carry;
+            carry = acc[pos] & carry;
+            acc[pos] = sum;
+            ++pos;
+        }
+    }
+    for (unsigned i = 0; i < 2 * n; ++i)
+        arr.writeRow(row_out + i, acc[i]);
+}
+
+int64_t
+ncReduce(SramArray &arr, unsigned row, unsigned n,
+         unsigned scratch_row)
+{
+    unsigned width = n;
+    unsigned base = row;
+    for (unsigned half = Row256::numBits / 2; half >= 1;
+         half /= 2) {
+        // Shift a copy down by `half` lanes...
+        maicc_assert(scratch_row + width < arr.rows());
+        for (unsigned i = 0; i < width; ++i) {
+            arr.writeRow(scratch_row + i,
+                         laneShiftDown(arr.readRow(base + i),
+                                       half));
+        }
+        // ...and add it in place (width grows by one bit).
+        ncVectorAdd(arr, base, scratch_row, base, width);
+        ++width;
+    }
+    // Lane 0 now holds the total.
+    int64_t result = 0;
+    for (unsigned i = 0; i < width; ++i) {
+        if (arr.readRow(base + i).get(0))
+            result |= int64_t(1) << i;
+    }
+    return result;
+}
+
+NeuralCacheConvResult
+neuralCacheConv(const NeuralCacheConvParams &p)
+{
+    NeuralCacheConvResult r;
+    unsigned out_h = p.H - p.R + 1;
+    unsigned out_w = p.W - p.S + 1;
+    uint64_t outputs_per_array =
+        uint64_t(out_h) * out_w * divCeil(p.numFilters, p.arrays);
+    unsigned n = p.nBits;
+    unsigned psum_bits = 2 * n; // product width
+
+    // Per output pixel, in one array (paper §3.2: the R*S vector
+    // multiplications serialize within the array):
+    Cycles mults = Cycles(p.R) * p.S
+        * NeuralCacheCosts::multCycles(n);
+    Cycles adds = Cycles(p.R * p.S - 1)
+        * NeuralCacheCosts::addCycles(psum_bits);
+    Cycles reduce =
+        NeuralCacheCosts::reductionCycles(psum_bits);
+    // Sliding the window loads R new C-channel vectors,
+    // transposed one byte per cycle on the fill path, plus scalar
+    // extraction of the reduced result.
+    Cycles window = Cycles(p.R) * ((p.C + 255) / 256) * 256 + 128;
+    Cycles extract = 32;
+
+    Cycles per_output = mults + adds + reduce + window + extract;
+    r.cycles = outputs_per_array * per_output;
+    r.reductionCycles = outputs_per_array * reduce;
+    r.activations =
+        uint64_t(out_h) * out_w * p.numFilters
+        * (mults + adds + reduce);
+    r.writes = uint64_t(out_h) * out_w * p.numFilters * window;
+    r.memoryKb = p.arrays * 8;
+    // Per-activation energy of the plain (adder-tree-free) array.
+    const double nc_activation_pj = 12.0;
+    const double nc_write_pj = 4.75;
+    r.energyJ = (r.activations * nc_activation_pj
+                 + r.writes * nc_write_pj)
+        * 1e-12;
+    return r;
+}
+
+} // namespace maicc

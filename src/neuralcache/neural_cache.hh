@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Neural Cache baseline (Eckert et al., ISCA'18), as compared
+ * against in paper §2.2 / Fig. 4(a) / Table 4 / §6.3.
+ *
+ * Neural Cache re-purposes standard 8 KB (256x256) cache arrays
+ * for bit-serial element-wise computation. Unlike MAICC's
+ * hardware MAC primitive, results are vectors written back into
+ * the array, so a dot product needs:
+ *
+ *   element-wise multiply : n^2 + 5n - 2 cycles
+ *   element-wise add      : n + 1 cycles
+ *   reduction             : log2(256) iterations of shift + add
+ *
+ * and because only one vector op can run in a 256-row array at a
+ * time, the R*S multiplies of a filter window serialize (§3.2).
+ *
+ * Both a behavioural engine (operating on real SramArrays; used to
+ * validate the primitives bit-exactly) and an analytic cost model
+ * (used for the Table 4 comparison) are provided.
+ */
+
+#ifndef MAICC_NEURALCACHE_NEURAL_CACHE_HH
+#define MAICC_NEURALCACHE_NEURAL_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "sram/sram_array.hh"
+
+namespace maicc
+{
+
+/** Cycle costs of the bit-serial element-wise primitives. */
+struct NeuralCacheCosts
+{
+    static Cycles
+    multCycles(unsigned n)
+    {
+        return Cycles(n) * n + 5 * n - 2;
+    }
+
+    static Cycles
+    addCycles(unsigned n)
+    {
+        return Cycles(n) + 1;
+    }
+
+    /**
+     * Reduce 256 lanes by log2(256) = 8 shift+add steps; operand
+     * width grows by one bit per step.
+     */
+    static Cycles reductionCycles(unsigned n, unsigned lanes = 256);
+};
+
+// ---------------------------------------------------------------
+// Behavioural element-wise engine (transposed layout, in-array).
+// ---------------------------------------------------------------
+
+/**
+ * out = a + b, element-wise over all 256 lanes; operands are
+ * transposed n-bit vectors; the result is n+1 bits at @p row_out.
+ */
+void ncVectorAdd(SramArray &arr, unsigned row_a, unsigned row_b,
+                 unsigned row_out, unsigned n);
+
+/**
+ * out = a * b element-wise; operands n-bit unsigned, result 2n
+ * bits at @p row_out.
+ */
+void ncVectorMult(SramArray &arr, unsigned row_a, unsigned row_b,
+                  unsigned row_out, unsigned n);
+
+/**
+ * Reduce the @p n-bit unsigned vector at @p row to a scalar by
+ * iterative shift-and-add within the array (Fig. 4(a)).
+ * @return the sum of all 256 lanes.
+ */
+int64_t ncReduce(SramArray &arr, unsigned row, unsigned n,
+                 unsigned scratch_row);
+
+// ---------------------------------------------------------------
+// Analytic node model (Table 4 comparison).
+// ---------------------------------------------------------------
+
+/** The Table 4 workload evaluated on a Neural Cache node. */
+struct NeuralCacheConvParams
+{
+    unsigned R = 3, S = 3, C = 256;
+    unsigned H = 9, W = 9;
+    unsigned numFilters = 5;
+    unsigned nBits = 8;
+    /** One 8 KB array per filter (40 KB node in Table 4). */
+    unsigned arrays = 5;
+};
+
+struct NeuralCacheConvResult
+{
+    Cycles cycles = 0;           ///< total latency
+    Cycles reductionCycles = 0;  ///< share spent reducing
+    uint64_t activations = 0;    ///< dual word-line activations
+    uint64_t writes = 0;         ///< result/ifmap write cycles
+    unsigned memoryKb = 0;
+    double energyJ = 0.0;        ///< per-workload dynamic energy
+};
+
+/** Evaluate the workload analytically. */
+NeuralCacheConvResult neuralCacheConv(
+    const NeuralCacheConvParams &p = NeuralCacheConvParams{});
+
+} // namespace maicc
+
+#endif // MAICC_NEURALCACHE_NEURAL_CACHE_HH

@@ -1,0 +1,216 @@
+#include "nn/network.hh"
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace maicc
+{
+
+std::vector<size_t>
+Network::computeLayers() const
+{
+    std::vector<size_t> out;
+    for (size_t i = 0; i < layers.size(); ++i) {
+        if (layers[i].isCompute())
+            out.push_back(i);
+    }
+    return out;
+}
+
+uint64_t
+Network::totalMacs() const
+{
+    uint64_t total = 0;
+    for (const auto &l : layers)
+        total += l.macs();
+    return total;
+}
+
+namespace
+{
+
+/**
+ * Requantization shift sized to the layer's accumulation width so
+ * int8 activations keep a stable scale through the network:
+ * roughly log2(sqrt(R*S*C)) + 1.
+ */
+unsigned
+accShift(const LayerSpec &l)
+{
+    uint64_t terms = uint64_t(l.R) * l.S * l.inC;
+    return log2i(terms) / 2 + 1;
+}
+
+LayerSpec
+conv(const std::string &name, int from, int in_c, int in_h, int in_w,
+     int out_c, int stride, bool relu, int add_from = -2)
+{
+    LayerSpec l;
+    l.name = name;
+    l.kind = LayerKind::Conv;
+    l.inputFrom = from;
+    l.addFrom = add_from;
+    l.inC = in_c;
+    l.inH = in_h;
+    l.inW = in_w;
+    l.outC = out_c;
+    l.R = l.S = 3;
+    l.stride = stride;
+    l.pad = 1;
+    l.relu = relu;
+    l.shift = accShift(l);
+    return l;
+}
+
+LayerSpec
+shortcut(const std::string &name, int from, int in_c, int in_h,
+         int in_w, int out_c)
+{
+    LayerSpec l;
+    l.name = name;
+    l.kind = LayerKind::Conv;
+    l.inputFrom = from;
+    l.inC = in_c;
+    l.inH = in_h;
+    l.inW = in_w;
+    l.outC = out_c;
+    l.R = l.S = 1;
+    l.stride = 2;
+    l.pad = 0;
+    l.relu = false;
+    l.shift = accShift(l);
+    return l;
+}
+
+} // namespace
+
+Network
+buildResNet18()
+{
+    Network net;
+    net.name = "resnet18";
+    auto &L = net.layers;
+
+    // Stage 1: 56x56x64, two basic blocks (paper omits the 7x7
+    // stem and its maxpool -- §5).
+    L.push_back(conv("conv1_1", -1, 64, 56, 56, 64, 1, true));
+    L.push_back(conv("conv1_2", 0, 64, 56, 56, 64, 1, true, -1));
+    L.push_back(conv("conv1_3", 1, 64, 56, 56, 64, 1, true));
+    L.push_back(conv("conv1_4", 2, 64, 56, 56, 64, 1, true, 1));
+
+    // Stage 2: downsample shortcut listed before conv2_1 as in
+    // Table 6.
+    L.push_back(shortcut("shortcut2", 3, 64, 56, 56, 128)); // 4
+    L.push_back(conv("conv2_1", 3, 64, 56, 56, 128, 2, true)); // 5
+    L.push_back(conv("conv2_2", 5, 128, 28, 28, 128, 1, true, 4));
+    L.push_back(conv("conv2_3", 6, 128, 28, 28, 128, 1, true));
+    L.push_back(conv("conv2_4", 7, 128, 28, 28, 128, 1, true, 6));
+
+    // Stage 3.
+    L.push_back(shortcut("shortcut3", 8, 128, 28, 28, 256)); // 9
+    L.push_back(conv("conv3_1", 8, 128, 28, 28, 256, 2, true));
+    L.push_back(conv("conv3_2", 10, 256, 14, 14, 256, 1, true, 9));
+    L.push_back(conv("conv3_3", 11, 256, 14, 14, 256, 1, true));
+    L.push_back(conv("conv3_4", 12, 256, 14, 14, 256, 1, true, 11));
+
+    // Stage 4.
+    L.push_back(shortcut("shortcut4", 13, 256, 14, 14, 512)); // 14
+    L.push_back(conv("conv4_1", 13, 256, 14, 14, 512, 2, true));
+    L.push_back(conv("conv4_2", 15, 512, 7, 7, 512, 1, true, 14));
+    L.push_back(conv("conv4_3", 16, 512, 7, 7, 512, 1, true));
+    L.push_back(conv("conv4_4", 17, 512, 7, 7, 512, 1, true, 16));
+
+    // Global average pool + classifier.
+    LayerSpec pool;
+    pool.name = "avgpool";
+    pool.kind = LayerKind::AvgPool;
+    pool.inputFrom = 18;
+    pool.inC = 512;
+    pool.inH = pool.inW = 7;
+    pool.outC = 512;
+    pool.R = pool.S = 7;
+    pool.stride = 7;
+    L.push_back(pool); // 19
+
+    LayerSpec fc;
+    fc.name = "linear";
+    fc.kind = LayerKind::Linear;
+    fc.inputFrom = 19;
+    fc.inC = 512;
+    fc.inH = fc.inW = 1;
+    fc.outC = 1000;
+    fc.R = fc.S = 1;
+    fc.stride = 1;
+    fc.pad = 0;
+    fc.relu = false;
+    fc.shift = accShift(fc);
+    L.push_back(fc); // 20
+
+    maicc_assert(net.computeLayers().size() == 20);
+    return net;
+}
+
+Network
+buildSmallCnn(int in_h, int in_w, int in_c)
+{
+    Network net;
+    net.name = "smallcnn";
+    auto &L = net.layers;
+    L.push_back(conv("c1", -1, in_c, in_h, in_w, 64, 1, true));
+    L.push_back(conv("c2", 0, 64, in_h, in_w, 64, 1, true, -1));
+    L.push_back(conv("c3", 1, 64, in_h, in_w, 128, 2, true));
+    L.push_back(
+        conv("c4", 2, 128, in_h / 2, in_w / 2, 128, 1, true));
+
+    LayerSpec pool;
+    pool.name = "avgpool";
+    pool.kind = LayerKind::AvgPool;
+    pool.inputFrom = 3;
+    pool.inC = 128;
+    pool.inH = in_h / 2;
+    pool.inW = in_w / 2;
+    pool.outC = 128;
+    pool.R = pool.S = in_h / 2;
+    pool.stride = in_h / 2;
+    L.push_back(pool);
+
+    LayerSpec fc;
+    fc.name = "linear";
+    fc.kind = LayerKind::Linear;
+    fc.inputFrom = 4;
+    fc.inC = 128;
+    fc.inH = fc.inW = 1;
+    fc.outC = 10;
+    fc.relu = false;
+    L.push_back(fc);
+    return net;
+}
+
+void
+setPrecision(Network &net, unsigned n_bits)
+{
+    maicc_assert(n_bits == 2 || n_bits == 4 || n_bits == 8
+                 || n_bits == 16);
+    for (auto &l : net.layers)
+        l.nBits = n_bits;
+}
+
+std::vector<Weights4>
+randomWeights(const Network &net, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Weights4> out;
+    out.reserve(net.size());
+    for (const auto &l : net.layers) {
+        if (!l.isCompute()) {
+            out.emplace_back();
+            continue;
+        }
+        Weights4 w(l.outC, l.R, l.S, l.inC);
+        w.randomize(rng);
+        out.push_back(std::move(w));
+    }
+    return out;
+}
+
+} // namespace maicc

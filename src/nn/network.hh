@@ -1,0 +1,120 @@
+/**
+ * @file
+ * DNN graph representation: a list of layers in execution order,
+ * each naming its input layer (and optionally a residual input).
+ * Computational layers (CONV / FC) are fused with their subsequent
+ * auxiliary functions (ReLU, requantization, residual add) into
+ * "mixed layers" per paper §4.1; pooling appears as its own layer.
+ */
+
+#ifndef MAICC_NN_NETWORK_HH
+#define MAICC_NN_NETWORK_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hh"
+
+namespace maicc
+{
+
+enum class LayerKind
+{
+    Conv,    ///< R x S convolution (stride/pad), aux fused
+    Linear,  ///< fully connected (modelled as 1x1 conv on 1x1 fmap)
+    AvgPool, ///< kernel x kernel average pooling
+    MaxPool, ///< kernel x kernel max pooling
+};
+
+/** One mixed layer. */
+struct LayerSpec
+{
+    std::string name;
+    LayerKind kind = LayerKind::Conv;
+
+    int inputFrom = -1; ///< producing layer index; -1 = net input
+    int addFrom = -2;   ///< residual input layer; -2 none, -1 input
+
+    // Geometry (Conv/Linear; pools use R as the kernel).
+    int inC = 0, inH = 0, inW = 0;
+    int outC = 0;
+    int R = 1, S = 1;
+    int stride = 1, pad = 0;
+
+    // Fused auxiliary functions.
+    bool relu = false;
+    unsigned shift = 7; ///< power-of-two requantization
+
+    // Fixed-point precision of activations/weights.
+    unsigned nBits = 8;
+
+    int
+    outH() const
+    {
+        return (inH + 2 * pad - R) / stride + 1;
+    }
+
+    int
+    outW() const
+    {
+        return (inW + 2 * pad - S) / stride + 1;
+    }
+
+    bool
+    isCompute() const
+    {
+        return kind == LayerKind::Conv || kind == LayerKind::Linear;
+    }
+
+    /** MAC count of this layer (for roofline baselines). */
+    uint64_t
+    macs() const
+    {
+        if (!isCompute())
+            return 0;
+        return static_cast<uint64_t>(outH()) * outW() * outC * R * S
+            * inC;
+    }
+};
+
+/** A whole network. */
+struct Network
+{
+    std::string name;
+    std::vector<LayerSpec> layers;
+
+    const LayerSpec &layer(size_t i) const { return layers[i]; }
+    size_t size() const { return layers.size(); }
+
+    /** Indices of compute (CONV/FC) layers, in execution order. */
+    std::vector<size_t> computeLayers() const;
+
+    /** Total MACs (for GFLOPS-style metrics; 1 MAC = 2 ops). */
+    uint64_t totalMacs() const;
+};
+
+/**
+ * The evaluation network: ResNet18 with 8-bit quantization,
+ * excluding the first 7x7 layer and its maxpool (paper §5), i.e.
+ * exactly the 20 compute layers of Table 6 plus the fused
+ * residual adds and the global average pool.
+ */
+Network buildResNet18();
+
+/** A second, smaller CNN used by the multi-DNN example. */
+Network buildSmallCnn(int in_h = 32, int in_w = 32, int in_c = 64);
+
+/** Deterministic random weights for every compute layer. */
+std::vector<Weights4> randomWeights(const Network &net,
+                                    uint64_t seed);
+
+/**
+ * Set the fixed-point activation/weight precision of every layer
+ * (2/4/8/16). Precision drives the CMem capacity (Q = 64/N - 1)
+ * and MAC.C latency (N^2); see bench_ablation_precision.
+ */
+void setPrecision(Network &net, unsigned n_bits);
+
+} // namespace maicc
+
+#endif // MAICC_NN_NETWORK_HH

@@ -1,0 +1,125 @@
+#include "nn/reference.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace maicc
+{
+
+namespace
+{
+
+Tensor3
+referenceConvLike(const LayerSpec &l, const Weights4 &w,
+                  const Tensor3 &in, const Tensor3 *residual)
+{
+    maicc_assert(in.C == l.inC && in.H == l.inH && in.W == l.inW);
+    maicc_assert(w.M == l.outC && w.R == l.R && w.S == l.S
+                 && w.C == l.inC);
+    Tensor3 out(l.outH(), l.outW(), l.outC);
+    if (residual) {
+        maicc_assert(residual->H == out.H && residual->W == out.W
+                     && residual->C == out.C);
+    }
+    for (int oh = 0; oh < out.H; ++oh) {
+        for (int ow = 0; ow < out.W; ++ow) {
+            for (int m = 0; m < l.outC; ++m) {
+                int32_t acc = 0;
+                for (int r = 0; r < l.R; ++r) {
+                    int ih = oh * l.stride + r - l.pad;
+                    if (ih < 0 || ih >= in.H)
+                        continue;
+                    for (int s = 0; s < l.S; ++s) {
+                        int iw = ow * l.stride + s - l.pad;
+                        if (iw < 0 || iw >= in.W)
+                            continue;
+                        for (int c = 0; c < l.inC; ++c) {
+                            acc += int32_t(in.at(ih, iw, c))
+                                * w.at(m, r, s, c);
+                        }
+                    }
+                }
+                if (residual) {
+                    acc += int32_t(residual->at(oh, ow, m))
+                        << l.shift;
+                }
+                out.at(oh, ow, m) = requantize(acc, l.shift, l.relu);
+            }
+        }
+    }
+    return out;
+}
+
+Tensor3
+referencePool(const LayerSpec &l, const Tensor3 &in, bool avg)
+{
+    Tensor3 out(l.outH(), l.outW(), l.inC);
+    int area = l.R * l.S;
+    for (int oh = 0; oh < out.H; ++oh) {
+        for (int ow = 0; ow < out.W; ++ow) {
+            for (int c = 0; c < l.inC; ++c) {
+                int32_t acc = avg ? 0 : INT32_MIN;
+                for (int r = 0; r < l.R; ++r) {
+                    for (int s = 0; s < l.S; ++s) {
+                        int ih = oh * l.stride + r;
+                        int iw = ow * l.stride + s;
+                        int32_t v = in.at(ih, iw, c);
+                        if (avg)
+                            acc += v;
+                        else
+                            acc = std::max(acc, v);
+                    }
+                }
+                if (avg)
+                    acc /= area; // truncating, as the cores do
+                out.at(oh, ow, c) = static_cast<int8_t>(acc);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Tensor3
+referenceLayer(const LayerSpec &l, const Weights4 &w,
+               const Tensor3 &input, const Tensor3 *residual)
+{
+    switch (l.kind) {
+      case LayerKind::Conv:
+      case LayerKind::Linear:
+        return referenceConvLike(l, w, input, residual);
+      case LayerKind::AvgPool:
+        return referencePool(l, input, true);
+      case LayerKind::MaxPool:
+        return referencePool(l, input, false);
+    }
+    maicc_panic("unreachable layer kind");
+}
+
+ReferenceResult
+referenceRun(const Network &net,
+             const std::vector<Weights4> &weights,
+             const Tensor3 &input)
+{
+    maicc_assert(weights.size() == net.size());
+    ReferenceResult res;
+    res.outputs.reserve(net.size());
+    for (size_t i = 0; i < net.size(); ++i) {
+        const LayerSpec &l = net.layer(i);
+        const Tensor3 &in = l.inputFrom < 0
+            ? input
+            : res.outputs[l.inputFrom];
+        const Tensor3 *residual = nullptr;
+        if (l.addFrom == -1)
+            residual = &input;
+        else if (l.addFrom >= 0)
+            residual = &res.outputs[l.addFrom];
+        res.outputs.push_back(
+            referenceLayer(l, weights[i], in, residual));
+    }
+    return res;
+}
+
+} // namespace maicc

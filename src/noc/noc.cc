@@ -1,0 +1,249 @@
+#include "noc/noc.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace maicc
+{
+
+MeshNoc::MeshNoc(const NocConfig &config)
+    : cfg(config), routers(cfg.width * cfg.height),
+      injectQueues(cfg.width * cfg.height),
+      deliverQueues(cfg.width * cfg.height),
+      injProgress(cfg.width * cfg.height, 0),
+      frontPacketIdx(cfg.width * cfg.height, 0)
+{
+    maicc_assert(cfg.width >= 1 && cfg.height >= 1);
+    maicc_assert(cfg.queueDepth >= 1);
+    for (auto &r : routers) {
+        for (int d = 0; d < numDirs; ++d) {
+            r.outLockedTo[d] = -1;
+            r.rrNext[d] = 0;
+        }
+    }
+}
+
+unsigned
+MeshNoc::hops(NodeId a, NodeId b) const
+{
+    NodeCoord ca = coord(a), cb = coord(b);
+    return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+}
+
+int
+MeshNoc::route(NodeId at, NodeId dst) const
+{
+    NodeCoord ca = coord(at), cd = coord(dst);
+    if (ca.x < cd.x)
+        return dirEast;
+    if (ca.x > cd.x)
+        return dirWest;
+    if (ca.y < cd.y)
+        return dirSouth;
+    if (ca.y > cd.y)
+        return dirNorth;
+    return dirLocal;
+}
+
+void
+MeshNoc::downstream(NodeId at, int out_dir, NodeId &next,
+                    int &in_dir) const
+{
+    NodeCoord c = coord(at);
+    switch (out_dir) {
+      case dirEast:
+        next = nodeId(c.x + 1, c.y);
+        in_dir = dirWest;
+        return;
+      case dirWest:
+        next = nodeId(c.x - 1, c.y);
+        in_dir = dirEast;
+        return;
+      case dirSouth:
+        next = nodeId(c.x, c.y + 1);
+        in_dir = dirNorth;
+        return;
+      case dirNorth:
+        next = nodeId(c.x, c.y - 1);
+        in_dir = dirSouth;
+        return;
+      default:
+        maicc_panic("no downstream for local port");
+    }
+}
+
+void
+MeshNoc::inject(Packet pkt)
+{
+    maicc_assert(pkt.src >= 0
+                 && pkt.src < cfg.width * cfg.height);
+    maicc_assert(pkt.dst >= 0
+                 && pkt.dst < cfg.width * cfg.height);
+    maicc_assert(pkt.sizeFlits >= 1);
+    pkt.id = nextPacketId++;
+    pkt.injectTime = cycle;
+    injectQueues[pkt.src].push_back(pkt);
+}
+
+std::deque<Packet> &
+MeshNoc::delivered(NodeId id)
+{
+    return deliverQueues[id];
+}
+
+bool
+MeshNoc::idle() const
+{
+    for (const auto &q : injectQueues) {
+        if (!q.empty())
+            return false;
+    }
+    for (const auto &r : routers) {
+        for (const auto &in : r.in) {
+            if (!in.q.empty())
+                return false;
+        }
+    }
+    return true;
+}
+
+double
+MeshNoc::avgPacketLatency() const
+{
+    return deliveredCount ? latencySum / deliveredCount : 0.0;
+}
+
+void
+MeshNoc::tick()
+{
+    struct Move
+    {
+        NodeId router;
+        int in_dir;
+        int out_dir;
+    };
+    std::vector<Move> moves;
+
+    // Phase 1: each output port picks at most one eligible input,
+    // based on start-of-cycle queue state.
+    int num_nodes = cfg.width * cfg.height;
+    for (NodeId n = 0; n < num_nodes; ++n) {
+        Router &r = routers[n];
+        for (int o = 0; o < numDirs; ++o) {
+            int candidate = -1;
+            if (r.outLockedTo[o] >= 0) {
+                int i = r.outLockedTo[o];
+                if (!r.in[i].q.empty()
+                    && r.in[i].q.front().readyAt <= cycle)
+                    candidate = i;
+            } else {
+                for (int k = 0; k < numDirs; ++k) {
+                    int i = (r.rrNext[o] + k) % numDirs;
+                    const auto &q = r.in[i].q;
+                    if (q.empty() || !q.front().head
+                        || q.front().readyAt > cycle)
+                        continue;
+                    if (route(n, q.front().dst) != o)
+                        continue;
+                    candidate = i;
+                    r.rrNext[o] = (i + 1) % numDirs;
+                    break;
+                }
+            }
+            if (candidate < 0)
+                continue;
+            // Credit check: space downstream (ejection is free).
+            if (o != dirLocal) {
+                NodeId next;
+                int in_dir;
+                downstream(n, o, next, in_dir);
+                if (routers[next].in[in_dir].q.size()
+                    >= cfg.queueDepth)
+                    continue;
+            }
+            moves.push_back({n, candidate, o});
+        }
+    }
+
+    // Phase 2: commit the moves simultaneously.
+    for (const Move &m : moves) {
+        Router &r = routers[m.router];
+        Flit flit = r.in[m.in_dir].q.front();
+        r.in[m.in_dir].q.pop_front();
+        if (flit.head)
+            r.outLockedTo[m.out_dir] = m.in_dir;
+        if (flit.tail)
+            r.outLockedTo[m.out_dir] = -1;
+        if (m.out_dir == dirLocal) {
+            if (flit.tail) {
+                Packet &pkt = inFlight[flit.packetIdx];
+                latencySum +=
+                    static_cast<double>(cycle - pkt.injectTime);
+                ++deliveredCount;
+                deliverQueues[m.router].push_back(pkt);
+                freeSlots.push_back(flit.packetIdx);
+            }
+        } else {
+            NodeId next;
+            int in_dir;
+            downstream(m.router, m.out_dir, next, in_dir);
+            flit.readyAt = cycle + 1 + cfg.routerLatency;
+            routers[next].in[in_dir].q.push_back(flit);
+            ++flitHopCount;
+        }
+    }
+
+    // Phase 3: injection, one flit per node per cycle.
+    for (NodeId n = 0; n < num_nodes; ++n) {
+        auto &q = injectQueues[n];
+        if (q.empty())
+            continue;
+        auto &local = routers[n].in[dirLocal].q;
+        if (local.size() >= cfg.queueDepth)
+            continue;
+        Packet &pkt = q.front();
+        unsigned &progress = injProgress[n];
+        if (progress == 0) {
+            // Allocate an in-flight table slot on the head flit.
+            uint32_t slot;
+            if (!freeSlots.empty()) {
+                slot = freeSlots.back();
+                freeSlots.pop_back();
+                inFlight[slot] = pkt;
+            } else {
+                slot = static_cast<uint32_t>(inFlight.size());
+                inFlight.push_back(pkt);
+            }
+            frontPacketIdx[n] = slot;
+        }
+        Flit flit;
+        flit.head = (progress == 0);
+        flit.tail = (progress == pkt.sizeFlits - 1);
+        flit.dst = pkt.dst;
+        flit.packetIdx = frontPacketIdx[n];
+        flit.readyAt = cycle + 1 + cfg.routerLatency;
+        local.push_back(flit);
+        ++progress;
+        if (progress == pkt.sizeFlits) {
+            progress = 0;
+            q.pop_front();
+        }
+    }
+
+    ++cycle;
+}
+
+void
+MeshNoc::drain(Cycles max_cycles)
+{
+    Cycles budget = max_cycles;
+    while (!idle()) {
+        if (budget-- == 0)
+            maicc_fatal("NoC failed to drain in %llu cycles",
+                        (unsigned long long)max_cycles);
+        tick();
+    }
+}
+
+} // namespace maicc

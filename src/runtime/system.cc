@@ -1,0 +1,414 @@
+#include "runtime/system.hh"
+
+#include <algorithm>
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace maicc
+{
+
+namespace
+{
+
+/** Latency of moving one N-row vector one chain hop. */
+Cycles
+vecHopLatency(const NocConfig &noc)
+{
+    // One-hop head latency; the 72-flit serialization is charged
+    // as link occupancy by the sender-side forward phase.
+    return Cycles(2) * (noc.routerLatency + 1);
+}
+
+/** Link-occupancy cycles to push an N-row vector (N * 9 flits). */
+Cycles
+vecLinkOccupancy(unsigned n_bits)
+{
+    return Cycles(n_bits) * 9;
+}
+
+} // namespace
+
+double
+RunResult::pipelinedThroughput(double freq_hz) const
+{
+    Cycles bottleneck = 0;
+    for (const auto &seg : segments)
+        bottleneck = std::max(bottleneck, seg.end - seg.start);
+    if (bottleneck == 0)
+        return 0.0;
+    return freq_hz / static_cast<double>(bottleneck);
+}
+
+void
+RunResult::dumpStats(StatGroup &stats) const
+{
+    stats.counter("cycles").inc(totalCycles);
+    stats.counter("activity.macActivations")
+        .inc(activity.macActivations);
+    stats.counter("activity.moveRows").inc(activity.moveRows);
+    stats.counter("activity.remoteRows").inc(activity.remoteRows);
+    stats.counter("activity.verticalWriteBytes")
+        .inc(activity.verticalWriteBytes);
+    stats.counter("activity.dmemAccesses")
+        .inc(activity.dmemAccesses);
+    stats.counter("activity.llcAccesses")
+        .inc(activity.llcAccesses);
+    stats.counter("activity.nocFlitHops")
+        .inc(activity.nocFlitHops);
+    stats.counter("activity.dramAccesses")
+        .inc(activity.dramAccesses);
+    for (size_t i = 0; i < segments.size(); ++i) {
+        const auto &seg = segments[i];
+        std::string prefix = format("segment%zu.", i);
+        stats.counter(prefix + "startCycle").inc(seg.start);
+        stats.counter(prefix + "endCycle").inc(seg.end);
+        for (const auto &ls : seg.layers) {
+            stats.summary(prefix + "iterBreakdown")
+                .sample(ls.midCore.total());
+        }
+    }
+}
+
+MaiccSystem::MaiccSystem(const Network &network,
+                         const std::vector<Weights4> &w,
+                         SystemConfig config)
+    : net(network), weights(w), cfg(std::move(config)),
+      llcModel(cfg.llc)
+{
+    maicc_assert(weights.size() == net.size());
+}
+
+void
+MaiccSystem::runPool(size_t layer_idx, const Tensor3 &input,
+                     const std::vector<Cycles> &input_ready,
+                     LayerTiming &timing_out, Tensor3 &output_out)
+{
+    const LayerSpec &l = net.layer(layer_idx);
+    output_out = referenceLayer(l, Weights4{}, input, nullptr);
+    int out_h = l.outH(), out_w = l.outW();
+    timing_out.pixelReady.assign(size_t(out_h) * out_w, 0);
+    Cycles pool_cost = Cycles(l.R) * l.S + 10;
+    for (int oh = 0; oh < out_h; ++oh) {
+        for (int ow = 0; ow < out_w; ++ow) {
+            Cycles ready = 0;
+            for (int r = 0; r < l.R; ++r) {
+                for (int s = 0; s < l.S; ++s) {
+                    size_t p = size_t(oh * l.stride + r) * l.inW
+                        + (ow * l.stride + s);
+                    ready = std::max(ready, input_ready[p]);
+                }
+            }
+            timing_out.pixelReady[oh * out_w + ow] =
+                ready + pool_cost;
+        }
+    }
+}
+
+LayerRunStats
+MaiccSystem::runLayer(const Segment &seg,
+                      const SegmentPlacement &placement,
+                      const LayerMapping &lm, Cycles seg_start,
+                      const Tensor3 &input, Addr input_addr,
+                      const std::vector<Cycles> &input_ready,
+                      LayerTiming &timing_out, Tensor3 &output_out,
+                      RunResult &result)
+{
+    const LayerSpec &l = net.layer(lm.layerIdx);
+    const NodeAllocation &alloc = lm.alloc;
+    unsigned chain = alloc.computeCores;
+    unsigned splits = alloc.channelSplits;
+    unsigned units = totalUnits(l);
+    unsigned u = alloc.unitsPerNode;
+    bool from_dram = !inputInsideSegment(net, seg, lm.layerIdx);
+
+    maicc_assert(input.H == l.inH && input.W == l.inW
+                 && input.C == l.inC);
+    size_t in_pixels = size_t(l.inH) * l.inW;
+    maicc_assert(input_ready.size() == in_pixels);
+
+    CoreIterCost cost = coreIterCost(l, alloc);
+    int out_h = l.outH(), out_w = l.outW();
+    size_t out_pixels = size_t(out_h) * out_w;
+    double aux_rate = double(out_pixels) / in_pixels
+        * (double(u) / splits);
+    Cycles iter = cost.iteration(aux_rate);
+    Cycles dc_iter = dcIterCost(l, from_dram);
+    Cycles hop = vecHopLatency(cfg.noc);
+    Cycles link = vecLinkOccupancy(l.nBits);
+
+    LayerRunStats stats;
+    stats.layerIdx = lm.layerIdx;
+    stats.alloc = alloc;
+
+    // --- Data-collection core: in-order vector assembly. ---
+    std::vector<Cycles> avail(in_pixels);
+    {
+        Cycles dc_free = seg_start;
+        for (size_t p = 0; p < in_pixels; ++p) {
+            Cycles in_at = std::max(input_ready[p], seg_start);
+            dc_free = std::max(in_at, dc_free) + dc_iter;
+            avail[p] = dc_free + hop;
+        }
+        stats.firstInput = std::max(input_ready[0], seg_start);
+    }
+
+    // --- Compute-core chain: single-buffered pipeline. ---
+    unsigned mid = chain / 2;
+    std::vector<Cycles> done(in_pixels);
+    double wait_sum = 0;
+    for (unsigned k = 0; k < chain; ++k) {
+        Cycles prev_done = seg_start;
+        for (size_t p = 0; p < in_pixels; ++p) {
+            Cycles start = std::max(avail[p], prev_done);
+            if (k == mid)
+                wait_sum += double(start) - double(std::max(
+                    prev_done, seg_start));
+            Cycles fin = start + iter;
+            done[p] = fin;
+            prev_done = fin;
+            // Forward to the next core: compute phase, then the
+            // link drains N*9 flits plus the hop latency.
+            Cycles compute_phase = std::max(cost.cmem,
+                                            cost.accumulate);
+            avail[p] = start + compute_phase + link + hop;
+        }
+    }
+    if (chain > 0 && in_pixels > 0) {
+        stats.midCore.compute =
+            double(std::max(cost.cmem, cost.accumulate));
+        stats.midCore.sendIfmap = double(cost.forward);
+        stats.midCore.sendOfmap =
+            double(cost.auxPerPixel) * aux_rate;
+        stats.midCore.waitIfmap = wait_sum / double(in_pixels);
+    }
+
+    // --- Residual availability (for the fused add). ---
+    const Tensor3 *residual = nullptr;
+    const std::vector<Cycles> *residual_ready = nullptr;
+    std::vector<Cycles> zero_ready;
+    if (l.addFrom == -1) {
+        residual = &resultInput; // set by run()
+        zero_ready.assign(out_pixels, 0);
+        residual_ready = &zero_ready;
+    } else if (l.addFrom >= 0) {
+        residual = &result.layerOutputs[l.addFrom];
+        residual_ready = &residualTimings[l.addFrom].pixelReady;
+    }
+
+    // --- Output-pixel completion times. ---
+    timing_out.pixelReady.assign(out_pixels, 0);
+    Cycles merge_lat = splits > 1 ? hop + 10 : 0;
+    Cycles consumer_hops = from_dram ? 5 : 2;
+    Cycles send_lat =
+        Cycles(consumer_hops + 1) * (cfg.noc.routerLatency + 1) + 2;
+    Cycles last_out = seg_start;
+    for (int oh = 0; oh < out_h; ++oh) {
+        for (int ow = 0; ow < out_w; ++ow) {
+            int x_last = std::min(l.inH - 1,
+                                  oh * l.stride + l.R - 1 - l.pad);
+            int y_last = std::min(l.inW - 1,
+                                  ow * l.stride + l.S - 1 - l.pad);
+            size_t p_last = size_t(x_last) * l.inW + y_last;
+            Cycles t = done[p_last];
+            if (residual_ready) {
+                Cycles rr =
+                    (*residual_ready)[size_t(oh) * out_w + ow];
+                t = std::max(t, std::max(rr, seg_start));
+            }
+            t += cost.auxPerPixel + merge_lat + send_lat;
+            timing_out.pixelReady[size_t(oh) * out_w + ow] = t;
+            last_out = std::max(last_out, t);
+        }
+    }
+    stats.lastOutput = last_out;
+
+    // --- Functional compute, partitioned exactly as mapped. ---
+    std::vector<int32_t> acc(out_pixels * l.outC, 0);
+    uint64_t mac_count = 0;
+    for (unsigned unit = 0; unit < units; ++unit) {
+        unsigned m = unit / splits;
+        unsigned si = unit % splits;
+        int c_lo = int(si) * 256;
+        int c_hi = std::min(l.inC, c_lo + 256);
+        const Weights4 &w = weights[lm.layerIdx];
+        for (int oh = 0; oh < out_h; ++oh) {
+            for (int ow = 0; ow < out_w; ++ow) {
+                int32_t sum = 0;
+                for (int r = 0; r < l.R; ++r) {
+                    int ih = oh * l.stride + r - l.pad;
+                    if (ih < 0 || ih >= l.inH)
+                        continue;
+                    for (int s = 0; s < l.S; ++s) {
+                        int iw = ow * l.stride + s - l.pad;
+                        if (iw < 0 || iw >= l.inW)
+                            continue;
+                        ++mac_count;
+                        const int8_t *in_px =
+                            &input.data[input.index(ih, iw, 0)];
+                        const int8_t *w_px =
+                            &w.data[w.index(m, r, s, 0)];
+                        for (int c = c_lo; c < c_hi; ++c) {
+                            sum += int32_t(in_px[c]) * w_px[c];
+                        }
+                    }
+                }
+                acc[(size_t(oh) * out_w + ow) * l.outC + m] += sum;
+            }
+        }
+    }
+
+    output_out = Tensor3(out_h, out_w, l.outC);
+    for (int oh = 0; oh < out_h; ++oh) {
+        for (int ow = 0; ow < out_w; ++ow) {
+            for (int m = 0; m < l.outC; ++m) {
+                int32_t v =
+                    acc[(size_t(oh) * out_w + ow) * l.outC + m];
+                if (residual) {
+                    v += int32_t(residual->at(oh, ow, m))
+                        << l.shift;
+                }
+                output_out.at(oh, ow, m) =
+                    requantize(v, l.shift, l.relu);
+            }
+        }
+    }
+
+    // --- Activity accounting. ---
+    auto &act = result.activity;
+    unsigned n = l.nBits;
+    act.macActivations += mac_count * n * n;
+    act.moveRows += in_pixels * chain * 7 * n;
+    act.remoteRows += in_pixels * (chain + 1) * n;
+    act.verticalWriteBytes += in_pixels * l.inC;
+    act.dmemAccesses += mac_count * 2 + out_pixels * l.outC;
+    act.nocFlitHops += in_pixels * (chain + 1) * n * 9
+        + out_pixels * units * 2 * consumer_hops;
+    if (from_dram) {
+        uint64_t blocks = divCeil(in_pixels * l.inC, 64);
+        act.llcAccesses += blocks;
+        for (uint64_t b = 0; b < blocks; ++b) {
+            Addr a = input_addr + Addr(b) * 64;
+            if (!llcModel.access(a, false).hit)
+                ++act.dramAccesses;
+        }
+    }
+    // Placement is currently used for chain adjacency; richer
+    // coordinate-exact flit accounting is future work.
+    (void)placement;
+
+    return stats;
+}
+
+RunResult
+MaiccSystem::run(const MappingPlan &plan, const Tensor3 &input,
+                 Cycles start_at)
+{
+    RunResult result;
+    result.layerOutputs.resize(net.size());
+    residualTimings.assign(net.size(), LayerTiming{});
+    resultInput = input;
+
+    std::vector<bool> computed(net.size(), false);
+    std::vector<Cycles> input_ready_net(
+        size_t(input.H) * input.W, start_at);
+
+    Cycles prev_start = start_at;
+    Cycles prev_end = start_at;
+    Addr addr_cursor = 0x80000000u;
+    Addr input_addr_base = addr_cursor;
+    addr_cursor += Addr(input.data.size());
+    std::vector<Addr> layer_addr(net.size(), 0);
+
+    struct Resolved
+    {
+        const Tensor3 *tensor;
+        const std::vector<Cycles> *ready;
+        Addr addr;
+    };
+    // Resolve an input tensor + per-pixel readiness for a layer.
+    auto resolve = [&](size_t li) -> Resolved {
+        const LayerSpec &l = net.layer(li);
+        if (l.inputFrom < 0)
+            return {&resultInput, &input_ready_net,
+                    input_addr_base};
+        maicc_assert(computed[l.inputFrom]);
+        return {&result.layerOutputs[l.inputFrom],
+                &residualTimings[l.inputFrom].pixelReady,
+                layer_addr[l.inputFrom]};
+    };
+
+    // Ensure pooling producers are evaluated before consumers.
+    auto ensure_pools = [&](size_t up_to) {
+        for (size_t i = 0; i < up_to; ++i) {
+            const LayerSpec &l = net.layer(i);
+            if (computed[i] || l.isCompute())
+                continue;
+            if (l.inputFrom >= 0 && !computed[l.inputFrom])
+                continue;
+            Resolved in = resolve(i);
+            runPool(i, *in.tensor, *in.ready, residualTimings[i],
+                    result.layerOutputs[i]);
+            layer_addr[i] = addr_cursor;
+            addr_cursor +=
+                Addr(result.layerOutputs[i].data.size());
+            computed[i] = true;
+        }
+    };
+
+    for (const auto &seg : plan.segments) {
+        SegmentRunStats seg_stats;
+        SegmentPlacement placement = placeSegment(seg,
+                                                  cfg.geometry);
+        // Filter-load phase: batched DRAM reads, overlapped with
+        // the previous segment's execution (§6.2).
+        uint64_t filter_bytes = 0;
+        for (const auto &lm : seg.layers)
+            filter_bytes += weights[lm.layerIdx].data.size();
+        Cycles load =
+            Cycles(filter_bytes / cfg.filterLoadBytesPerCycle());
+        seg_stats.start = std::max(prev_end, prev_start + load);
+        seg_stats.filterLoadDone = seg_stats.start;
+        result.activity.dramAccesses += divCeil(filter_bytes, 64);
+        result.activity.llcAccesses += divCeil(filter_bytes, 64);
+
+        Cycles seg_end = seg_stats.start;
+        for (const auto &lm : seg.layers) {
+            const LayerSpec &l = net.layer(lm.layerIdx);
+            if (l.inputFrom >= 0)
+                ensure_pools(lm.layerIdx);
+            Resolved in = resolve(lm.layerIdx);
+            LayerRunStats ls = runLayer(
+                seg, placement, lm, seg_stats.start, *in.tensor,
+                in.addr, *in.ready, residualTimings[lm.layerIdx],
+                result.layerOutputs[lm.layerIdx], result);
+            computed[lm.layerIdx] = true;
+            layer_addr[lm.layerIdx] = addr_cursor;
+            addr_cursor +=
+                Addr(result.layerOutputs[lm.layerIdx].data.size());
+            seg_end = std::max(seg_end, ls.lastOutput);
+            seg_stats.layers.push_back(std::move(ls));
+        }
+        // Segment outputs written back to DRAM.
+        for (const auto &lm : seg.layers) {
+            result.activity.dramAccesses += divCeil(
+                result.layerOutputs[lm.layerIdx].data.size(), 64);
+        }
+        seg_stats.end = seg_end;
+        prev_start = seg_stats.start;
+        prev_end = seg_end;
+        result.segments.push_back(std::move(seg_stats));
+    }
+    ensure_pools(net.size());
+
+    for (size_t i = 0; i < net.size(); ++i)
+        maicc_assert(computed[i]);
+
+    result.totalCycles = prev_end - start_at;
+    result.activity.runtime = result.totalCycles;
+    result.activity.activeCoreCycles =
+        uint64_t(result.totalCycles) * cfg.coreBudget;
+    return result;
+}
+
+} // namespace maicc

@@ -1,0 +1,357 @@
+#include "rv32/assembler.hh"
+
+#include "common/logging.hh"
+
+namespace maicc
+{
+namespace rv32
+{
+
+std::vector<uint32_t>
+Program::binary() const
+{
+    std::vector<uint32_t> out;
+    out.reserve(insts.size());
+    for (const auto &in : insts)
+        out.push_back(encode(in));
+    return out;
+}
+
+Assembler::Label
+Assembler::newLabel()
+{
+    return nextLabel++;
+}
+
+void
+Assembler::bind(Label label)
+{
+    maicc_assert(!bound.count(label));
+    bound[label] = insts.size();
+}
+
+void
+Assembler::emit(Inst inst)
+{
+    inst.raw = encode(inst);
+    insts.push_back(inst);
+}
+
+void
+Assembler::emitBranch(Op op, Reg rs1, Reg rs2, Label target)
+{
+    Inst in;
+    in.op = op;
+    in.rs1 = rs1;
+    in.rs2 = rs2;
+    in.imm = 0;
+    fixups.push_back({insts.size(), target});
+    insts.push_back(in);
+}
+
+// ---- RV32I -----------------------------------------------------------
+
+void
+Assembler::lui(Reg rd, int32_t imm20)
+{
+    emit({Op::LUI, (uint8_t)rd, 0, 0, imm20 << 12, 0, 0, 0});
+}
+
+void
+Assembler::auipc(Reg rd, int32_t imm20)
+{
+    emit({Op::AUIPC, (uint8_t)rd, 0, 0, imm20 << 12, 0, 0, 0});
+}
+
+void
+Assembler::jal(Reg rd, Label target)
+{
+    Inst in;
+    in.op = Op::JAL;
+    in.rd = rd;
+    fixups.push_back({insts.size(), target});
+    insts.push_back(in);
+}
+
+void
+Assembler::jalr(Reg rd, Reg rs1, int32_t imm)
+{
+    emit({Op::JALR, (uint8_t)rd, (uint8_t)rs1, 0, imm, 0, 0, 0});
+}
+
+#define MAICC_BRANCH(name, OPV)                                     \
+    void Assembler::name(Reg rs1, Reg rs2, Label target)            \
+    {                                                               \
+        emitBranch(Op::OPV, rs1, rs2, target);                      \
+    }
+
+MAICC_BRANCH(beq, BEQ)
+MAICC_BRANCH(bne, BNE)
+MAICC_BRANCH(blt, BLT)
+MAICC_BRANCH(bge, BGE)
+MAICC_BRANCH(bltu, BLTU)
+MAICC_BRANCH(bgeu, BGEU)
+#undef MAICC_BRANCH
+
+#define MAICC_LOAD(name, OPV)                                       \
+    void Assembler::name(Reg rd, Reg rs1, int32_t imm)              \
+    {                                                               \
+        emit({Op::OPV, (uint8_t)rd, (uint8_t)rs1, 0, imm, 0, 0, 0});\
+    }
+
+MAICC_LOAD(lb, LB)
+MAICC_LOAD(lh, LH)
+MAICC_LOAD(lw, LW)
+MAICC_LOAD(lbu, LBU)
+MAICC_LOAD(lhu, LHU)
+#undef MAICC_LOAD
+
+#define MAICC_STORE(name, OPV)                                      \
+    void Assembler::name(Reg rs2, Reg rs1, int32_t imm)             \
+    {                                                               \
+        emit({Op::OPV, 0, (uint8_t)rs1, (uint8_t)rs2, imm,          \
+              0, 0, 0});                                            \
+    }
+
+MAICC_STORE(sb, SB)
+MAICC_STORE(sh, SH)
+MAICC_STORE(sw, SW)
+#undef MAICC_STORE
+
+#define MAICC_OPIMM(name, OPV)                                      \
+    void Assembler::name(Reg rd, Reg rs1, int32_t imm)              \
+    {                                                               \
+        emit({Op::OPV, (uint8_t)rd, (uint8_t)rs1, 0, imm, 0, 0, 0});\
+    }
+
+MAICC_OPIMM(addi, ADDI)
+MAICC_OPIMM(slti, SLTI)
+MAICC_OPIMM(sltiu, SLTIU)
+MAICC_OPIMM(xori, XORI)
+MAICC_OPIMM(ori, ORI)
+MAICC_OPIMM(andi, ANDI)
+MAICC_OPIMM(slli, SLLI)
+MAICC_OPIMM(srli, SRLI)
+MAICC_OPIMM(srai, SRAI)
+#undef MAICC_OPIMM
+
+#define MAICC_OPRR(name, OPV)                                       \
+    void Assembler::name(Reg rd, Reg rs1, Reg rs2)                  \
+    {                                                               \
+        emit({Op::OPV, (uint8_t)rd, (uint8_t)rs1, (uint8_t)rs2,     \
+              0, 0, 0, 0});                                         \
+    }
+
+MAICC_OPRR(add, ADD)
+MAICC_OPRR(sub, SUB)
+MAICC_OPRR(sll, SLL)
+MAICC_OPRR(slt, SLT)
+MAICC_OPRR(sltu, SLTU)
+MAICC_OPRR(xorr, XOR)
+MAICC_OPRR(srl, SRL)
+MAICC_OPRR(sra, SRA)
+MAICC_OPRR(orr, OR)
+MAICC_OPRR(andr, AND)
+MAICC_OPRR(mul, MUL)
+MAICC_OPRR(mulh, MULH)
+MAICC_OPRR(mulhsu, MULHSU)
+MAICC_OPRR(mulhu, MULHU)
+MAICC_OPRR(div, DIV)
+MAICC_OPRR(divu, DIVU)
+MAICC_OPRR(rem, REM)
+MAICC_OPRR(remu, REMU)
+#undef MAICC_OPRR
+
+void
+Assembler::fence()
+{
+    emit({Op::FENCE, 0, 0, 0, 0, 0, 0, 0});
+}
+
+void
+Assembler::ecall()
+{
+    emit({Op::ECALL, 0, 0, 0, 0, 0, 0, 0});
+}
+
+void
+Assembler::ebreak()
+{
+    emit({Op::EBREAK, 0, 0, 0, 0, 0, 0, 0});
+}
+
+void
+Assembler::lrw(Reg rd, Reg rs1)
+{
+    emit({Op::LR_W, (uint8_t)rd, (uint8_t)rs1, 0, 0, 0, 0, 0});
+}
+
+void
+Assembler::scw(Reg rd, Reg rs1, Reg rs2)
+{
+    emit({Op::SC_W, (uint8_t)rd, (uint8_t)rs1, (uint8_t)rs2, 0, 0, 0,
+          0});
+}
+
+void
+Assembler::amoswap(Reg rd, Reg rs1, Reg rs2)
+{
+    emit({Op::AMOSWAP_W, (uint8_t)rd, (uint8_t)rs1, (uint8_t)rs2, 0,
+          0, 0, 0});
+}
+
+void
+Assembler::amoadd(Reg rd, Reg rs1, Reg rs2)
+{
+    emit({Op::AMOADD_W, (uint8_t)rd, (uint8_t)rs1, (uint8_t)rs2, 0,
+          0, 0, 0});
+}
+
+#define MAICC_AMO(name, OPV)                                        \
+    void Assembler::name(Reg rd, Reg rs1, Reg rs2)                  \
+    {                                                               \
+        emit({Op::OPV, (uint8_t)rd, (uint8_t)rs1, (uint8_t)rs2,     \
+              0, 0, 0, 0});                                         \
+    }
+
+MAICC_AMO(amoxor, AMOXOR_W)
+MAICC_AMO(amoand, AMOAND_W)
+MAICC_AMO(amoor, AMOOR_W)
+MAICC_AMO(amomin, AMOMIN_W)
+MAICC_AMO(amomax, AMOMAX_W)
+MAICC_AMO(amominu, AMOMINU_W)
+MAICC_AMO(amomaxu, AMOMAXU_W)
+#undef MAICC_AMO
+
+// ---- CMem extension ---------------------------------------------------
+
+void
+Assembler::maccC(Reg rd, Reg desc_a, Reg desc_b, unsigned n)
+{
+    Inst in;
+    in.op = Op::MAC_C;
+    in.rd = rd;
+    in.rs1 = desc_a;
+    in.rs2 = desc_b;
+    in.cmemN = n;
+    emit(in);
+}
+
+void
+Assembler::moveC(Reg desc_src, Reg desc_dst, unsigned n)
+{
+    Inst in;
+    in.op = Op::MOVE_C;
+    in.rs1 = desc_src;
+    in.rs2 = desc_dst;
+    in.cmemN = n;
+    emit(in);
+}
+
+void
+Assembler::setRowC(Reg desc, bool value)
+{
+    Inst in;
+    in.op = Op::SETROW_C;
+    in.rs1 = desc;
+    in.cmemVal = value;
+    emit(in);
+}
+
+void
+Assembler::shiftRowC(Reg desc, Reg chunks)
+{
+    Inst in;
+    in.op = Op::SHIFTROW_C;
+    in.rs1 = desc;
+    in.rs2 = chunks;
+    emit(in);
+}
+
+void
+Assembler::loadRowRC(Reg remote_addr, Reg local_desc)
+{
+    Inst in;
+    in.op = Op::LOADROW_RC;
+    in.rs1 = remote_addr;
+    in.rs2 = local_desc;
+    emit(in);
+}
+
+void
+Assembler::storeRowRC(Reg remote_addr, Reg local_desc)
+{
+    Inst in;
+    in.op = Op::STOREROW_RC;
+    in.rs1 = remote_addr;
+    in.rs2 = local_desc;
+    emit(in);
+}
+
+void
+Assembler::setMaskC(Reg slice, Reg mask)
+{
+    Inst in;
+    in.op = Op::SETMASK_C;
+    in.rs1 = slice;
+    in.rs2 = mask;
+    emit(in);
+}
+
+// ---- Pseudo-instructions ----------------------------------------------
+
+void
+Assembler::li(Reg rd, int32_t value)
+{
+    int32_t lo = (value << 20) >> 20; // low 12 bits, sign-extended
+    int32_t hi = value - lo;
+    if (hi != 0) {
+        lui(rd, static_cast<uint32_t>(hi) >> 12);
+        if (lo != 0)
+            addi(rd, rd, lo);
+    } else {
+        addi(rd, zero, lo);
+    }
+}
+
+void
+Assembler::mv(Reg rd, Reg rs)
+{
+    addi(rd, rs, 0);
+}
+
+void
+Assembler::j(Label target)
+{
+    jal(zero, target);
+}
+
+void
+Assembler::nop()
+{
+    addi(zero, zero, 0);
+}
+
+Program
+Assembler::finish()
+{
+    for (const Fixup &fx : fixups) {
+        auto it = bound.find(fx.label);
+        if (it == bound.end())
+            maicc_panic("unbound label %d", fx.label);
+        int32_t offset =
+            (static_cast<int32_t>(it->second)
+             - static_cast<int32_t>(fx.index)) * 4;
+        insts[fx.index].imm = offset;
+        insts[fx.index].raw = encode(insts[fx.index]);
+    }
+    Program p;
+    p.insts = std::move(insts);
+    insts.clear();
+    fixups.clear();
+    bound.clear();
+    return p;
+}
+
+} // namespace rv32
+} // namespace maicc

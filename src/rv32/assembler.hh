@@ -1,0 +1,177 @@
+/**
+ * @file
+ * An in-memory assembler for RV32IMA + the CMem extension.
+ *
+ * The paper (§5) schedules CMem instruction sequences manually; this
+ * builder is the programmatic equivalent: node programs for the
+ * single-node experiments (Tables 4 and 5) are written directly
+ * against this API, then run on the cycle-level core model.
+ *
+ * Branch/jump targets use integer labels with back-patching:
+ *
+ *   Assembler a;
+ *   auto loop = a.newLabel();
+ *   a.li(t0, 10);
+ *   a.bind(loop);
+ *   a.addi(t0, t0, -1);
+ *   a.bne(t0, zero, loop);
+ *   a.ecall();
+ *   Program p = a.finish();
+ */
+
+#ifndef MAICC_RV32_ASSEMBLER_HH
+#define MAICC_RV32_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "rv32/encoding.hh"
+#include "rv32/inst.hh"
+
+namespace maicc
+{
+namespace rv32
+{
+
+/** A finished program: decoded instructions, pc = 4 * index. */
+struct Program
+{
+    std::vector<Inst> insts;
+
+    /** Raw 32-bit encodings. */
+    std::vector<uint32_t> binary() const;
+
+    size_t size() const { return insts.size(); }
+    bool empty() const { return insts.empty(); }
+};
+
+/** Builder for Program; see file comment. */
+class Assembler
+{
+  public:
+    using Label = int;
+
+    /** Create an unbound label. */
+    Label newLabel();
+
+    /** Bind @p label to the current position. */
+    void bind(Label label);
+
+    /** Current instruction index (for size accounting). */
+    size_t here() const { return insts.size(); }
+
+    // ---- RV32I -------------------------------------------------
+    void lui(Reg rd, int32_t imm20);
+    void auipc(Reg rd, int32_t imm20);
+    void jal(Reg rd, Label target);
+    void jalr(Reg rd, Reg rs1, int32_t imm);
+    void beq(Reg rs1, Reg rs2, Label target);
+    void bne(Reg rs1, Reg rs2, Label target);
+    void blt(Reg rs1, Reg rs2, Label target);
+    void bge(Reg rs1, Reg rs2, Label target);
+    void bltu(Reg rs1, Reg rs2, Label target);
+    void bgeu(Reg rs1, Reg rs2, Label target);
+    void lb(Reg rd, Reg rs1, int32_t imm);
+    void lh(Reg rd, Reg rs1, int32_t imm);
+    void lw(Reg rd, Reg rs1, int32_t imm);
+    void lbu(Reg rd, Reg rs1, int32_t imm);
+    void lhu(Reg rd, Reg rs1, int32_t imm);
+    void sb(Reg rs2, Reg rs1, int32_t imm);
+    void sh(Reg rs2, Reg rs1, int32_t imm);
+    void sw(Reg rs2, Reg rs1, int32_t imm);
+    void addi(Reg rd, Reg rs1, int32_t imm);
+    void slti(Reg rd, Reg rs1, int32_t imm);
+    void sltiu(Reg rd, Reg rs1, int32_t imm);
+    void xori(Reg rd, Reg rs1, int32_t imm);
+    void ori(Reg rd, Reg rs1, int32_t imm);
+    void andi(Reg rd, Reg rs1, int32_t imm);
+    void slli(Reg rd, Reg rs1, int32_t shamt);
+    void srli(Reg rd, Reg rs1, int32_t shamt);
+    void srai(Reg rd, Reg rs1, int32_t shamt);
+    void add(Reg rd, Reg rs1, Reg rs2);
+    void sub(Reg rd, Reg rs1, Reg rs2);
+    void sll(Reg rd, Reg rs1, Reg rs2);
+    void slt(Reg rd, Reg rs1, Reg rs2);
+    void sltu(Reg rd, Reg rs1, Reg rs2);
+    void xorr(Reg rd, Reg rs1, Reg rs2);
+    void srl(Reg rd, Reg rs1, Reg rs2);
+    void sra(Reg rd, Reg rs1, Reg rs2);
+    void orr(Reg rd, Reg rs1, Reg rs2);
+    void andr(Reg rd, Reg rs1, Reg rs2);
+    void fence();
+    void ecall();
+    void ebreak();
+
+    // ---- RV32M -------------------------------------------------
+    void mul(Reg rd, Reg rs1, Reg rs2);
+    void mulh(Reg rd, Reg rs1, Reg rs2);
+    void mulhsu(Reg rd, Reg rs1, Reg rs2);
+    void mulhu(Reg rd, Reg rs1, Reg rs2);
+    void div(Reg rd, Reg rs1, Reg rs2);
+    void divu(Reg rd, Reg rs1, Reg rs2);
+    void rem(Reg rd, Reg rs1, Reg rs2);
+    void remu(Reg rd, Reg rs1, Reg rs2);
+
+    // ---- RV32A -------------------------------------------------
+    void lrw(Reg rd, Reg rs1);
+    void scw(Reg rd, Reg rs1, Reg rs2);
+    void amoswap(Reg rd, Reg rs1, Reg rs2);
+    void amoadd(Reg rd, Reg rs1, Reg rs2);
+    void amoxor(Reg rd, Reg rs1, Reg rs2);
+    void amoand(Reg rd, Reg rs1, Reg rs2);
+    void amoor(Reg rd, Reg rs1, Reg rs2);
+    void amomin(Reg rd, Reg rs1, Reg rs2);
+    void amomax(Reg rd, Reg rs1, Reg rs2);
+    void amominu(Reg rd, Reg rs1, Reg rs2);
+    void amomaxu(Reg rd, Reg rs1, Reg rs2);
+
+    // ---- CMem extension (Table 2) -------------------------------
+    /** MAC.C rd, descA(rs1), descB(rs2), precision n. */
+    void maccC(Reg rd, Reg desc_a, Reg desc_b, unsigned n);
+    /** Move.C descSrc(rs1) -> descDst(rs2), n rows. */
+    void moveC(Reg desc_src, Reg desc_dst, unsigned n);
+    /** SetRow.C desc(rs1) <- all @p value. */
+    void setRowC(Reg desc, bool value);
+    /** ShiftRow.C desc(rs1) by chunks(rs2). */
+    void shiftRowC(Reg desc, Reg chunks);
+    /** LoadRow.RC remoteAddr(rs1) -> localDesc(rs2). */
+    void loadRowRC(Reg remote_addr, Reg local_desc);
+    /** StoreRow.RC localDesc(rs2) -> remoteAddr(rs1). */
+    void storeRowRC(Reg remote_addr, Reg local_desc);
+    /** SetMask.C slice(rs1) <- mask(rs2). */
+    void setMaskC(Reg slice, Reg mask);
+
+    // ---- Pseudo-instructions -------------------------------------
+    /** Load a 32-bit constant (expands to lui+addi as needed). */
+    void li(Reg rd, int32_t value);
+    /** Register move. */
+    void mv(Reg rd, Reg rs);
+    /** Unconditional jump. */
+    void j(Label target);
+    /** No-operation. */
+    void nop();
+
+    /** Resolve all labels and return the program. */
+    Program finish();
+
+  private:
+    void emit(Inst inst);
+    void emitBranch(Op op, Reg rs1, Reg rs2, Label target);
+
+    struct Fixup
+    {
+        size_t index;
+        Label label;
+    };
+
+    std::vector<Inst> insts;
+    std::vector<Fixup> fixups;
+    std::map<Label, size_t> bound;
+    Label nextLabel = 0;
+};
+
+} // namespace rv32
+} // namespace maicc
+
+#endif // MAICC_RV32_ASSEMBLER_HH

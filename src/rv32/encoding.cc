@@ -1,0 +1,440 @@
+#include "rv32/encoding.hh"
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace maicc
+{
+namespace rv32
+{
+
+uint32_t
+encodeR(uint32_t funct7, uint32_t rs2, uint32_t rs1, uint32_t funct3,
+        uint32_t rd, uint32_t opcode)
+{
+    return (funct7 << 25) | ((rs2 & 31) << 20) | ((rs1 & 31) << 15)
+        | (funct3 << 12) | ((rd & 31) << 7) | opcode;
+}
+
+uint32_t
+encodeI(int32_t imm, uint32_t rs1, uint32_t funct3, uint32_t rd,
+        uint32_t opcode)
+{
+    return (static_cast<uint32_t>(imm & 0xFFF) << 20)
+        | ((rs1 & 31) << 15) | (funct3 << 12) | ((rd & 31) << 7)
+        | opcode;
+}
+
+uint32_t
+encodeS(int32_t imm, uint32_t rs2, uint32_t rs1, uint32_t funct3,
+        uint32_t opcode)
+{
+    uint32_t u = static_cast<uint32_t>(imm);
+    return (bits(u, 11, 5) << 25) | ((rs2 & 31) << 20)
+        | ((rs1 & 31) << 15) | (funct3 << 12)
+        | (bits(u, 4, 0) << 7) | opcode;
+}
+
+uint32_t
+encodeB(int32_t imm, uint32_t rs2, uint32_t rs1, uint32_t funct3,
+        uint32_t opcode)
+{
+    uint32_t u = static_cast<uint32_t>(imm);
+    return (bits(u, 12) << 31) | (bits(u, 10, 5) << 25)
+        | ((rs2 & 31) << 20) | ((rs1 & 31) << 15) | (funct3 << 12)
+        | (bits(u, 4, 1) << 8) | (bits(u, 11) << 7) | opcode;
+}
+
+uint32_t
+encodeU(int32_t imm, uint32_t rd, uint32_t opcode)
+{
+    return (static_cast<uint32_t>(imm) & 0xFFFFF000u)
+        | ((rd & 31) << 7) | opcode;
+}
+
+uint32_t
+encodeJ(int32_t imm, uint32_t rd, uint32_t opcode)
+{
+    uint32_t u = static_cast<uint32_t>(imm);
+    return (bits(u, 20) << 31) | (bits(u, 10, 1) << 21)
+        | (bits(u, 11) << 20) | (bits(u, 19, 12) << 12)
+        | ((rd & 31) << 7) | opcode;
+}
+
+namespace
+{
+
+/** funct3 for loads/stores/branches/ALU ops. */
+struct OpEnc
+{
+    uint32_t funct3;
+    uint32_t funct7;
+};
+
+OpEnc
+aluEnc(Op op)
+{
+    switch (op) {
+      case Op::ADD:  return {0, 0x00};
+      case Op::SUB:  return {0, 0x20};
+      case Op::SLL:  return {1, 0x00};
+      case Op::SLT:  return {2, 0x00};
+      case Op::SLTU: return {3, 0x00};
+      case Op::XOR:  return {4, 0x00};
+      case Op::SRL:  return {5, 0x00};
+      case Op::SRA:  return {5, 0x20};
+      case Op::OR:   return {6, 0x00};
+      case Op::AND:  return {7, 0x00};
+      case Op::MUL:    return {0, 0x01};
+      case Op::MULH:   return {1, 0x01};
+      case Op::MULHSU: return {2, 0x01};
+      case Op::MULHU:  return {3, 0x01};
+      case Op::DIV:    return {4, 0x01};
+      case Op::DIVU:   return {5, 0x01};
+      case Op::REM:    return {6, 0x01};
+      case Op::REMU:   return {7, 0x01};
+      default: maicc_panic("not an ALU op");
+    }
+}
+
+uint32_t
+amoFunct5(Op op)
+{
+    switch (op) {
+      case Op::LR_W:      return 0x02;
+      case Op::SC_W:      return 0x03;
+      case Op::AMOSWAP_W: return 0x01;
+      case Op::AMOADD_W:  return 0x00;
+      case Op::AMOXOR_W:  return 0x04;
+      case Op::AMOAND_W:  return 0x0C;
+      case Op::AMOOR_W:   return 0x08;
+      case Op::AMOMIN_W:  return 0x10;
+      case Op::AMOMAX_W:  return 0x14;
+      case Op::AMOMINU_W: return 0x18;
+      case Op::AMOMAXU_W: return 0x1C;
+      default: maicc_panic("not an AMO op");
+    }
+}
+
+} // namespace
+
+uint32_t
+encode(const Inst &in)
+{
+    switch (in.op) {
+      case Op::LUI:
+        return encodeU(in.imm, in.rd, OPC_LUI);
+      case Op::AUIPC:
+        return encodeU(in.imm, in.rd, OPC_AUIPC);
+      case Op::JAL:
+        return encodeJ(in.imm, in.rd, OPC_JAL);
+      case Op::JALR:
+        return encodeI(in.imm, in.rs1, 0, in.rd, OPC_JALR);
+      case Op::BEQ:
+        return encodeB(in.imm, in.rs2, in.rs1, 0, OPC_BRANCH);
+      case Op::BNE:
+        return encodeB(in.imm, in.rs2, in.rs1, 1, OPC_BRANCH);
+      case Op::BLT:
+        return encodeB(in.imm, in.rs2, in.rs1, 4, OPC_BRANCH);
+      case Op::BGE:
+        return encodeB(in.imm, in.rs2, in.rs1, 5, OPC_BRANCH);
+      case Op::BLTU:
+        return encodeB(in.imm, in.rs2, in.rs1, 6, OPC_BRANCH);
+      case Op::BGEU:
+        return encodeB(in.imm, in.rs2, in.rs1, 7, OPC_BRANCH);
+      case Op::LB:
+        return encodeI(in.imm, in.rs1, 0, in.rd, OPC_LOAD);
+      case Op::LH:
+        return encodeI(in.imm, in.rs1, 1, in.rd, OPC_LOAD);
+      case Op::LW:
+        return encodeI(in.imm, in.rs1, 2, in.rd, OPC_LOAD);
+      case Op::LBU:
+        return encodeI(in.imm, in.rs1, 4, in.rd, OPC_LOAD);
+      case Op::LHU:
+        return encodeI(in.imm, in.rs1, 5, in.rd, OPC_LOAD);
+      case Op::SB:
+        return encodeS(in.imm, in.rs2, in.rs1, 0, OPC_STORE);
+      case Op::SH:
+        return encodeS(in.imm, in.rs2, in.rs1, 1, OPC_STORE);
+      case Op::SW:
+        return encodeS(in.imm, in.rs2, in.rs1, 2, OPC_STORE);
+      case Op::ADDI:
+        return encodeI(in.imm, in.rs1, 0, in.rd, OPC_OP_IMM);
+      case Op::SLTI:
+        return encodeI(in.imm, in.rs1, 2, in.rd, OPC_OP_IMM);
+      case Op::SLTIU:
+        return encodeI(in.imm, in.rs1, 3, in.rd, OPC_OP_IMM);
+      case Op::XORI:
+        return encodeI(in.imm, in.rs1, 4, in.rd, OPC_OP_IMM);
+      case Op::ORI:
+        return encodeI(in.imm, in.rs1, 6, in.rd, OPC_OP_IMM);
+      case Op::ANDI:
+        return encodeI(in.imm, in.rs1, 7, in.rd, OPC_OP_IMM);
+      case Op::SLLI:
+        return encodeI(in.imm & 31, in.rs1, 1, in.rd, OPC_OP_IMM);
+      case Op::SRLI:
+        return encodeI(in.imm & 31, in.rs1, 5, in.rd, OPC_OP_IMM);
+      case Op::SRAI:
+        return encodeI((in.imm & 31) | 0x400, in.rs1, 5, in.rd,
+                       OPC_OP_IMM);
+      case Op::ADD: case Op::SUB: case Op::SLL: case Op::SLT:
+      case Op::SLTU: case Op::XOR: case Op::SRL: case Op::SRA:
+      case Op::OR: case Op::AND:
+      case Op::MUL: case Op::MULH: case Op::MULHSU: case Op::MULHU:
+      case Op::DIV: case Op::DIVU: case Op::REM: case Op::REMU: {
+        OpEnc e = aluEnc(in.op);
+        return encodeR(e.funct7, in.rs2, in.rs1, e.funct3, in.rd,
+                       OPC_OP);
+      }
+      case Op::FENCE:
+        return encodeI(0, 0, 0, 0, OPC_MISC_MEM);
+      case Op::ECALL:
+        return encodeI(0, 0, 0, 0, OPC_SYSTEM);
+      case Op::EBREAK:
+        return encodeI(1, 0, 0, 0, OPC_SYSTEM);
+      case Op::LR_W: case Op::SC_W: case Op::AMOSWAP_W:
+      case Op::AMOADD_W: case Op::AMOXOR_W: case Op::AMOAND_W:
+      case Op::AMOOR_W: case Op::AMOMIN_W: case Op::AMOMAX_W:
+      case Op::AMOMINU_W: case Op::AMOMAXU_W:
+        return encodeR(amoFunct5(in.op) << 2, in.rs2, in.rs1, 2,
+                       in.rd, OPC_AMO);
+      case Op::MAC_C:
+        return encodeR(in.cmemN & 31, in.rs2, in.rs1, CMEM_MAC,
+                       in.rd, OPC_CUSTOM0);
+      case Op::MOVE_C:
+        return encodeR(in.cmemN & 31, in.rs2, in.rs1, CMEM_MOVE, 0,
+                       OPC_CUSTOM0);
+      case Op::SETROW_C:
+        return encodeR(in.cmemVal & 1, 0, in.rs1, CMEM_SETROW, 0,
+                       OPC_CUSTOM0);
+      case Op::SHIFTROW_C:
+        return encodeR(0, in.rs2, in.rs1, CMEM_SHIFTROW, 0,
+                       OPC_CUSTOM0);
+      case Op::LOADROW_RC:
+        return encodeR(0, in.rs2, in.rs1, CMEM_LOADROW, 0,
+                       OPC_CUSTOM0);
+      case Op::STOREROW_RC:
+        return encodeR(0, in.rs2, in.rs1, CMEM_STOREROW, 0,
+                       OPC_CUSTOM0);
+      case Op::SETMASK_C:
+        return encodeR(0, in.rs2, in.rs1, CMEM_SETMASK, 0,
+                       OPC_CUSTOM0);
+      case Op::ILLEGAL:
+        return 0;
+    }
+    maicc_panic("unreachable encode");
+}
+
+namespace
+{
+
+Inst
+illegal(uint32_t word)
+{
+    Inst in;
+    in.op = Op::ILLEGAL;
+    in.raw = word;
+    return in;
+}
+
+} // namespace
+
+Inst
+decode(uint32_t word)
+{
+    Inst in;
+    in.raw = word;
+    uint32_t opcode = word & 0x7F;
+    in.rd = bits(word, 11, 7);
+    uint32_t funct3 = bits(word, 14, 12);
+    in.rs1 = bits(word, 19, 15);
+    in.rs2 = bits(word, 24, 20);
+    uint32_t funct7 = bits(word, 31, 25);
+
+    auto imm_i = [&] { return sext32(bits(word, 31, 20), 12); };
+    auto imm_s = [&] {
+        return sext32((bits(word, 31, 25) << 5) | bits(word, 11, 7),
+                      12);
+    };
+    auto imm_b = [&] {
+        return sext32((bits(word, 31) << 12) | (bits(word, 7) << 11)
+                          | (bits(word, 30, 25) << 5)
+                          | (bits(word, 11, 8) << 1),
+                      13);
+    };
+    auto imm_u = [&] {
+        return static_cast<int32_t>(word & 0xFFFFF000u);
+    };
+    auto imm_j = [&] {
+        return sext32((bits(word, 31) << 20)
+                          | (bits(word, 19, 12) << 12)
+                          | (bits(word, 20) << 11)
+                          | (bits(word, 30, 21) << 1),
+                      21);
+    };
+
+    switch (opcode) {
+      case OPC_LUI:
+        in.op = Op::LUI;
+        in.imm = imm_u();
+        return in;
+      case OPC_AUIPC:
+        in.op = Op::AUIPC;
+        in.imm = imm_u();
+        return in;
+      case OPC_JAL:
+        in.op = Op::JAL;
+        in.imm = imm_j();
+        return in;
+      case OPC_JALR:
+        if (funct3 != 0)
+            return illegal(word);
+        in.op = Op::JALR;
+        in.imm = imm_i();
+        return in;
+      case OPC_BRANCH:
+        switch (funct3) {
+          case 0: in.op = Op::BEQ; break;
+          case 1: in.op = Op::BNE; break;
+          case 4: in.op = Op::BLT; break;
+          case 5: in.op = Op::BGE; break;
+          case 6: in.op = Op::BLTU; break;
+          case 7: in.op = Op::BGEU; break;
+          default: return illegal(word);
+        }
+        in.imm = imm_b();
+        return in;
+      case OPC_LOAD:
+        switch (funct3) {
+          case 0: in.op = Op::LB; break;
+          case 1: in.op = Op::LH; break;
+          case 2: in.op = Op::LW; break;
+          case 4: in.op = Op::LBU; break;
+          case 5: in.op = Op::LHU; break;
+          default: return illegal(word);
+        }
+        in.imm = imm_i();
+        return in;
+      case OPC_STORE:
+        switch (funct3) {
+          case 0: in.op = Op::SB; break;
+          case 1: in.op = Op::SH; break;
+          case 2: in.op = Op::SW; break;
+          default: return illegal(word);
+        }
+        in.imm = imm_s();
+        return in;
+      case OPC_OP_IMM:
+        switch (funct3) {
+          case 0: in.op = Op::ADDI; break;
+          case 2: in.op = Op::SLTI; break;
+          case 3: in.op = Op::SLTIU; break;
+          case 4: in.op = Op::XORI; break;
+          case 6: in.op = Op::ORI; break;
+          case 7: in.op = Op::ANDI; break;
+          case 1:
+            if (funct7 != 0)
+                return illegal(word);
+            in.op = Op::SLLI;
+            in.imm = in.rs2;
+            return in;
+          case 5:
+            if (funct7 == 0x00) {
+                in.op = Op::SRLI;
+            } else if (funct7 == 0x20) {
+                in.op = Op::SRAI;
+            } else {
+                return illegal(word);
+            }
+            in.imm = in.rs2;
+            return in;
+          default: return illegal(word);
+        }
+        in.imm = imm_i();
+        return in;
+      case OPC_OP: {
+        static const Op map00[8] = {Op::ADD, Op::SLL, Op::SLT,
+                                    Op::SLTU, Op::XOR, Op::SRL,
+                                    Op::OR, Op::AND};
+        static const Op map01[8] = {Op::MUL, Op::MULH, Op::MULHSU,
+                                    Op::MULHU, Op::DIV, Op::DIVU,
+                                    Op::REM, Op::REMU};
+        if (funct7 == 0x00) {
+            in.op = map00[funct3];
+        } else if (funct7 == 0x01) {
+            in.op = map01[funct3];
+        } else if (funct7 == 0x20 && funct3 == 0) {
+            in.op = Op::SUB;
+        } else if (funct7 == 0x20 && funct3 == 5) {
+            in.op = Op::SRA;
+        } else {
+            return illegal(word);
+        }
+        return in;
+      }
+      case OPC_MISC_MEM:
+        in.op = Op::FENCE;
+        return in;
+      case OPC_SYSTEM:
+        if (bits(word, 31, 20) == 0) {
+            in.op = Op::ECALL;
+        } else if (bits(word, 31, 20) == 1) {
+            in.op = Op::EBREAK;
+        } else {
+            return illegal(word);
+        }
+        return in;
+      case OPC_AMO: {
+        if (funct3 != 2)
+            return illegal(word);
+        switch (funct7 >> 2) {
+          case 0x02: in.op = Op::LR_W; break;
+          case 0x03: in.op = Op::SC_W; break;
+          case 0x01: in.op = Op::AMOSWAP_W; break;
+          case 0x00: in.op = Op::AMOADD_W; break;
+          case 0x04: in.op = Op::AMOXOR_W; break;
+          case 0x0C: in.op = Op::AMOAND_W; break;
+          case 0x08: in.op = Op::AMOOR_W; break;
+          case 0x10: in.op = Op::AMOMIN_W; break;
+          case 0x14: in.op = Op::AMOMAX_W; break;
+          case 0x18: in.op = Op::AMOMINU_W; break;
+          case 0x1C: in.op = Op::AMOMAXU_W; break;
+          default: return illegal(word);
+        }
+        return in;
+      }
+      case OPC_CUSTOM0:
+        switch (funct3) {
+          case CMEM_MAC:
+            in.op = Op::MAC_C;
+            in.cmemN = funct7 & 31;
+            return in;
+          case CMEM_MOVE:
+            in.op = Op::MOVE_C;
+            in.cmemN = funct7 & 31;
+            return in;
+          case CMEM_SETROW:
+            in.op = Op::SETROW_C;
+            in.cmemVal = funct7 & 1;
+            return in;
+          case CMEM_SHIFTROW:
+            in.op = Op::SHIFTROW_C;
+            return in;
+          case CMEM_LOADROW:
+            in.op = Op::LOADROW_RC;
+            return in;
+          case CMEM_STOREROW:
+            in.op = Op::STOREROW_RC;
+            return in;
+          case CMEM_SETMASK:
+            in.op = Op::SETMASK_C;
+            return in;
+          default: return illegal(word);
+        }
+      default:
+        return illegal(word);
+    }
+}
+
+} // namespace rv32
+} // namespace maicc

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Binary encodings for RV32IMA and the CMem custom-0 extension.
+ *
+ * Standard formats follow the RISC-V unprivileged spec. The CMem
+ * extension uses major opcode 0x0B (custom-0) with funct3 selecting
+ * the operation:
+ *
+ *   funct3  op            fields
+ *   ------  ------------  ------------------------------------------
+ *   0       MAC.C         rd, rs1=descA, rs2=descB, funct7[4:0]=n
+ *   1       Move.C        rs1=descSrc, rs2=descDst, funct7[4:0]=n
+ *   2       SetRow.C      rs1=desc, funct7[0]=value
+ *   3       ShiftRow.C    rs1=desc, rs2=chunk shift (signed reg)
+ *   4       LoadRow.RC    rs1=remote row address, rs2=local desc
+ *   5       StoreRow.RC   rs1=remote row address, rs2=local desc
+ *   6       SetMask.C     rs1=slice index reg, rs2=mask reg
+ *
+ * A CMem descriptor is (slice << 6) | row, carried in a register.
+ */
+
+#ifndef MAICC_RV32_ENCODING_HH
+#define MAICC_RV32_ENCODING_HH
+
+#include <cstdint>
+
+#include "rv32/inst.hh"
+
+namespace maicc
+{
+namespace rv32
+{
+
+/** Major opcodes used by the simulator. */
+enum MajorOpcode : uint32_t
+{
+    OPC_LOAD = 0x03,
+    OPC_MISC_MEM = 0x0F,
+    OPC_OP_IMM = 0x13,
+    OPC_AUIPC = 0x17,
+    OPC_STORE = 0x23,
+    OPC_AMO = 0x2F,
+    OPC_OP = 0x33,
+    OPC_LUI = 0x37,
+    OPC_BRANCH = 0x63,
+    OPC_JALR = 0x67,
+    OPC_JAL = 0x6F,
+    OPC_SYSTEM = 0x73,
+    OPC_CUSTOM0 = 0x0B, ///< CMem extension
+};
+
+/** CMem funct3 codes within custom-0. */
+enum CMemFunct3 : uint32_t
+{
+    CMEM_MAC = 0,
+    CMEM_MOVE = 1,
+    CMEM_SETROW = 2,
+    CMEM_SHIFTROW = 3,
+    CMEM_LOADROW = 4,
+    CMEM_STOREROW = 5,
+    CMEM_SETMASK = 6,
+};
+
+/** Build a CMem descriptor value. */
+constexpr uint32_t
+cmemDesc(unsigned slice, unsigned row)
+{
+    return (slice << 6) | row;
+}
+
+/** Slice part of a descriptor. */
+constexpr unsigned
+descSlice(uint32_t desc)
+{
+    return (desc >> 6) & 0x7;
+}
+
+/** Row part of a descriptor. */
+constexpr unsigned
+descRow(uint32_t desc)
+{
+    return desc & 0x3F;
+}
+
+// Format encoders -----------------------------------------------------
+
+uint32_t encodeR(uint32_t funct7, uint32_t rs2, uint32_t rs1,
+                 uint32_t funct3, uint32_t rd, uint32_t opcode);
+uint32_t encodeI(int32_t imm, uint32_t rs1, uint32_t funct3,
+                 uint32_t rd, uint32_t opcode);
+uint32_t encodeS(int32_t imm, uint32_t rs2, uint32_t rs1,
+                 uint32_t funct3, uint32_t opcode);
+uint32_t encodeB(int32_t imm, uint32_t rs2, uint32_t rs1,
+                 uint32_t funct3, uint32_t opcode);
+uint32_t encodeU(int32_t imm, uint32_t rd, uint32_t opcode);
+uint32_t encodeJ(int32_t imm, uint32_t rd, uint32_t opcode);
+
+/** Encode a decoded instruction back to its 32-bit word. */
+uint32_t encode(const Inst &inst);
+
+/** Decode a 32-bit word. Returns Op::ILLEGAL on failure. */
+Inst decode(uint32_t word);
+
+} // namespace rv32
+} // namespace maicc
+
+#endif // MAICC_RV32_ENCODING_HH

@@ -1,0 +1,257 @@
+#include "rv32/executor.hh"
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+#include "rv32/encoding.hh"
+
+namespace maicc
+{
+namespace rv32
+{
+
+Row256
+NullRowPort::loadRow(Addr)
+{
+    maicc_panic("LoadRow.RC executed on a node with no row port");
+}
+
+void
+NullRowPort::storeRow(Addr, const Row256 &)
+{
+    maicc_panic("StoreRow.RC executed on a node with no row port");
+}
+
+Executor::Executor(const Program &program, MemIf &memory, CMem *cm,
+                   RowPortIf *row_port)
+    : prog(program), mem(memory), cmem(cm), rows(row_port)
+{
+}
+
+void
+Executor::setReg(unsigned idx, uint32_t value)
+{
+    maicc_assert(idx < 32);
+    if (idx != 0)
+        regs[idx] = value;
+}
+
+const Inst &
+Executor::current() const
+{
+    size_t idx = _pc / 4;
+    maicc_assert(idx < prog.insts.size());
+    return prog.insts[idx];
+}
+
+void
+Executor::run(uint64_t max_insts)
+{
+    uint64_t budget = max_insts;
+    while (!_halted && budget-- > 0)
+        step();
+    if (!_halted)
+        maicc_fatal("program exceeded %llu instructions",
+                    (unsigned long long)max_insts);
+}
+
+void
+Executor::step()
+{
+    if (_halted)
+        return;
+    const Inst &in = current();
+    exec(in);
+    ++retired;
+}
+
+uint32_t
+Executor::amo(const Inst &in, uint32_t addr, uint32_t rs2_val)
+{
+    uint32_t old = mem.load(addr, 4);
+    uint32_t neu = old;
+    switch (in.op) {
+      case Op::AMOSWAP_W: neu = rs2_val; break;
+      case Op::AMOADD_W:  neu = old + rs2_val; break;
+      case Op::AMOXOR_W:  neu = old ^ rs2_val; break;
+      case Op::AMOAND_W:  neu = old & rs2_val; break;
+      case Op::AMOOR_W:   neu = old | rs2_val; break;
+      case Op::AMOMIN_W:
+        neu = (int32_t)old < (int32_t)rs2_val ? old : rs2_val;
+        break;
+      case Op::AMOMAX_W:
+        neu = (int32_t)old > (int32_t)rs2_val ? old : rs2_val;
+        break;
+      case Op::AMOMINU_W: neu = old < rs2_val ? old : rs2_val; break;
+      case Op::AMOMAXU_W: neu = old > rs2_val ? old : rs2_val; break;
+      default: maicc_panic("not an AMO");
+    }
+    mem.store(addr, neu, 4);
+    return old;
+}
+
+void
+Executor::exec(const Inst &in)
+{
+    uint32_t a = regs[in.rs1];
+    uint32_t b = regs[in.rs2];
+    Addr next = _pc + 4;
+
+    auto wr = [&](uint32_t v) { setReg(in.rd, v); };
+
+    switch (in.op) {
+      case Op::LUI: wr(in.imm); break;
+      case Op::AUIPC: wr(_pc + in.imm); break;
+      case Op::JAL:
+        wr(_pc + 4);
+        next = _pc + in.imm;
+        break;
+      case Op::JALR:
+        wr(_pc + 4);
+        next = (a + in.imm) & ~1u;
+        break;
+      case Op::BEQ: if (a == b) next = _pc + in.imm; break;
+      case Op::BNE: if (a != b) next = _pc + in.imm; break;
+      case Op::BLT:
+        if ((int32_t)a < (int32_t)b)
+            next = _pc + in.imm;
+        break;
+      case Op::BGE:
+        if ((int32_t)a >= (int32_t)b)
+            next = _pc + in.imm;
+        break;
+      case Op::BLTU: if (a < b) next = _pc + in.imm; break;
+      case Op::BGEU: if (a >= b) next = _pc + in.imm; break;
+      case Op::LB:
+        wr(sext32(mem.load(a + in.imm, 1), 8));
+        break;
+      case Op::LH:
+        wr(sext32(mem.load(a + in.imm, 2), 16));
+        break;
+      case Op::LW: wr(mem.load(a + in.imm, 4)); break;
+      case Op::LBU: wr(mem.load(a + in.imm, 1)); break;
+      case Op::LHU: wr(mem.load(a + in.imm, 2)); break;
+      case Op::SB: mem.store(a + in.imm, b, 1); break;
+      case Op::SH: mem.store(a + in.imm, b, 2); break;
+      case Op::SW: mem.store(a + in.imm, b, 4); break;
+      case Op::ADDI: wr(a + in.imm); break;
+      case Op::SLTI: wr((int32_t)a < in.imm ? 1 : 0); break;
+      case Op::SLTIU: wr(a < (uint32_t)in.imm ? 1 : 0); break;
+      case Op::XORI: wr(a ^ in.imm); break;
+      case Op::ORI: wr(a | in.imm); break;
+      case Op::ANDI: wr(a & in.imm); break;
+      case Op::SLLI: wr(a << (in.imm & 31)); break;
+      case Op::SRLI: wr(a >> (in.imm & 31)); break;
+      case Op::SRAI: wr((int32_t)a >> (in.imm & 31)); break;
+      case Op::ADD: wr(a + b); break;
+      case Op::SUB: wr(a - b); break;
+      case Op::SLL: wr(a << (b & 31)); break;
+      case Op::SLT: wr((int32_t)a < (int32_t)b ? 1 : 0); break;
+      case Op::SLTU: wr(a < b ? 1 : 0); break;
+      case Op::XOR: wr(a ^ b); break;
+      case Op::SRL: wr(a >> (b & 31)); break;
+      case Op::SRA: wr((int32_t)a >> (b & 31)); break;
+      case Op::OR: wr(a | b); break;
+      case Op::AND: wr(a & b); break;
+      case Op::FENCE: break;
+      case Op::ECALL:
+      case Op::EBREAK:
+        _halted = true;
+        break;
+      case Op::MUL: wr(a * b); break;
+      case Op::MULH:
+        wr((uint32_t)(((int64_t)(int32_t)a * (int32_t)b) >> 32));
+        break;
+      case Op::MULHSU:
+        wr((uint32_t)(((int64_t)(int32_t)a * (uint64_t)b) >> 32));
+        break;
+      case Op::MULHU:
+        wr((uint32_t)(((uint64_t)a * b) >> 32));
+        break;
+      case Op::DIV:
+        if (b == 0) {
+            wr(~0u);
+        } else if (a == 0x80000000u && b == ~0u) {
+            wr(a);
+        } else {
+            wr((int32_t)a / (int32_t)b);
+        }
+        break;
+      case Op::DIVU: wr(b == 0 ? ~0u : a / b); break;
+      case Op::REM:
+        if (b == 0) {
+            wr(a);
+        } else if (a == 0x80000000u && b == ~0u) {
+            wr(0);
+        } else {
+            wr((int32_t)a % (int32_t)b);
+        }
+        break;
+      case Op::REMU: wr(b == 0 ? a : a % b); break;
+      case Op::LR_W:
+        wr(mem.load(a, 4));
+        reservation = true;
+        reservationAddr = a;
+        break;
+      case Op::SC_W:
+        if (reservation && reservationAddr == a) {
+            mem.store(a, b, 4);
+            wr(0);
+        } else {
+            wr(1);
+        }
+        reservation = false;
+        break;
+      case Op::AMOSWAP_W: case Op::AMOADD_W: case Op::AMOXOR_W:
+      case Op::AMOAND_W: case Op::AMOOR_W: case Op::AMOMIN_W:
+      case Op::AMOMAX_W: case Op::AMOMINU_W: case Op::AMOMAXU_W:
+        wr(amo(in, a, b));
+        break;
+      case Op::MAC_C: {
+        maicc_assert(cmem);
+        unsigned sa = descSlice(a), sb = descSlice(b);
+        maicc_assert(sa == sb);
+        int64_t res = cmem->macc(sa, descRow(a), descRow(b),
+                                 in.cmemN, true);
+        wr(static_cast<uint32_t>(res));
+        break;
+      }
+      case Op::MOVE_C:
+        maicc_assert(cmem);
+        cmem->move(descSlice(a), descRow(a), descSlice(b),
+                   descRow(b), in.cmemN);
+        break;
+      case Op::SETROW_C:
+        maicc_assert(cmem);
+        cmem->setRow(descSlice(a), descRow(a), in.cmemVal);
+        break;
+      case Op::SHIFTROW_C:
+        maicc_assert(cmem);
+        cmem->shiftRow(descSlice(a), descRow(a),
+                       static_cast<int32_t>(b));
+        break;
+      case Op::LOADROW_RC: {
+        maicc_assert(cmem && rows);
+        Row256 row = rows->loadRow(a);
+        cmem->writeRowRemote(descSlice(b), descRow(b), row);
+        break;
+      }
+      case Op::STOREROW_RC: {
+        maicc_assert(cmem && rows);
+        Row256 row = cmem->readRowRemote(descSlice(b), descRow(b));
+        rows->storeRow(a, row);
+        break;
+      }
+      case Op::SETMASK_C:
+        maicc_assert(cmem);
+        cmem->setMask(a & 0x7, b & 0xFF);
+        break;
+      case Op::ILLEGAL:
+        maicc_panic("illegal instruction at pc=0x%x (raw 0x%08x)",
+                    _pc, in.raw);
+    }
+
+    _pc = next;
+}
+
+} // namespace rv32
+} // namespace maicc

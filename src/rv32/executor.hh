@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Functional (architectural-state) executor for RV32IMA + CMem.
+ *
+ * The cycle-level pipeline model (src/core) drives this executor in
+ * an execute-at-issue style: timing is modelled separately, values
+ * are always architecturally correct. It can also run standalone
+ * for ISA tests.
+ */
+
+#ifndef MAICC_RV32_EXECUTOR_HH
+#define MAICC_RV32_EXECUTOR_HH
+
+#include <array>
+#include <cstdint>
+
+#include "cmem/cmem.hh"
+#include "common/types.hh"
+#include "rv32/assembler.hh"
+#include "rv32/inst.hh"
+
+namespace maicc
+{
+namespace rv32
+{
+
+/** Data-memory interface the executor loads/stores through. */
+class MemIf
+{
+  public:
+    virtual ~MemIf() = default;
+    /** Load @p bytes (1, 2, or 4) at @p addr, zero-extended. */
+    virtual uint32_t load(Addr addr, unsigned bytes) = 0;
+    /** Store the low @p bytes of @p value at @p addr. */
+    virtual void store(Addr addr, uint32_t value, unsigned bytes) = 0;
+};
+
+/** Row-granularity remote port for LoadRow.RC / StoreRow.RC. */
+class RowPortIf
+{
+  public:
+    virtual ~RowPortIf() = default;
+    virtual Row256 loadRow(Addr remote_addr) = 0;
+    virtual void storeRow(Addr remote_addr, const Row256 &row) = 0;
+};
+
+/** A RowPortIf that rejects every access (nodes with no NoC). */
+class NullRowPort : public RowPortIf
+{
+  public:
+    Row256 loadRow(Addr) override;
+    void storeRow(Addr, const Row256 &) override;
+};
+
+/**
+ * Architectural state and single-step execution. Owns the register
+ * file and pc; borrows the program, data memory, CMem, and row
+ * port.
+ */
+class Executor
+{
+  public:
+    Executor(const Program &program, MemIf &mem, CMem *cmem = nullptr,
+             RowPortIf *rows = nullptr);
+
+    /** Execute one instruction; no-op once halted. */
+    void step();
+
+    /** Run until ecall/ebreak or @p max_insts retire. */
+    void run(uint64_t max_insts = 100'000'000);
+
+    bool halted() const { return _halted; }
+    Addr pc() const { return _pc; }
+    void setPc(Addr pc) { _pc = pc; }
+
+    uint32_t reg(unsigned idx) const { return regs[idx]; }
+    void setReg(unsigned idx, uint32_t value);
+
+    uint64_t instsRetired() const { return retired; }
+
+    /** The instruction the pc currently points at. */
+    const Inst &current() const;
+
+  private:
+    void exec(const Inst &in);
+    uint32_t amo(const Inst &in, uint32_t addr, uint32_t rs2_val);
+
+    const Program &prog;
+    MemIf &mem;
+    CMem *cmem;
+    RowPortIf *rows;
+
+    std::array<uint32_t, 32> regs{};
+    Addr _pc = 0;
+    bool _halted = false;
+    bool reservation = false;
+    Addr reservationAddr = 0;
+    uint64_t retired = 0;
+};
+
+} // namespace rv32
+} // namespace maicc
+
+#endif // MAICC_RV32_EXECUTOR_HH

@@ -1,0 +1,268 @@
+#include "rv32/inst.hh"
+
+#include "common/logging.hh"
+
+namespace maicc
+{
+namespace rv32
+{
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::LUI: return "lui";
+      case Op::AUIPC: return "auipc";
+      case Op::JAL: return "jal";
+      case Op::JALR: return "jalr";
+      case Op::BEQ: return "beq";
+      case Op::BNE: return "bne";
+      case Op::BLT: return "blt";
+      case Op::BGE: return "bge";
+      case Op::BLTU: return "bltu";
+      case Op::BGEU: return "bgeu";
+      case Op::LB: return "lb";
+      case Op::LH: return "lh";
+      case Op::LW: return "lw";
+      case Op::LBU: return "lbu";
+      case Op::LHU: return "lhu";
+      case Op::SB: return "sb";
+      case Op::SH: return "sh";
+      case Op::SW: return "sw";
+      case Op::ADDI: return "addi";
+      case Op::SLTI: return "slti";
+      case Op::SLTIU: return "sltiu";
+      case Op::XORI: return "xori";
+      case Op::ORI: return "ori";
+      case Op::ANDI: return "andi";
+      case Op::SLLI: return "slli";
+      case Op::SRLI: return "srli";
+      case Op::SRAI: return "srai";
+      case Op::ADD: return "add";
+      case Op::SUB: return "sub";
+      case Op::SLL: return "sll";
+      case Op::SLT: return "slt";
+      case Op::SLTU: return "sltu";
+      case Op::XOR: return "xor";
+      case Op::SRL: return "srl";
+      case Op::SRA: return "sra";
+      case Op::OR: return "or";
+      case Op::AND: return "and";
+      case Op::FENCE: return "fence";
+      case Op::ECALL: return "ecall";
+      case Op::EBREAK: return "ebreak";
+      case Op::MUL: return "mul";
+      case Op::MULH: return "mulh";
+      case Op::MULHSU: return "mulhsu";
+      case Op::MULHU: return "mulhu";
+      case Op::DIV: return "div";
+      case Op::DIVU: return "divu";
+      case Op::REM: return "rem";
+      case Op::REMU: return "remu";
+      case Op::LR_W: return "lr.w";
+      case Op::SC_W: return "sc.w";
+      case Op::AMOSWAP_W: return "amoswap.w";
+      case Op::AMOADD_W: return "amoadd.w";
+      case Op::AMOXOR_W: return "amoxor.w";
+      case Op::AMOAND_W: return "amoand.w";
+      case Op::AMOOR_W: return "amoor.w";
+      case Op::AMOMIN_W: return "amomin.w";
+      case Op::AMOMAX_W: return "amomax.w";
+      case Op::AMOMINU_W: return "amominu.w";
+      case Op::AMOMAXU_W: return "amomaxu.w";
+      case Op::MAC_C: return "mac.c";
+      case Op::MOVE_C: return "move.c";
+      case Op::SETROW_C: return "setrow.c";
+      case Op::SHIFTROW_C: return "shiftrow.c";
+      case Op::LOADROW_RC: return "loadrow.rc";
+      case Op::STOREROW_RC: return "storerow.rc";
+      case Op::SETMASK_C: return "setmask.c";
+      case Op::ILLEGAL: return "illegal";
+    }
+    return "???";
+}
+
+bool
+isCMemOp(Op op)
+{
+    switch (op) {
+      case Op::MAC_C:
+      case Op::MOVE_C:
+      case Op::SETROW_C:
+      case Op::SHIFTROW_C:
+      case Op::LOADROW_RC:
+      case Op::STOREROW_RC:
+      case Op::SETMASK_C:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isControlOp(Op op)
+{
+    switch (op) {
+      case Op::JAL:
+      case Op::JALR:
+      case Op::BEQ:
+      case Op::BNE:
+      case Op::BLT:
+      case Op::BGE:
+      case Op::BLTU:
+      case Op::BGEU:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isLoadOp(Op op)
+{
+    switch (op) {
+      case Op::LB:
+      case Op::LH:
+      case Op::LW:
+      case Op::LBU:
+      case Op::LHU:
+      case Op::LR_W:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isStoreOp(Op op)
+{
+    switch (op) {
+      case Op::SB:
+      case Op::SH:
+      case Op::SW:
+      case Op::SC_W:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isAmoOp(Op op)
+{
+    switch (op) {
+      case Op::AMOSWAP_W:
+      case Op::AMOADD_W:
+      case Op::AMOXOR_W:
+      case Op::AMOAND_W:
+      case Op::AMOOR_W:
+      case Op::AMOMIN_W:
+      case Op::AMOMAX_W:
+      case Op::AMOMINU_W:
+      case Op::AMOMAXU_W:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Inst::writesRd() const
+{
+    if (rd == 0)
+        return false;
+    switch (op) {
+      case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BGE:
+      case Op::BLTU: case Op::BGEU:
+      case Op::SB: case Op::SH: case Op::SW:
+      case Op::FENCE: case Op::ECALL: case Op::EBREAK:
+      case Op::MOVE_C: case Op::SETROW_C: case Op::SHIFTROW_C:
+      case Op::LOADROW_RC: case Op::STOREROW_RC: case Op::SETMASK_C:
+      case Op::ILLEGAL:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+Inst::readsRs1() const
+{
+    switch (op) {
+      case Op::LUI: case Op::AUIPC: case Op::JAL:
+      case Op::FENCE: case Op::ECALL: case Op::EBREAK:
+      case Op::ILLEGAL:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+Inst::readsRs2() const
+{
+    switch (op) {
+      case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BGE:
+      case Op::BLTU: case Op::BGEU:
+      case Op::SB: case Op::SH: case Op::SW:
+      case Op::ADD: case Op::SUB: case Op::SLL: case Op::SLT:
+      case Op::SLTU: case Op::XOR: case Op::SRL: case Op::SRA:
+      case Op::OR: case Op::AND:
+      case Op::MUL: case Op::MULH: case Op::MULHSU: case Op::MULHU:
+      case Op::DIV: case Op::DIVU: case Op::REM: case Op::REMU:
+      case Op::SC_W: case Op::AMOSWAP_W: case Op::AMOADD_W:
+      case Op::AMOXOR_W: case Op::AMOAND_W: case Op::AMOOR_W:
+      case Op::AMOMIN_W: case Op::AMOMAX_W: case Op::AMOMINU_W:
+      case Op::AMOMAXU_W:
+      case Op::MAC_C: case Op::MOVE_C: case Op::SHIFTROW_C:
+      case Op::LOADROW_RC: case Op::STOREROW_RC: case Op::SETMASK_C:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+Inst::toString() const
+{
+    std::string s = opName(op);
+    if (isCMemOp(op)) {
+        s += format(" rs1=x%d rs2=x%d", rs1, rs2);
+        if (op == Op::MAC_C)
+            s = format("%s rd=x%d n=%d", s.c_str(), rd, cmemN);
+        if (op == Op::MOVE_C)
+            s += format(" n=%d", cmemN);
+        if (op == Op::SETROW_C)
+            s += format(" val=%d", cmemVal);
+        return s;
+    }
+    switch (op) {
+      case Op::LUI: case Op::AUIPC:
+        return s + format(" x%d, 0x%x", rd,
+                          static_cast<uint32_t>(imm) >> 12);
+      case Op::JAL:
+        return s + format(" x%d, %d", rd, imm);
+      case Op::JALR:
+        return s + format(" x%d, %d(x%d)", rd, imm, rs1);
+      case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BGE:
+      case Op::BLTU: case Op::BGEU:
+        return s + format(" x%d, x%d, %d", rs1, rs2, imm);
+      case Op::LB: case Op::LH: case Op::LW: case Op::LBU:
+      case Op::LHU:
+        return s + format(" x%d, %d(x%d)", rd, imm, rs1);
+      case Op::SB: case Op::SH: case Op::SW:
+        return s + format(" x%d, %d(x%d)", rs2, imm, rs1);
+      case Op::ADDI: case Op::SLTI: case Op::SLTIU: case Op::XORI:
+      case Op::ORI: case Op::ANDI: case Op::SLLI: case Op::SRLI:
+      case Op::SRAI:
+        return s + format(" x%d, x%d, %d", rd, rs1, imm);
+      case Op::FENCE: case Op::ECALL: case Op::EBREAK:
+      case Op::ILLEGAL:
+        return s;
+      default:
+        return s + format(" x%d, x%d, x%d", rd, rs1, rs2);
+    }
+}
+
+} // namespace rv32
+} // namespace maicc

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * A 256-bit row value — the contents of one word-line of an SRAM
+ * array with 256 bit-lines (the geometry used throughout the paper:
+ * CMem slices are 64x256, Neural Cache arrays are 256x256).
+ */
+
+#ifndef MAICC_SRAM_BITVEC_HH
+#define MAICC_SRAM_BITVEC_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace maicc
+{
+
+/** One 256-bit SRAM row. Bit index == bit-line index (0..255). */
+class Row256
+{
+  public:
+    static constexpr unsigned numBits = 256;
+    static constexpr unsigned numWords = 4;
+
+    Row256() : w{0, 0, 0, 0} {}
+
+    /** Read the bit at bit-line @p idx. */
+    bool
+    get(unsigned idx) const
+    {
+        maicc_assert(idx < numBits);
+        return (w[idx >> 6] >> (idx & 63)) & 1;
+    }
+
+    /** Set the bit at bit-line @p idx to @p val. */
+    void
+    set(unsigned idx, bool val)
+    {
+        maicc_assert(idx < numBits);
+        uint64_t bit = 1ULL << (idx & 63);
+        if (val)
+            w[idx >> 6] |= bit;
+        else
+            w[idx >> 6] &= ~bit;
+    }
+
+    /** Set every bit to @p val. */
+    void
+    fill(bool val)
+    {
+        for (auto &word : w)
+            word = val ? ~0ULL : 0ULL;
+    }
+
+    /** Number of set bits (the adder-tree output). */
+    unsigned
+    popcount() const
+    {
+        unsigned n = 0;
+        for (auto word : w)
+            n += std::popcount(word);
+        return n;
+    }
+
+    /**
+     * Shift the whole row by @p chunks 32-bit groups. Positive
+     * shifts move bits toward higher bit-line indices; vacated
+     * positions fill with zero. Models the paper's ShiftRow.C.
+     */
+    Row256
+    shifted32(int chunks) const
+    {
+        Row256 out;
+        for (unsigned g = 0; g < 8; ++g) {
+            int src = static_cast<int>(g) - chunks;
+            if (src < 0 || src >= 8)
+                continue;
+            uint32_t v = group32(src);
+            out.setGroup32(g, v);
+        }
+        return out;
+    }
+
+    /** Read 32-bit group @p g (bit-lines 32g .. 32g+31). */
+    uint32_t
+    group32(unsigned g) const
+    {
+        maicc_assert(g < 8);
+        return static_cast<uint32_t>(w[g >> 1] >> ((g & 1) * 32));
+    }
+
+    /** Write 32-bit group @p g. */
+    void
+    setGroup32(unsigned g, uint32_t val)
+    {
+        maicc_assert(g < 8);
+        unsigned word = g >> 1;
+        unsigned sh = (g & 1) * 32;
+        w[word] = (w[word] & ~(0xFFFFFFFFULL << sh))
+            | (static_cast<uint64_t>(val) << sh);
+    }
+
+    Row256
+    operator&(const Row256 &o) const
+    {
+        Row256 r;
+        for (unsigned i = 0; i < numWords; ++i)
+            r.w[i] = w[i] & o.w[i];
+        return r;
+    }
+
+    Row256
+    operator|(const Row256 &o) const
+    {
+        Row256 r;
+        for (unsigned i = 0; i < numWords; ++i)
+            r.w[i] = w[i] | o.w[i];
+        return r;
+    }
+
+    Row256
+    operator^(const Row256 &o) const
+    {
+        Row256 r;
+        for (unsigned i = 0; i < numWords; ++i)
+            r.w[i] = w[i] ^ o.w[i];
+        return r;
+    }
+
+    Row256
+    operator~() const
+    {
+        Row256 r;
+        for (unsigned i = 0; i < numWords; ++i)
+            r.w[i] = ~w[i];
+        return r;
+    }
+
+    bool operator==(const Row256 &o) const = default;
+
+    std::array<uint64_t, numWords> w;
+};
+
+} // namespace maicc
+
+#endif // MAICC_SRAM_BITVEC_HH

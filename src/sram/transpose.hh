@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Helpers for the transposed (bit-serial) data layout: bit i of all
+ * elements of a vector lives in row base+i, one element per
+ * bit-line. These helpers are shared by the CMem and the Neural
+ * Cache baseline.
+ */
+
+#ifndef MAICC_SRAM_TRANSPOSE_HH
+#define MAICC_SRAM_TRANSPOSE_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sram/sram_array.hh"
+
+namespace maicc
+{
+
+/**
+ * Write @p values (up to 256 of them) as an n-bit transposed vector
+ * starting at word-line @p base_row, one element per bit-line
+ * starting at bit-line @p base_col. Values are truncated to their
+ * low @p n bits (two's complement for signed data).
+ */
+void writeTransposed(SramArray &array, unsigned base_row, unsigned n,
+                     std::span<const int32_t> values,
+                     unsigned base_col = 0);
+
+/**
+ * Read @p count elements of an n-bit transposed vector back out.
+ * When @p is_signed, the top bit is interpreted as a sign bit.
+ */
+std::vector<int32_t> readTransposed(const SramArray &array,
+                                    unsigned base_row, unsigned n,
+                                    unsigned count, bool is_signed,
+                                    unsigned base_col = 0);
+
+} // namespace maicc
+
+#endif // MAICC_SRAM_TRANSPOSE_HH

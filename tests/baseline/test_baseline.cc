@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "baseline/platforms.hh"
+#include "baseline/scalar_conv.hh"
+#include "common/random.hh"
+
+using namespace maicc;
+
+namespace
+{
+
+std::vector<int8_t>
+randomBytes(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<int8_t> v(n);
+    for (auto &b : v)
+        b = static_cast<int8_t>(rng.range(-5, 5));
+    return v;
+}
+
+} // namespace
+
+TEST(ScalarConv, SmallWorkloadMatchesReference)
+{
+    ConvNodeWorkload w;
+    w.H = w.W = 5;
+    w.C = 64;
+    w.numFilters = 2;
+    auto ifmap = randomBytes(size_t(w.H) * w.W * w.C, 31);
+    auto filters =
+        randomBytes(size_t(w.numFilters) * w.R * w.S * w.C, 32);
+    ScalarConvResult r = runScalarConv(w, ifmap, filters);
+    auto ref = referenceConvNode(w, ifmap, filters);
+    EXPECT_EQ(r.out, ref);
+}
+
+TEST(ScalarConv, CyclesPerMacInExpectedRange)
+{
+    // The software loop costs ~20 cycles per MAC (dominated by
+    // the remote load-use latency), giving the paper's ~1.24e7
+    // for the full workload.
+    ConvNodeWorkload w;
+    w.H = w.W = 5;
+    w.C = 64;
+    w.numFilters = 2;
+    auto ifmap = randomBytes(size_t(w.H) * w.W * w.C, 33);
+    auto filters =
+        randomBytes(size_t(w.numFilters) * w.R * w.S * w.C, 34);
+    ScalarConvResult r = runScalarConv(w, ifmap, filters);
+    uint64_t macs = uint64_t(w.numFilters) * w.outH() * w.outW()
+        * w.R * w.S * w.C;
+    double cpm = double(r.stats.cycles) / double(macs);
+    EXPECT_GT(cpm, 7.0);
+    EXPECT_LT(cpm, 40.0);
+}
+
+TEST(Platforms, SpecsMatchTable3)
+{
+    PlatformSpec cpu = i9_13900k();
+    EXPECT_EQ(cpu.cores, 24u);
+    EXPECT_NEAR(cpu.freqGhz, 3.0, 1e-9);
+    EXPECT_NEAR(cpu.measuredLatencyMs, 22.3, 1e-9);
+    EXPECT_NEAR(cpu.measuredPowerW, 176.4, 1e-9);
+    PlatformSpec gpu = rtx4090();
+    EXPECT_EQ(gpu.cores, 16384u);
+    EXPECT_NEAR(gpu.measuredLatencyMs, 1.02, 1e-9);
+    EXPECT_NEAR(gpu.measuredPowerW, 228.6, 1e-9);
+}
+
+TEST(Platforms, ResNet18ReproducesTable7Rows)
+{
+    Network net = buildResNet18();
+    PlatformResult cpu = evalPlatform(i9_13900k(), net);
+    PlatformResult gpu = evalPlatform(rtx4090(), net);
+    // Calibrated latency equals the paper's measurement on the
+    // calibration workload.
+    EXPECT_NEAR(cpu.latencyMs, 22.3, 0.1);
+    EXPECT_NEAR(gpu.latencyMs, 1.02, 0.01);
+    EXPECT_NEAR(cpu.throughput, 44.8, 0.5);
+    EXPECT_NEAR(gpu.throughput, 980.3, 5.0);
+    EXPECT_NEAR(cpu.throughputPerWatt, 0.25, 0.03);
+    EXPECT_NEAR(gpu.throughputPerWatt, 4.29, 0.1);
+}
+
+TEST(Platforms, EfficiencyIsStableAcrossNetworks)
+{
+    // The calibrated efficiency is a platform constant: evaluating
+    // a different network must reuse it (not re-anchor to the
+    // measurement).
+    PlatformSpec cpu = i9_13900k();
+    Network small = buildSmallCnn();
+    PlatformResult r = evalPlatform(cpu, small);
+    EXPECT_NEAR(r.efficiency,
+                evalPlatform(cpu, buildResNet18()).efficiency,
+                1e-9);
+    // A much smaller network must be much faster than ResNet18.
+    EXPECT_LT(r.latencyMs, 22.3 * 0.5);
+}
+
+TEST(Platforms, RooflineBelowCalibrated)
+{
+    Network net = buildResNet18();
+    PlatformResult cpu = evalPlatform(i9_13900k(), net);
+    EXPECT_LT(cpu.rooflineLatencyMs, cpu.latencyMs);
+    EXPECT_GT(cpu.efficiency, 0.0);
+    EXPECT_LT(cpu.efficiency, 1.0);
+}

@@ -1,0 +1,203 @@
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cmem/cmem.hh"
+
+using namespace maicc;
+
+TEST(CMemConfig, PaperGeometry)
+{
+    CMemConfig cfg;
+    EXPECT_EQ(cfg.numSlices, 8u);
+    EXPECT_EQ(cfg.rowsPerSlice, 64u);
+    EXPECT_EQ(cfg.totalBytes(), 16u * 1024u); // 16 KB CMem
+}
+
+TEST(CMem, CycleCostsMatchTable2)
+{
+    // Table 2: MAC.C n^2, Move.C n, SetRow.C 1, ShiftRow.C 2,
+    // Load/StoreRow.RC 1.
+    EXPECT_EQ(CMem::maccCycles(8), 64u);
+    EXPECT_EQ(CMem::maccCycles(4), 16u);
+    EXPECT_EQ(CMem::maccCycles(16), 256u);
+    EXPECT_EQ(CMem::moveCycles(8), 8u);
+    EXPECT_EQ(CMem::setRowCycles(), 1u);
+    EXPECT_EQ(CMem::shiftRowCycles(), 2u);
+    EXPECT_EQ(CMem::rowXferCycles(), 1u);
+}
+
+TEST(CMem, VerticalByteRoundTrip)
+{
+    CMem cm;
+    EXPECT_EQ(cm.verticalBytes(), 2048u);
+    cm.storeByte(0, 0xAB);
+    cm.storeByte(255, 0x01);
+    cm.storeByte(256, 0xFF);  // second byte-group, first column
+    cm.storeByte(2047, 0x7E);
+    EXPECT_EQ(cm.loadByte(0), 0xAB);
+    EXPECT_EQ(cm.loadByte(255), 0x01);
+    EXPECT_EQ(cm.loadByte(256), 0xFF);
+    EXPECT_EQ(cm.loadByte(2047), 0x7E);
+    EXPECT_EQ(cm.loadByte(1), 0x00);
+}
+
+TEST(CMem, VerticalWordRoundTrip)
+{
+    CMem cm;
+    cm.storeWord(100, 0xDEADBEEF);
+    EXPECT_EQ(cm.loadWord(100), 0xDEADBEEFu);
+}
+
+TEST(CMem, VerticalStoreProducesTransposedLayout)
+{
+    // Storing a byte at address b places bit k of the byte at
+    // word-line (b/256)*8+k, bit-line b%256 (Fig. 5). This is the
+    // mechanism that lets Move.C read out transposed vectors.
+    CMem cm;
+    cm.storeByte(300, 0b00000101);
+    const SramArray &arr = cm.slice(0).array();
+    unsigned col = 300 % 256;
+    unsigned base = (300 / 256) * 8;
+    EXPECT_TRUE(arr.readRow(base + 0).get(col));
+    EXPECT_FALSE(arr.readRow(base + 1).get(col));
+    EXPECT_TRUE(arr.readRow(base + 2).get(col));
+}
+
+TEST(CMem, TransposeThenMoveYieldsVector)
+{
+    // End-to-end transpose path: store 256 bytes vertically into
+    // slice 0 (one ifmap vector), Move.C to a compute slice, read
+    // the vector back.
+    CMem cm;
+    std::vector<int32_t> vals(256);
+    for (int k = 0; k < 256; ++k) {
+        vals[k] = (k * 7 + 3) % 256 - 128;
+        cm.storeByte(k, static_cast<uint8_t>(vals[k]));
+    }
+    cm.move(0, 0, 3, 8, 8);
+    auto got = cm.peekVector(3, 8, 8, 256, true);
+    EXPECT_EQ(got, vals);
+}
+
+TEST(CMem, MacComputesDotProductSigned)
+{
+    CMem cm;
+    std::vector<int32_t> a = {1, -2, 3, -4, 5};
+    std::vector<int32_t> b = {-6, 7, -8, 9, 10};
+    a.resize(256, 0);
+    b.resize(256, 0);
+    cm.pokeVector(1, 0, 8, a);
+    cm.pokeVector(1, 8, 8, b);
+    int64_t want = 0;
+    for (int k = 0; k < 256; ++k)
+        want += int64_t(a[k]) * b[k];
+    EXPECT_EQ(cm.macc(1, 0, 8, 8, true), want);
+}
+
+TEST(CMem, MacComputesDotProductUnsigned)
+{
+    CMem cm;
+    std::vector<int32_t> a = {200, 255, 1, 0};
+    std::vector<int32_t> b = {255, 2, 3, 250};
+    a.resize(256, 0);
+    b.resize(256, 0);
+    cm.pokeVector(2, 0, 8, a);
+    cm.pokeVector(2, 8, 8, b);
+    int64_t want = 0;
+    for (int k = 0; k < 256; ++k)
+        want += int64_t(a[k]) * b[k];
+    EXPECT_EQ(cm.macc(2, 0, 8, 8, false), want);
+}
+
+TEST(CMem, MaskCsrGatesBitlineGroups)
+{
+    CMem cm;
+    std::vector<int32_t> a(256, 1);
+    std::vector<int32_t> b(256, 1);
+    cm.pokeVector(1, 0, 8, a);
+    cm.pokeVector(1, 8, 8, b);
+    // Only group 0 (bit-lines 0..31) enabled: dot product = 32.
+    cm.setMask(1, 0x01);
+    EXPECT_EQ(cm.macc(1, 0, 8, 8, true), 32);
+    // Groups 0 and 7: 64.
+    cm.setMask(1, 0x81);
+    EXPECT_EQ(cm.macc(1, 0, 8, 8, true), 64);
+    cm.setMask(1, 0xFF);
+    EXPECT_EQ(cm.macc(1, 0, 8, 8, true), 256);
+}
+
+TEST(CMem, SetRowClearsOrSets)
+{
+    CMem cm;
+    cm.setRow(4, 10, true);
+    EXPECT_EQ(cm.slice(4).readRow(10).popcount(), 256u);
+    cm.setRow(4, 10, false);
+    EXPECT_EQ(cm.slice(4).readRow(10).popcount(), 0u);
+}
+
+TEST(CMem, ShiftRowMovesChannelGroups)
+{
+    // ShiftRow.C aligns sub-vectors when C < 256 (e.g. 32 channels).
+    CMem cm;
+    std::vector<int32_t> v(32, 3);
+    cm.pokeVector(5, 0, 8, v); // occupies bit-lines 0..31
+    for (unsigned r = 0; r < 8; ++r)
+        cm.shiftRow(5, r, 1);
+    auto moved = cm.peekVector(5, 0, 8, 64, true);
+    for (int k = 0; k < 32; ++k) {
+        EXPECT_EQ(moved[k], 0) << k;
+        EXPECT_EQ(moved[32 + k], 3) << k;
+    }
+}
+
+TEST(CMem, RemoteRowRoundTrip)
+{
+    CMem a, b;
+    std::vector<int32_t> v(256);
+    std::iota(v.begin(), v.end(), -100);
+    a.pokeVector(2, 16, 8, v);
+    for (unsigned r = 0; r < 8; ++r) {
+        Row256 row = a.readRowRemote(2, 16 + r);
+        b.writeRowRemote(6, 0 + r, row);
+    }
+    auto got = b.peekVector(6, 0, 8, 256, true);
+    for (int k = 0; k < 256; ++k)
+        EXPECT_EQ(got[k], int32_t(int8_t(-100 + k))) << k;
+}
+
+TEST(CMem, EventCountersAccumulate)
+{
+    CMem cm;
+    std::vector<int32_t> v(256, 1);
+    cm.pokeVector(1, 0, 8, v);
+    cm.pokeVector(1, 8, 8, v);
+    cm.macc(1, 0, 8, 8, true);
+    cm.move(0, 0, 1, 16, 8);
+    cm.setRow(1, 30, false);
+    cm.shiftRow(1, 30, 1);
+    cm.storeByte(0, 1);
+    cm.loadByte(0);
+    EXPECT_EQ(cm.events().macOps, 1u);
+    EXPECT_EQ(cm.events().macActivations, 64u);
+    EXPECT_EQ(cm.events().moveRows, 8u);
+    EXPECT_EQ(cm.events().setRows, 1u);
+    EXPECT_EQ(cm.events().shiftRows, 1u);
+    EXPECT_EQ(cm.events().verticalWrites, 1u);
+    EXPECT_EQ(cm.events().verticalReads, 1u);
+    cm.resetEvents();
+    EXPECT_EQ(cm.events().macOps, 0u);
+}
+
+TEST(CMemDeath, OverlappingMacOperandsPanic)
+{
+    CMem cm;
+    EXPECT_DEATH(cm.macc(1, 0, 4, 8, true), "assertion failed");
+}
+
+TEST(CMemDeath, SliceOutOfRange)
+{
+    CMem cm;
+    EXPECT_DEATH(cm.setRow(8, 0, true), "assertion failed");
+}

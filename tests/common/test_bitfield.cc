@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "common/bitfield.hh"
+
+using namespace maicc;
+
+TEST(Bitfield, MaskWidths)
+{
+    EXPECT_EQ(mask(0), 0ULL);
+    EXPECT_EQ(mask(1), 1ULL);
+    EXPECT_EQ(mask(8), 0xFFULL);
+    EXPECT_EQ(mask(32), 0xFFFFFFFFULL);
+    EXPECT_EQ(mask(64), ~0ULL);
+}
+
+TEST(Bitfield, BitsExtractsRange)
+{
+    EXPECT_EQ(bits(0xDEADBEEFULL, 31, 16), 0xDEADULL);
+    EXPECT_EQ(bits(0xDEADBEEFULL, 15, 0), 0xBEEFULL);
+    EXPECT_EQ(bits(0xF0ULL, 7, 4), 0xFULL);
+    EXPECT_EQ(bits(0xF0ULL, 3, 0), 0x0ULL);
+}
+
+TEST(Bitfield, SingleBit)
+{
+    EXPECT_EQ(bits(0b1010ULL, 1u), 1ULL);
+    EXPECT_EQ(bits(0b1010ULL, 0u), 0ULL);
+    EXPECT_EQ(bits(0b1010ULL, 3u), 1ULL);
+}
+
+TEST(Bitfield, InsertBitsReplacesField)
+{
+    EXPECT_EQ(insertBits(0, 7, 0, 0xAB), 0xABULL);
+    EXPECT_EQ(insertBits(0xFFFF, 7, 4, 0x0), 0xFF0FULL);
+    EXPECT_EQ(insertBits(0, 11, 4, 0xFFF), 0xFF0ULL);
+}
+
+TEST(Bitfield, SignExtension)
+{
+    EXPECT_EQ(sext(0xFF, 8), -1);
+    EXPECT_EQ(sext(0x7F, 8), 127);
+    EXPECT_EQ(sext(0x80, 8), -128);
+    EXPECT_EQ(sext32(0xFFF, 12), -1);
+    EXPECT_EQ(sext32(0x800, 12), -2048);
+    EXPECT_EQ(sext32(0x7FF, 12), 2047);
+}
+
+TEST(Bitfield, PowerOfTwoAndLog)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(256));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(2), 1u);
+    EXPECT_EQ(log2i(256), 8u);
+}
+
+TEST(Bitfield, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0ULL);
+    EXPECT_EQ(divCeil(1, 4), 1ULL);
+    EXPECT_EQ(divCeil(4, 4), 1ULL);
+    EXPECT_EQ(divCeil(5, 4), 2ULL);
+    EXPECT_EQ(divCeil(512, 5), 103ULL);
+}

@@ -1,0 +1,38 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+using namespace maicc;
+
+TEST(Logging, FormatProducesPrintfOutput)
+{
+    EXPECT_EQ(format("x=%d y=%s", 7, "abc"), "x=7 y=abc");
+    EXPECT_EQ(format("%04x", 0xAB), "00ab");
+    EXPECT_EQ(format("plain"), "plain");
+}
+
+TEST(Logging, VerboseToggle)
+{
+    bool before = verbose();
+    setVerbose(false);
+    EXPECT_FALSE(verbose());
+    setVerbose(true);
+    EXPECT_TRUE(verbose());
+    setVerbose(before);
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(maicc_panic("boom %d", 42), "boom 42");
+}
+
+TEST(LoggingDeath, AssertMacroPanicsOnFalse)
+{
+    EXPECT_DEATH(maicc_assert(1 == 2), "assertion failed");
+}
+
+TEST(LoggingDeath, FatalExitsWithOne)
+{
+    EXPECT_EXIT(maicc_fatal("bad config"),
+                ::testing::ExitedWithCode(1), "bad config");
+}

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+
+using namespace maicc;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(12345), b(12345);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int differing = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() != b.next())
+            ++differing;
+    }
+    EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, BelowStaysInBound)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng r(11);
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, Int8CoversNegatives)
+{
+    Rng r(13);
+    bool neg = false, pos = false;
+    for (int i = 0; i < 200; ++i) {
+        int8_t v = r.int8();
+        neg |= (v < 0);
+        pos |= (v > 0);
+    }
+    EXPECT_TRUE(neg);
+    EXPECT_TRUE(pos);
+}

@@ -1,0 +1,67 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+using namespace maicc;
+
+TEST(Stats, CounterIncrements)
+{
+    StatGroup g("node0");
+    g.counter("macOps").inc();
+    g.counter("macOps").inc(9);
+    EXPECT_EQ(g.get("macOps"), 10u);
+    EXPECT_EQ(g.get("missing"), 0u);
+}
+
+TEST(Stats, CounterNameIsQualified)
+{
+    StatGroup g("node0.cmem");
+    EXPECT_EQ(g.counter("macOps").name(), "node0.cmem.macOps");
+    StatGroup root;
+    EXPECT_EQ(root.counter("cycles").name(), "cycles");
+}
+
+TEST(Stats, SummaryTracksMinMaxMean)
+{
+    StatGroup g;
+    auto &s = g.summary("lat");
+    s.sample(2.0);
+    s.sample(4.0);
+    s.sample(9.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+}
+
+TEST(Stats, EmptySummaryIsZero)
+{
+    StatGroup g;
+    auto &s = g.summary("lat");
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+}
+
+TEST(Stats, ResetAllZeroesEverything)
+{
+    StatGroup g;
+    g.counter("a").inc(5);
+    g.summary("b").sample(1.0);
+    g.resetAll();
+    EXPECT_EQ(g.get("a"), 0u);
+    EXPECT_EQ(g.summary("b").count(), 0u);
+}
+
+TEST(Stats, DumpContainsNamesAndValues)
+{
+    StatGroup g("x");
+    g.counter("hits").inc(3);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("x.hits"), std::string::npos);
+    EXPECT_NE(os.str().find("3"), std::string::npos);
+}

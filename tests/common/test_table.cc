@@ -1,0 +1,50 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+using namespace maicc;
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t({"Name", "Cycles"});
+    t.addRow({"scalar", "12400000"});
+    t.addRow({"maicc", "59141"});
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("Name"), std::string::npos);
+    EXPECT_NE(s.find("scalar"), std::string::npos);
+    EXPECT_NE(s.find("59141"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAlign)
+{
+    TextTable t({"A", "B"});
+    t.addRow({"longer-cell", "x"});
+    std::ostringstream os;
+    t.print(os);
+    // Every line between rules must be the same length.
+    std::istringstream in(os.str());
+    std::string line;
+    size_t len = 0;
+    while (std::getline(in, line)) {
+        if (len == 0)
+            len = line.size();
+        EXPECT_EQ(line.size(), len);
+    }
+}
+
+TEST(TextTable, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(uint64_t(42)), "42");
+    EXPECT_EQ(TextTable::num(0.5, 0), "0");
+}
+
+TEST(TextTableDeath, RowArityMismatchPanics)
+{
+    TextTable t({"A", "B"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "assertion failed");
+}

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "core/aux_kernels.hh"
+#include "core/scheduler.hh"
+#include "core/timing.hh"
+#include "mem/node_memory.hh"
+
+using namespace maicc;
+
+namespace
+{
+
+struct NodeHarness
+{
+    explicit NodeHarness(rv32::Program p)
+        : prog(std::move(p)), mem(cmem, &ext),
+          model(prog, mem, &cmem, &rows, CoreConfig{})
+    {
+    }
+
+    CoreRunStats run() { return model.run(); }
+
+    std::vector<int8_t>
+    dmemBytes(Addr base, unsigned count)
+    {
+        std::vector<int8_t> out(count);
+        for (unsigned i = 0; i < count; ++i)
+            out[i] = static_cast<int8_t>(mem.peekDmem(base + i));
+        return out;
+    }
+
+    rv32::Program prog;
+    CMem cmem;
+    FlatMemory ext;
+    RowStore rows;
+    NodeMemory mem;
+    CoreTimingModel model;
+};
+
+std::vector<int8_t>
+randomBytes(size_t n, int lo, int hi, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<int8_t> v(n);
+    for (auto &b : v)
+        b = static_cast<int8_t>(rng.range(lo, hi));
+    return v;
+}
+
+} // namespace
+
+TEST(FcKernel, MatchesReference)
+{
+    FcNodeWorkload w;
+    w.M = 20;
+    auto input = randomBytes(w.C, -8, 7, 1);
+    auto weights = randomBytes(size_t(w.M) * w.C, -8, 7, 2);
+    NodeHarness h(buildFcNodeProgram(w));
+    stageFcNode(w, h.cmem, h.rows, input, weights);
+    h.run();
+    EXPECT_EQ(h.dmemBytes(fcOutBase, w.M),
+              referenceFcNode(w, input, weights));
+}
+
+TEST(FcKernel, SaturationPathExercised)
+{
+    // Large weights with a tiny shift force saturation both ways.
+    FcNodeWorkload w;
+    w.M = 14;
+    w.shift = 1;
+    w.relu = false;
+    auto input = randomBytes(w.C, -64, 63, 3);
+    auto weights = randomBytes(size_t(w.M) * w.C, -64, 63, 4);
+    NodeHarness h(buildFcNodeProgram(w));
+    stageFcNode(w, h.cmem, h.rows, input, weights);
+    h.run();
+    auto got = h.dmemBytes(fcOutBase, w.M);
+    EXPECT_EQ(got, referenceFcNode(w, input, weights));
+    // Saturation must actually have triggered somewhere.
+    int clipped = 0;
+    for (auto v : got)
+        clipped += (v == 127 || v == -128);
+    EXPECT_GT(clipped, 0);
+}
+
+TEST(FcKernel, FullCapacityNode)
+{
+    FcNodeWorkload w;
+    w.M = w.maxOutputs(); // 49 outputs at 8-bit
+    auto input = randomBytes(w.C, -4, 4, 5);
+    auto weights = randomBytes(size_t(w.M) * w.C, -4, 4, 6);
+    NodeHarness h(buildFcNodeProgram(w));
+    stageFcNode(w, h.cmem, h.rows, input, weights);
+    auto stats = h.run();
+    EXPECT_EQ(h.dmemBytes(fcOutBase, w.M),
+              referenceFcNode(w, input, weights));
+    // 49 MACs of 64 cycles each over 7 parallel slices.
+    EXPECT_GT(stats.cmemBusyCycles, 49u * 64u);
+}
+
+TEST(FcKernel, StaticSchedulingPreservesAndSpeeds)
+{
+    FcNodeWorkload w;
+    w.M = 21;
+    auto input = randomBytes(w.C, -8, 7, 7);
+    auto weights = randomBytes(size_t(w.M) * w.C, -8, 7, 8);
+    rv32::Program p = buildFcNodeProgram(w);
+    rv32::Program q = p;
+    staticSchedule(q);
+    NodeHarness hp(std::move(p)), hq(std::move(q));
+    stageFcNode(w, hp.cmem, hp.rows, input, weights);
+    stageFcNode(w, hq.cmem, hq.rows, input, weights);
+    auto sp = hp.run();
+    auto sq = hq.run();
+    EXPECT_EQ(hp.dmemBytes(fcOutBase, w.M),
+              hq.dmemBytes(fcOutBase, w.M));
+    // List scheduling is a heuristic; allow a cycle of slack but
+    // never a real regression.
+    EXPECT_LE(sq.cycles, sp.cycles + 2);
+}
+
+TEST(FcKernelDeath, TooManyOutputsRejected)
+{
+    FcNodeWorkload w;
+    w.M = w.maxOutputs() + 1;
+    EXPECT_DEATH(buildFcNodeProgram(w), "assertion failed");
+}
+
+TEST(MaxPoolKernel, MatchesReference)
+{
+    PoolWorkload w;
+    auto in = randomBytes(size_t(w.H) * w.W, -128, 127, 9);
+    NodeHarness h(buildMaxPoolProgram(w));
+    for (size_t i = 0; i < in.size(); ++i)
+        h.mem.pokeDmem(w.inBase + Addr(i),
+                       static_cast<uint8_t>(in[i]));
+    h.run();
+    EXPECT_EQ(h.dmemBytes(w.outBase, w.outH() * w.outW()),
+              referenceMaxPool(w, in));
+}
+
+TEST(MaxPoolKernel, KernelSize4)
+{
+    PoolWorkload w;
+    w.H = w.W = 8;
+    w.K = 4;
+    auto in = randomBytes(size_t(w.H) * w.W, -50, 50, 10);
+    NodeHarness h(buildMaxPoolProgram(w));
+    for (size_t i = 0; i < in.size(); ++i)
+        h.mem.pokeDmem(w.inBase + Addr(i),
+                       static_cast<uint8_t>(in[i]));
+    h.run();
+    EXPECT_EQ(h.dmemBytes(w.outBase, 4),
+              referenceMaxPool(w, in));
+}
+
+TEST(RequantKernel, WithResidualMatchesReference)
+{
+    RequantWorkload w;
+    Rng rng(11);
+    std::vector<int32_t> psum(w.count);
+    for (auto &v : psum)
+        v = static_cast<int32_t>(rng.range(-5000, 5000));
+    auto res = randomBytes(w.count, -128, 127, 12);
+    NodeHarness h(buildRequantProgram(w));
+    for (unsigned i = 0; i < w.count; ++i) {
+        h.mem.store(w.psumBase + 4 * i,
+                    static_cast<uint32_t>(psum[i]), 4);
+        h.mem.pokeDmem(w.residualBase + i,
+                       static_cast<uint8_t>(res[i]));
+    }
+    h.run();
+    EXPECT_EQ(h.dmemBytes(w.outBase, w.count),
+              referenceRequant(w, psum, res));
+}
+
+TEST(RequantKernel, WithoutResidualNoRelu)
+{
+    RequantWorkload w;
+    w.withResidual = false;
+    w.relu = false;
+    Rng rng(13);
+    std::vector<int32_t> psum(w.count);
+    for (auto &v : psum)
+        v = static_cast<int32_t>(rng.range(-100000, 100000));
+    NodeHarness h(buildRequantProgram(w));
+    for (unsigned i = 0; i < w.count; ++i) {
+        h.mem.store(w.psumBase + 4 * i,
+                    static_cast<uint32_t>(psum[i]), 4);
+    }
+    h.run();
+    EXPECT_EQ(h.dmemBytes(w.outBase, w.count),
+              referenceRequant(w, psum, {}));
+}
+
+TEST(RequantKernel, ReluZeroesNegatives)
+{
+    RequantWorkload w;
+    w.withResidual = false;
+    w.count = 8;
+    std::vector<int32_t> psum = {-1000, -1, 0, 1, 31, 32, 4095,
+                                 -4096};
+    NodeHarness h(buildRequantProgram(w));
+    for (unsigned i = 0; i < w.count; ++i) {
+        h.mem.store(w.psumBase + 4 * i,
+                    static_cast<uint32_t>(psum[i]), 4);
+    }
+    h.run();
+    auto got = h.dmemBytes(w.outBase, w.count);
+    auto want = referenceRequant(w, psum, {});
+    EXPECT_EQ(got, want);
+    EXPECT_EQ(got[0], 0);
+    EXPECT_EQ(got[7], 0);
+    EXPECT_EQ(got[6], 127);
+}

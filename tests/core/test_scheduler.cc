@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "cmem/cmem.hh"
+#include "core/scheduler.hh"
+#include "core/timing.hh"
+#include "mem/node_memory.hh"
+#include "mem/row_store.hh"
+#include "rv32/assembler.hh"
+#include "rv32/executor.hh"
+
+using namespace maicc;
+using namespace maicc::rv32;
+
+namespace
+{
+
+/** Run a program functionally and return (regs, dmem snapshot). */
+struct FuncResult
+{
+    std::array<uint32_t, 32> regs;
+    std::vector<uint8_t> dmem;
+
+    bool operator==(const FuncResult &o) const = default;
+};
+
+FuncResult
+runFunctional(const Program &p)
+{
+    CMem cmem;
+    FlatMemory ext;
+    NodeMemory mem(cmem, &ext);
+    Executor e(p, mem, &cmem);
+    e.run(1'000'000);
+    FuncResult r;
+    for (unsigned i = 0; i < 32; ++i)
+        r.regs[i] = e.reg(i);
+    r.dmem.resize(amap::dmemSize);
+    for (Addr a = 0; a < amap::dmemSize; ++a)
+        r.dmem[a] = mem.peekDmem(a);
+    return r;
+}
+
+Cycles
+runTimed(const Program &p, CoreConfig cfg = CoreConfig{})
+{
+    CMem cmem;
+    FlatMemory ext;
+    RowStore rows;
+    NodeMemory mem(cmem, &ext);
+    CoreTimingModel m(p, mem, &cmem, &rows, cfg);
+    return m.run().cycles;
+}
+
+} // namespace
+
+TEST(Scheduler, PreservesSemanticsOnAluProgram)
+{
+    Assembler a;
+    a.li(t0, 3);
+    a.li(t1, 4);
+    a.mul(t2, t0, t1);
+    a.add(t3, t2, t0);
+    a.sub(t4, t3, t1);
+    a.sw(t4, zero, 32);
+    a.lw(t5, zero, 32);
+    a.ecall();
+    Program p = a.finish();
+    Program q = p;
+    staticSchedule(q);
+    EXPECT_EQ(runFunctional(p), runFunctional(q));
+}
+
+TEST(Scheduler, PreservesSemanticsAcrossBranches)
+{
+    Assembler a;
+    a.li(t0, 10);
+    a.li(t1, 0);
+    auto loop = a.newLabel();
+    a.bind(loop);
+    a.add(t1, t1, t0);
+    a.li(t2, 7);
+    a.mul(t3, t2, t0);
+    a.sw(t3, zero, 64);
+    a.addi(t0, t0, -1);
+    a.bne(t0, zero, loop);
+    a.ecall();
+    Program p = a.finish();
+    Program q = p;
+    auto st = staticSchedule(q);
+    EXPECT_GE(st.basicBlocks, 2u);
+    EXPECT_EQ(runFunctional(p), runFunctional(q));
+}
+
+TEST(Scheduler, HoistsIndependentWorkAboveMacDependant)
+{
+    // Naive order: MAC, use-of-MAC, then independent work. The
+    // scheduler should push independent work into the MAC shadow.
+    Assembler a;
+    a.li(t2, cmemDesc(1, 0));
+    a.li(t3, cmemDesc(1, 8));
+    a.maccC(a0, t2, t3, 8);
+    a.add(a1, a0, a0); // dependent
+    for (int i = 0; i < 30; ++i)
+        a.addi(t4, t4, 1); // independent chain
+    a.ecall();
+    Program p = a.finish();
+    Program q = p;
+    auto st = staticSchedule(q);
+    EXPECT_GT(st.movedInsts, 0u);
+    Cycles before = runTimed(p);
+    Cycles after = runTimed(q);
+    EXPECT_LT(after, before);
+    EXPECT_EQ(runFunctional(p), runFunctional(q));
+}
+
+TEST(Scheduler, KeepsCMemOpsInOrder)
+{
+    Assembler a;
+    a.li(t2, cmemDesc(1, 10));
+    a.setRowC(t2, true);
+    a.li(t3, cmemDesc(1, 12));
+    a.setRowC(t3, true);
+    a.li(t4, cmemDesc(2, 0));
+    a.moveC(t2, t4, 2);
+    a.ecall();
+    Program p = a.finish();
+    Program q = p;
+    staticSchedule(q);
+    // The three CMem ops must appear in their original relative
+    // order.
+    std::vector<Op> cm;
+    for (const auto &in : q.insts) {
+        if (isCMemOp(in.op))
+            cm.push_back(in.op);
+    }
+    ASSERT_EQ(cm.size(), 3u);
+    EXPECT_EQ(cm[0], Op::SETROW_C);
+    EXPECT_EQ(cm[1], Op::SETROW_C);
+    EXPECT_EQ(cm[2], Op::MOVE_C);
+}
+
+TEST(Scheduler, TerminatorStaysLast)
+{
+    Assembler a;
+    a.li(t0, 1);
+    a.li(t1, 2);
+    auto end = a.newLabel();
+    a.beq(t0, t1, end);
+    a.add(t2, t0, t1);
+    a.bind(end);
+    a.ecall();
+    Program p = a.finish();
+    staticSchedule(p);
+    EXPECT_EQ(p.insts[2].op, Op::BEQ);
+    EXPECT_EQ(p.insts.back().op, Op::ECALL);
+}
+
+TEST(Scheduler, StoreLoadOrderPreserved)
+{
+    // A store followed by a load of the same address must not swap.
+    Assembler a;
+    a.li(t0, 11);
+    a.sw(t0, zero, 100);
+    a.lw(t1, zero, 100);
+    a.li(t2, 22);
+    a.sw(t2, zero, 100);
+    a.lw(t3, zero, 100);
+    a.ecall();
+    Program p = a.finish();
+    Program q = p;
+    staticSchedule(q);
+    auto r = runFunctional(q);
+    EXPECT_EQ(r.regs[t1], 11u);
+    EXPECT_EQ(r.regs[t3], 22u);
+}
+
+TEST(Scheduler, EmptyAndTinyProgramsAreNoOps)
+{
+    Program empty;
+    auto st = staticSchedule(empty);
+    EXPECT_EQ(st.movedInsts, 0u);
+
+    Assembler a;
+    a.ecall();
+    Program tiny = a.finish();
+    st = staticSchedule(tiny);
+    EXPECT_EQ(st.movedInsts, 0u);
+    EXPECT_EQ(tiny.insts.size(), 1u);
+}

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "energy/energy.hh"
+
+using namespace maicc;
+
+TEST(Energy, Table4NodeEnergyReproduced)
+{
+    // The single-node CONV workload (Table 4): 2205 MACs x 64
+    // activations at 28.25 pJ dominate, reproducing the paper's
+    // 3.96e-6 J node energy.
+    ActivityCounts a;
+    a.runtime = 59141;
+    a.activeCoreCycles = 59141;
+    a.macActivations = 2205ull * 64;
+    a.moveRows = 81 * 7 * 8;
+    a.remoteRows = 81 * 8;
+    a.verticalWriteBytes = 0;
+    a.dmemAccesses = 2205 * 2;
+    EnergyParams p;
+    // Node-level: no NoC/LLC/DRAM background.
+    p.nocStaticW = p.llcStaticW = p.dramStaticW = 0.0;
+    EnergyBreakdown e = computeEnergy(a, p);
+    double joules = e.total() * 1e-3;
+    EXPECT_GT(joules, 3.0e-6);
+    EXPECT_LT(joules, 5.0e-6);
+}
+
+TEST(Energy, ComponentsSumToTotal)
+{
+    ActivityCounts a;
+    a.runtime = 1'000'000;
+    a.activeCoreCycles = 210'000'000;
+    a.macActivations = 1'000'000;
+    a.nocFlitHops = 500'000;
+    a.dramAccesses = 10'000;
+    a.llcAccesses = 20'000;
+    a.dmemAccesses = 5'000;
+    EnergyBreakdown e = computeEnergy(a);
+    EXPECT_NEAR(e.total(),
+                e.cmem + e.core + e.onchipMem + e.noc + e.llc
+                    + e.dram,
+                1e-12);
+    EXPECT_GT(e.dram, 0.0);
+    EXPECT_GT(e.noc, 0.0);
+}
+
+TEST(Energy, StaticPowerScalesWithRuntime)
+{
+    ActivityCounts a;
+    a.runtime = 1'000'000; // 1 ms
+    EnergyBreakdown e1 = computeEnergy(a);
+    a.runtime = 2'000'000;
+    EnergyBreakdown e2 = computeEnergy(a);
+    EXPECT_NEAR(e2.dram, 2.0 * e1.dram, 1e-9);
+    EXPECT_NEAR(e2.noc, 2.0 * e1.noc, 1e-9);
+}
+
+TEST(Energy, AveragePower)
+{
+    ActivityCounts a;
+    a.runtime = 5'130'000; // 5.13 ms at 1 GHz
+    EnergyBreakdown e = computeEnergy(a);
+    // Background-only power: ~18.5 W of statics.
+    double w = e.averagePowerW(a.runtime);
+    EXPECT_GT(w, 15.0);
+    EXPECT_LT(w, 22.0);
+}
+
+TEST(Energy, ActivityAccumulation)
+{
+    ActivityCounts a, b;
+    a.runtime = 10;
+    a.macActivations = 5;
+    b.runtime = 20;
+    b.macActivations = 7;
+    b.nocFlitHops = 3;
+    a += b;
+    EXPECT_EQ(a.runtime, 20u); // max, not sum
+    EXPECT_EQ(a.macActivations, 12u);
+    EXPECT_EQ(a.nocFlitHops, 3u);
+}
+
+TEST(Area, Fig10Shares)
+{
+    AreaBreakdown a = computeArea(210);
+    EXPECT_NEAR(a.total(), 28.0, 1.0);
+    // CMem cells are two thirds of the CMem area (§6.3).
+    EXPECT_NEAR(a.cmemCells / a.cmem(), 2.0 / 3.0, 1e-9);
+    // NoC ~9%, LLC ~5%.
+    EXPECT_NEAR(a.noc / a.total(), 0.09, 0.02);
+    EXPECT_NEAR(a.llc / a.total(), 0.05, 0.02);
+}
+
+TEST(Area, ScalesWithCores)
+{
+    AreaBreakdown small = computeArea(100);
+    AreaBreakdown big = computeArea(200);
+    EXPECT_NEAR(big.core, 2.0 * small.core, 1e-9);
+    EXPECT_NEAR(big.cmem(), 2.0 * small.cmem(), 1e-9);
+    EXPECT_DOUBLE_EQ(big.noc, small.noc); // chip-level constant
+}

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "mapping/placement.hh"
+#include "mapping/segmentation.hh"
+#include "nn/network.hh"
+
+using namespace maicc;
+
+TEST(Segmentation, SingleLayerMakesTwentySegments)
+{
+    Network net = buildResNet18();
+    MappingPlan plan =
+        planMapping(net, Strategy::SingleLayer, 210);
+    EXPECT_EQ(plan.segments.size(), 20u);
+    for (const auto &seg : plan.segments) {
+        EXPECT_EQ(seg.layers.size(), 1u);
+        EXPECT_LE(seg.totalCores(), 210u);
+    }
+}
+
+TEST(Segmentation, GreedyPacksFewSegments)
+{
+    Network net = buildResNet18();
+    MappingPlan plan = planMapping(net, Strategy::Greedy, 210);
+    // Paper: 2 big segments + the conv4/linear tail (each its own).
+    EXPECT_GE(plan.segments.size(), 4u);
+    EXPECT_LE(plan.segments.size(), 8u);
+    // First segment holds many layers (paper: 12).
+    EXPECT_GE(plan.segments[0].layers.size(), 10u);
+}
+
+TEST(Segmentation, HeuristicGroupsBySameIfmapSize)
+{
+    Network net = buildResNet18();
+    MappingPlan plan = planMapping(net, Strategy::Heuristic, 210);
+    // Within each segment all layers share one ifmap size.
+    for (const auto &seg : plan.segments) {
+        int fmap = -1;
+        for (const auto &lm : seg.layers) {
+            const LayerSpec &l = net.layer(lm.layerIdx);
+            int f = l.inH * l.inW;
+            if (fmap < 0)
+                fmap = f;
+            EXPECT_EQ(f, fmap) << l.name;
+        }
+    }
+    // Paper: segments 1-6 / 7-11 / 12-15 then the 7x7 stage.
+    ASSERT_GE(plan.segments.size(), 4u);
+    EXPECT_EQ(plan.segments[0].layers.size(), 6u);
+    EXPECT_EQ(plan.segments[1].layers.size(), 5u);
+    EXPECT_EQ(plan.segments[2].layers.size(), 4u);
+}
+
+TEST(Segmentation, HeuristicBeatsGreedyBeatsSingleByModel)
+{
+    // The modelled total latency must reproduce the Table 6
+    // ordering: heuristic < greedy < single-layer.
+    Network net = buildResNet18();
+    auto model_total = [&](Strategy s) {
+        return modelPlanLatency(net, planMapping(net, s, 210));
+    };
+    Cycles single = model_total(Strategy::SingleLayer);
+    Cycles greedy = model_total(Strategy::Greedy);
+    Cycles heuristic = model_total(Strategy::Heuristic);
+    EXPECT_LT(heuristic, greedy);
+    EXPECT_LT(greedy, single);
+}
+
+TEST(Segmentation, BalancedSegmentsStayWithinBudget)
+{
+    Network net = buildResNet18();
+    for (Strategy s : {Strategy::SingleLayer, Strategy::Greedy,
+                       Strategy::Heuristic}) {
+        MappingPlan plan = planMapping(net, s, 210);
+        for (const auto &seg : plan.segments)
+            EXPECT_LE(seg.totalCores(), 210u) << strategyName(s);
+    }
+}
+
+TEST(Segmentation, BalancingWidensTheBottleneck)
+{
+    // In the heuristic first segment, the 56x56 conv1_x layers are
+    // the bottleneck and must receive more cores than the minimum.
+    Network net = buildResNet18();
+    MappingPlan plan = planMapping(net, Strategy::Heuristic, 210);
+    const Segment &seg = plan.segments[0];
+    unsigned conv1_cores = 0, min_cores = 0;
+    for (const auto &lm : seg.layers) {
+        if (net.layer(lm.layerIdx).name == "conv1_1") {
+            conv1_cores = lm.alloc.totalCores();
+            min_cores =
+                minAllocation(net.layer(lm.layerIdx)).totalCores();
+        }
+    }
+    EXPECT_GT(conv1_cores, min_cores);
+}
+
+TEST(Placement, SerpentineAdjacency)
+{
+    ArrayGeometry geo;
+    // Consecutive serpentine positions are Manhattan-adjacent.
+    for (unsigned i = 0; i + 1 < geo.computeNodes(); ++i) {
+        NodeCoord a = geo.serpentine(i);
+        NodeCoord b = geo.serpentine(i + 1);
+        int dist = std::abs(a.x - b.x) + std::abs(a.y - b.y);
+        EXPECT_EQ(dist, 1) << i;
+    }
+    // The compute region avoids the host column and LLC rows.
+    for (unsigned i = 0; i < geo.computeNodes(); ++i) {
+        NodeCoord c = geo.serpentine(i);
+        EXPECT_GE(c.x, 1);
+        EXPECT_GE(c.y, 1);
+        EXPECT_LE(c.y, 14);
+    }
+}
+
+TEST(Placement, LlcRowsTopAndBottom)
+{
+    ArrayGeometry geo;
+    EXPECT_EQ(geo.llcForChannel(0).y, 0);
+    EXPECT_EQ(geo.llcForChannel(15).y, 0);
+    EXPECT_EQ(geo.llcForChannel(16).y, 15);
+    EXPECT_EQ(geo.llcForChannel(31).y, 15);
+    EXPECT_EQ(geo.llcForChannel(16).x, 0);
+}
+
+TEST(Placement, SegmentPlacementCoversAllNodes)
+{
+    Network net = buildResNet18();
+    MappingPlan plan = planMapping(net, Strategy::Heuristic, 210);
+    const Segment &seg = plan.segments[0];
+    SegmentPlacement sp = placeSegment(seg);
+    EXPECT_EQ(sp.nodes.size(), seg.totalCores());
+    // Each layer has exactly one DC and its chain in order.
+    for (const auto &lm : seg.layers) {
+        auto nodes = sp.layerNodes(lm.layerIdx);
+        ASSERT_FALSE(nodes.empty());
+        EXPECT_EQ(nodes[0]->role, NodeRole::DataCollect);
+        unsigned chain = 0;
+        for (const auto *n : nodes) {
+            if (n->role == NodeRole::Compute) {
+                EXPECT_EQ(n->chainPos, chain++);
+            }
+        }
+        EXPECT_EQ(chain, lm.alloc.computeCores);
+    }
+}
+
+TEST(PlacementDeath, OverflowingSegmentRejected)
+{
+    ArrayGeometry geo;
+    Segment seg;
+    LayerSpec big;
+    big.kind = LayerKind::Conv;
+    big.inC = 256;
+    big.inH = big.inW = 14;
+    big.outC = 256;
+    big.R = big.S = 3;
+    NodeAllocation a;
+    a.unitsPerNode = 1;
+    a.computeCores = geo.computeNodes() + 5;
+    a.auxCores = 1;
+    seg.layers.push_back({0, a});
+    EXPECT_DEATH(placeSegment(seg), "assertion failed");
+}

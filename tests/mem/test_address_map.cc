@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "mem/address_map.hh"
+
+using namespace maicc;
+
+TEST(AddressMap, RegionClassification)
+{
+    EXPECT_TRUE(amap::isLocalDmem(0x0));
+    EXPECT_TRUE(amap::isLocalDmem(0xFFF));
+    EXPECT_FALSE(amap::isLocalDmem(0x1000));
+    EXPECT_TRUE(amap::isLocalSlice0(0x1000));
+    EXPECT_TRUE(amap::isLocalSlice0(0x17FF));
+    EXPECT_FALSE(amap::isLocalSlice0(0x1800));
+    EXPECT_TRUE(amap::isRemote(0x40000000));
+    EXPECT_TRUE(amap::isRemote(0x7FFFFFFF));
+    EXPECT_FALSE(amap::isRemote(0x80000000));
+    EXPECT_TRUE(amap::isDram(0x80000000));
+    EXPECT_TRUE(amap::isDram(0xFFFFFFFF));
+}
+
+TEST(AddressMap, RemoteEncodeDecodeRoundTrip)
+{
+    for (int x : {0, 1, 7, 15}) {
+        for (int y : {0, 3, 15}) {
+            for (uint32_t off : {0u, 0x123u, 0x3FFFu}) {
+                Addr a = amap::encodeRemote(x, y, off);
+                EXPECT_TRUE(amap::isRemote(a));
+                auto r = amap::decodeRemote(a);
+                EXPECT_EQ(r.x, x);
+                EXPECT_EQ(r.y, y);
+                EXPECT_EQ(r.offset, off);
+            }
+        }
+    }
+}
+
+TEST(AddressMap, Table1BitLayout)
+{
+    // 01xxxxxx_xxyyyyyy_yyoooooo_oooooooo
+    Addr a = amap::encodeRemote(0xAB, 0xCD, 0x1234);
+    EXPECT_EQ(a >> 30, 0x1u);
+    EXPECT_EQ((a >> 22) & 0xFF, 0xABu);
+    EXPECT_EQ((a >> 14) & 0xFF, 0xCDu);
+    EXPECT_EQ(a & 0x3FFF, 0x1234u);
+}
+
+TEST(AddressMap, RemoteRowAlias)
+{
+    Addr a = amap::encodeRemoteRow(3, 9, 5, 42);
+    auto r = amap::decodeRemote(a);
+    EXPECT_EQ(r.x, 3);
+    EXPECT_EQ(r.y, 9);
+    EXPECT_TRUE(amap::offsetIsRow(r.offset));
+    EXPECT_EQ(amap::offsetSlice(r.offset), 5u);
+    EXPECT_EQ(amap::offsetRow(r.offset), 42u);
+    // Plain dmem offsets are not rows.
+    EXPECT_FALSE(amap::offsetIsRow(0x0FFC));
+    EXPECT_FALSE(amap::offsetIsRow(0x17FF));
+}
+
+TEST(AddressMap, DramChannelInterleaving)
+{
+    // Consecutive 64-byte blocks hit consecutive channels.
+    EXPECT_EQ(amap::dramChannel(amap::dramBase + 0), 0u);
+    EXPECT_EQ(amap::dramChannel(amap::dramBase + 64),
+              amap::dramChannel(amap::dramBase) + 1);
+    EXPECT_EQ(amap::dramChannel(amap::dramBase + 63),
+              amap::dramChannel(amap::dramBase));
+    // Wraps around at 32.
+    EXPECT_EQ(amap::dramChannel(amap::dramBase + 64 * 32),
+              amap::dramChannel(amap::dramBase));
+}

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "mem/llc.hh"
+
+using namespace maicc;
+
+TEST(SimpleCache, ColdMissThenHit)
+{
+    SimpleCache c;
+    auto r1 = c.access(0x1000, false);
+    EXPECT_FALSE(r1.hit);
+    auto r2 = c.access(0x1000, false);
+    EXPECT_TRUE(r2.hit);
+    auto r3 = c.access(0x103F, false); // same 64B line
+    EXPECT_TRUE(r3.hit);
+    auto r4 = c.access(0x1040, false); // next line
+    EXPECT_FALSE(r4.hit);
+    EXPECT_EQ(c.stats().hits, 2u);
+    EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(SimpleCache, LruEvictionOrder)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 2 * 64; // 1 set, 2 ways
+    cfg.ways = 2;
+    SimpleCache c(cfg);
+    ASSERT_EQ(cfg.numSets(), 1u);
+    c.access(0 * 64, false);
+    c.access(1 * 64, false);
+    c.access(0 * 64, false);   // touch line 0: line 1 becomes LRU
+    c.access(2 * 64, false);   // evicts line 1
+    EXPECT_TRUE(c.probe(0 * 64));
+    EXPECT_FALSE(c.probe(1 * 64));
+    EXPECT_TRUE(c.probe(2 * 64));
+}
+
+TEST(SimpleCache, DirtyVictimWritesBack)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 2 * 64;
+    cfg.ways = 2;
+    SimpleCache c(cfg);
+    c.access(0 * 64, true);  // dirty
+    c.access(1 * 64, false);
+    auto r = c.access(2 * 64, false); // evicts dirty line 0
+    EXPECT_TRUE(r.writeback);
+    EXPECT_EQ(r.victimAddr, 0u);
+    EXPECT_EQ(c.stats().writebacks, 1u);
+
+    auto r2 = c.access(3 * 64, false); // evicts clean line 1
+    EXPECT_FALSE(r2.writeback);
+}
+
+TEST(SimpleCache, SetIndexingSeparatesConflicts)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 4 * 1024;
+    cfg.ways = 2;
+    SimpleCache c(cfg);
+    unsigned sets = cfg.numSets();
+    // Lines mapping to different sets never evict each other.
+    for (unsigned i = 0; i < sets; ++i)
+        c.access(i * 64, false);
+    for (unsigned i = 0; i < sets; ++i)
+        EXPECT_TRUE(c.probe(i * 64)) << i;
+}
+
+TEST(SimpleCache, HitRateAccounting)
+{
+    SimpleCache c;
+    for (int rep = 0; rep < 4; ++rep) {
+        for (Addr a = 0; a < 16 * 64; a += 64)
+            c.access(a, false);
+    }
+    // 16 cold misses, 48 hits.
+    EXPECT_EQ(c.stats().misses, 16u);
+    EXPECT_EQ(c.stats().hits, 48u);
+    EXPECT_NEAR(c.stats().hitRate(), 0.75, 1e-9);
+}

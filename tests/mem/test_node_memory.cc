@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "cmem/cmem.hh"
+#include "mem/node_memory.hh"
+
+using namespace maicc;
+
+TEST(FlatMemory, SparseDefaultZero)
+{
+    FlatMemory m;
+    EXPECT_EQ(m.load(0x80001234, 4), 0u);
+    m.store(0x80001234, 0xCAFEBABE, 4);
+    EXPECT_EQ(m.load(0x80001234, 4), 0xCAFEBABEu);
+    EXPECT_EQ(m.load(0x80001235, 1), 0xBAu);
+    EXPECT_EQ(m.load(0x80001234, 2), 0xBABEu);
+}
+
+TEST(FlatMemory, PeekPoke)
+{
+    FlatMemory m;
+    m.poke(7, 0x5A);
+    EXPECT_EQ(m.peek(7), 0x5A);
+    EXPECT_EQ(m.peek(8), 0);
+}
+
+TEST(NodeMemory, DmemReadWrite)
+{
+    CMem cm;
+    NodeMemory nm(cm);
+    nm.store(0x10, 0xDEADBEEF, 4);
+    EXPECT_EQ(nm.load(0x10, 4), 0xDEADBEEFu);
+    EXPECT_EQ(nm.load(0x12, 2), 0xDEADu);
+    EXPECT_EQ(nm.peekDmem(0x10), 0xEF);
+}
+
+TEST(NodeMemory, Slice0WindowHitsCMem)
+{
+    CMem cm;
+    NodeMemory nm(cm);
+    nm.store(amap::slice0Base + 100, 0x42, 1);
+    EXPECT_EQ(cm.loadByte(100), 0x42);
+    EXPECT_EQ(nm.load(amap::slice0Base + 100, 1), 0x42u);
+}
+
+TEST(NodeMemory, ExternalDelegation)
+{
+    CMem cm;
+    FlatMemory ext;
+    NodeMemory nm(cm, &ext);
+    nm.store(amap::dramBase, 0x77, 1);
+    EXPECT_EQ(ext.load(amap::dramBase, 1), 0x77u);
+    Addr raddr = amap::encodeRemote(2, 3, 0x10);
+    nm.store(raddr, 0x99, 1);
+    EXPECT_EQ(nm.load(raddr, 1), 0x99u);
+}
+
+TEST(NodeMemoryDeath, NoExternalPortPanics)
+{
+    CMem cm;
+    NodeMemory nm(cm);
+    EXPECT_DEATH(nm.load(amap::dramBase, 4), "no external port");
+}
+
+TEST(NodeMemoryDeath, DmemOverrunPanics)
+{
+    CMem cm;
+    NodeMemory nm(cm);
+    EXPECT_DEATH(nm.load(amap::dmemSize - 2, 4), "assertion failed");
+}

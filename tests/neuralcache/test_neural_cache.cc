@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "neuralcache/neural_cache.hh"
+#include "sram/transpose.hh"
+
+using namespace maicc;
+
+TEST(NeuralCacheCosts, PaperFormulas)
+{
+    // §2.2: addition in n+1 cycles, multiplication in n^2+5n-2.
+    EXPECT_EQ(NeuralCacheCosts::addCycles(8), 9u);
+    EXPECT_EQ(NeuralCacheCosts::multCycles(8), 102u);
+    EXPECT_EQ(NeuralCacheCosts::addCycles(4), 5u);
+    EXPECT_EQ(NeuralCacheCosts::multCycles(4), 34u);
+    // Reduction: 8 (= log2 256) shift+add iterations.
+    EXPECT_GT(NeuralCacheCosts::reductionCycles(16), 8u * 17u);
+}
+
+TEST(NeuralCacheEngine, VectorAddMatchesArithmetic)
+{
+    Rng rng(5);
+    SramArray arr(64);
+    std::vector<int32_t> a(256), b(256);
+    for (auto &v : a)
+        v = static_cast<int32_t>(rng.below(256));
+    for (auto &v : b)
+        v = static_cast<int32_t>(rng.below(256));
+    writeTransposed(arr, 0, 8, a);
+    writeTransposed(arr, 8, 8, b);
+    ncVectorAdd(arr, 0, 8, 16, 8);
+    auto sum = readTransposed(arr, 16, 9, 256, false);
+    for (int k = 0; k < 256; ++k)
+        EXPECT_EQ(sum[k], a[k] + b[k]) << k;
+}
+
+TEST(NeuralCacheEngine, VectorMultMatchesArithmetic)
+{
+    Rng rng(6);
+    SramArray arr(64);
+    std::vector<int32_t> a(256), b(256);
+    for (auto &v : a)
+        v = static_cast<int32_t>(rng.below(256));
+    for (auto &v : b)
+        v = static_cast<int32_t>(rng.below(256));
+    writeTransposed(arr, 0, 8, a);
+    writeTransposed(arr, 8, 8, b);
+    ncVectorMult(arr, 0, 8, 16, 8);
+    auto prod = readTransposed(arr, 16, 16, 256, false);
+    for (int k = 0; k < 256; ++k)
+        EXPECT_EQ(prod[k], a[k] * b[k]) << k;
+}
+
+TEST(NeuralCacheEngine, ReduceSumsAllLanes)
+{
+    Rng rng(7);
+    SramArray arr(64);
+    std::vector<int32_t> v(256);
+    int64_t want = 0;
+    for (auto &x : v) {
+        x = static_cast<int32_t>(rng.below(256));
+        want += x;
+    }
+    writeTransposed(arr, 0, 8, v);
+    EXPECT_EQ(ncReduce(arr, 0, 8, 32), want);
+}
+
+TEST(NeuralCacheEngine, DotProductViaPrimitives)
+{
+    // The full Neural Cache dot-product flow: element-wise
+    // multiply then reduce (Fig. 4(a)).
+    Rng rng(8);
+    SramArray arr(64);
+    std::vector<int32_t> a(256), b(256);
+    int64_t want = 0;
+    for (int k = 0; k < 256; ++k) {
+        a[k] = static_cast<int32_t>(rng.below(16));
+        b[k] = static_cast<int32_t>(rng.below(16));
+        want += int64_t(a[k]) * b[k];
+    }
+    writeTransposed(arr, 0, 4, a);
+    writeTransposed(arr, 4, 4, b);
+    ncVectorMult(arr, 0, 4, 8, 4);
+    EXPECT_EQ(ncReduce(arr, 8, 8, 32), want);
+}
+
+TEST(NeuralCacheModel, Table4WorkloadCycles)
+{
+    // Paper Table 4: Neural Cache runs the 5-filter 3x3x256 /
+    // 9x9x256 workload in 136416 cycles with 40 KB of arrays.
+    NeuralCacheConvResult r = neuralCacheConv();
+    EXPECT_EQ(r.memoryKb, 40u);
+    EXPECT_GT(r.cycles, 100'000u);
+    EXPECT_LT(r.cycles, 175'000u);
+    // Reduction takes a substantial share (paper §3.2: ~23%).
+    double share = double(r.reductionCycles) / r.cycles;
+    EXPECT_GT(share, 0.08);
+    EXPECT_LT(share, 0.35);
+    // Energy in the neighbourhood of the paper's 4.03e-6 J.
+    EXPECT_GT(r.energyJ, 2.0e-6);
+    EXPECT_LT(r.energyJ, 7.0e-6);
+}
+
+TEST(NeuralCacheModel, MaiccSpeedupShape)
+{
+    // Paper: MAICC node = 59141 cycles vs Neural Cache 136416,
+    // i.e. ~2.3x. Require a speedup in [1.5, 3.5] against our own
+    // node cycle count range (30k-70k).
+    NeuralCacheConvResult nc = neuralCacheConv();
+    double speedup_low = double(nc.cycles) / 70'000.0;
+    double speedup_high = double(nc.cycles) / 30'000.0;
+    EXPECT_GT(speedup_high, 1.5);
+    EXPECT_GT(speedup_low, 1.0);
+}

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "nn/network.hh"
+
+using namespace maicc;
+
+TEST(Network, ResNet18HasTable6ComputeLayers)
+{
+    Network net = buildResNet18();
+    auto cl = net.computeLayers();
+    ASSERT_EQ(cl.size(), 20u);
+    // Table 6 order and names.
+    const char *names[] = {
+        "conv1_1", "conv1_2", "conv1_3", "conv1_4", "shortcut2",
+        "conv2_1", "conv2_2", "conv2_3", "conv2_4", "shortcut3",
+        "conv3_1", "conv3_2", "conv3_3", "conv3_4", "shortcut4",
+        "conv4_1", "conv4_2", "conv4_3", "conv4_4", "linear",
+    };
+    for (size_t i = 0; i < 20; ++i)
+        EXPECT_EQ(net.layer(cl[i]).name, names[i]) << i;
+}
+
+TEST(Network, ResNet18Geometry)
+{
+    Network net = buildResNet18();
+    auto cl = net.computeLayers();
+    // conv1_x: 56x56x64 -> 64
+    EXPECT_EQ(net.layer(cl[0]).inH, 56);
+    EXPECT_EQ(net.layer(cl[0]).outH(), 56);
+    EXPECT_EQ(net.layer(cl[0]).outC, 64);
+    // conv2_1: stride 2 downsample 56 -> 28, 128 filters.
+    EXPECT_EQ(net.layer(cl[5]).stride, 2);
+    EXPECT_EQ(net.layer(cl[5]).outH(), 28);
+    EXPECT_EQ(net.layer(cl[5]).outC, 128);
+    // shortcut2 is a 1x1 stride-2 conv.
+    EXPECT_EQ(net.layer(cl[4]).R, 1);
+    EXPECT_EQ(net.layer(cl[4]).stride, 2);
+    EXPECT_EQ(net.layer(cl[4]).outH(), 28);
+    // conv4_x: 7x7x512.
+    EXPECT_EQ(net.layer(cl[16]).inH, 7);
+    EXPECT_EQ(net.layer(cl[16]).inC, 512);
+    // linear: 512 -> 1000 on 1x1.
+    EXPECT_EQ(net.layer(cl[19]).kind, LayerKind::Linear);
+    EXPECT_EQ(net.layer(cl[19]).inC, 512);
+    EXPECT_EQ(net.layer(cl[19]).outC, 1000);
+}
+
+TEST(Network, ResNet18MacCount)
+{
+    // Without the 7x7 stem, ResNet18 has ~1.66 GMACs at 224x224.
+    Network net = buildResNet18();
+    double gmacs = net.totalMacs() / 1e9;
+    EXPECT_GT(gmacs, 1.4);
+    EXPECT_LT(gmacs, 1.9);
+}
+
+TEST(Network, ResidualLinksAreValid)
+{
+    Network net = buildResNet18();
+    for (size_t i = 0; i < net.size(); ++i) {
+        const LayerSpec &l = net.layer(i);
+        if (l.inputFrom >= 0) {
+            EXPECT_LT(static_cast<size_t>(l.inputFrom), i);
+        }
+        if (l.addFrom >= 0) {
+            EXPECT_LT(static_cast<size_t>(l.addFrom), i);
+            const LayerSpec &src = net.layer(l.addFrom);
+            EXPECT_EQ(src.outC, l.outC) << l.name;
+            EXPECT_EQ(src.outH(), l.outH()) << l.name;
+        }
+    }
+}
+
+TEST(Network, SmallCnnShape)
+{
+    Network net = buildSmallCnn();
+    EXPECT_GE(net.computeLayers().size(), 5u);
+    EXPECT_EQ(net.layers.back().outC, 10);
+}
+
+TEST(Network, RandomWeightsMatchLayerShapes)
+{
+    Network net = buildResNet18();
+    auto w = randomWeights(net, 7);
+    ASSERT_EQ(w.size(), net.size());
+    for (size_t i = 0; i < net.size(); ++i) {
+        if (!net.layer(i).isCompute())
+            continue;
+        EXPECT_EQ(w[i].M, net.layer(i).outC);
+        EXPECT_EQ(w[i].C, net.layer(i).inC);
+        EXPECT_EQ(w[i].R, net.layer(i).R);
+    }
+    // Deterministic.
+    auto w2 = randomWeights(net, 7);
+    EXPECT_EQ(w[0].data, w2[0].data);
+    auto w3 = randomWeights(net, 8);
+    EXPECT_NE(w[0].data, w3[0].data);
+}
+
+TEST(Requantize, SaturationAndRelu)
+{
+    EXPECT_EQ(requantize(1000, 3, false), 125);
+    EXPECT_EQ(requantize(10000, 3, false), 127);
+    EXPECT_EQ(requantize(-10000, 3, false), -128);
+    EXPECT_EQ(requantize(-10000, 3, true), 0);
+    EXPECT_EQ(requantize(-1, 0, true), 0);
+    EXPECT_EQ(requantize(7, 0, false), 7);
+}

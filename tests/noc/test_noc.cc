@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "noc/noc.hh"
+
+using namespace maicc;
+
+TEST(MeshNoc, CoordsAndHops)
+{
+    MeshNoc noc;
+    EXPECT_EQ(noc.nodeId(0, 0), 0);
+    EXPECT_EQ(noc.nodeId(15, 0), 15);
+    EXPECT_EQ(noc.nodeId(0, 1), 16);
+    EXPECT_EQ(noc.coord(17).x, 1);
+    EXPECT_EQ(noc.coord(17).y, 1);
+    EXPECT_EQ(noc.hops(0, 0), 0u);
+    EXPECT_EQ(noc.hops(noc.nodeId(0, 0), noc.nodeId(3, 4)), 7u);
+}
+
+TEST(MeshNoc, SingleFlitZeroLoadLatency)
+{
+    for (unsigned dist : {0u, 1u, 5u, 15u}) {
+        MeshNoc noc;
+        NodeId src = noc.nodeId(0, 0);
+        NodeId dst = noc.nodeId(dist, 0);
+        Packet p;
+        p.src = src;
+        p.dst = dst;
+        p.sizeFlits = 1;
+        noc.inject(p);
+        noc.drain();
+        ASSERT_EQ(noc.delivered(dst).size(), 1u);
+        EXPECT_DOUBLE_EQ(noc.avgPacketLatency(),
+                         noc.zeroLoadLatency(dist, 1));
+    }
+}
+
+TEST(MeshNoc, MultiFlitSerializationLatency)
+{
+    MeshNoc noc;
+    NodeId src = noc.nodeId(2, 3);
+    NodeId dst = noc.nodeId(7, 9);
+    Packet p;
+    p.src = src;
+    p.dst = dst;
+    p.sizeFlits = 9; // a CMem row: head + 8 payload flits
+    noc.inject(p);
+    noc.drain();
+    unsigned h = noc.hops(src, dst);
+    EXPECT_DOUBLE_EQ(noc.avgPacketLatency(),
+                     noc.zeroLoadLatency(h, 9));
+}
+
+TEST(MeshNoc, XYRoutingDeliversEverywhere)
+{
+    MeshNoc noc;
+    NodeId src = noc.nodeId(8, 8);
+    unsigned count = 0;
+    for (int x = 0; x < 16; x += 5) {
+        for (int y = 0; y < 16; y += 5) {
+            Packet p;
+            p.src = src;
+            p.dst = noc.nodeId(x, y);
+            p.sizeFlits = 2;
+            p.tag = noc.nodeId(x, y);
+            noc.inject(p);
+            ++count;
+        }
+    }
+    noc.drain();
+    unsigned got = 0;
+    for (int x = 0; x < 16; x += 5) {
+        for (int y = 0; y < 16; y += 5) {
+            auto &d = noc.delivered(noc.nodeId(x, y));
+            ASSERT_EQ(d.size(), 1u);
+            EXPECT_EQ(d.front().tag,
+                      uint64_t(noc.nodeId(x, y)));
+            ++got;
+        }
+    }
+    EXPECT_EQ(got, count);
+    EXPECT_EQ(noc.packetsDelivered(), count);
+}
+
+TEST(MeshNoc, FlitHopAccounting)
+{
+    MeshNoc noc;
+    Packet p;
+    p.src = noc.nodeId(0, 0);
+    p.dst = noc.nodeId(3, 0);
+    p.sizeFlits = 4;
+    noc.inject(p);
+    noc.drain();
+    // 4 flits each traversing 3 links.
+    EXPECT_EQ(noc.flitHops(), 12u);
+}
+
+TEST(MeshNoc, WormholeKeepsPacketsContiguous)
+{
+    // Two multi-flit packets from different sources crossing the
+    // same output link must not interleave flits (wormhole lock).
+    MeshNoc noc;
+    NodeId dst = noc.nodeId(10, 5);
+    for (int s = 0; s < 4; ++s) {
+        Packet p;
+        p.src = noc.nodeId(0, s);
+        p.dst = dst;
+        p.sizeFlits = 9;
+        p.tag = 100 + s;
+        noc.inject(p);
+    }
+    noc.drain();
+    EXPECT_EQ(noc.delivered(dst).size(), 4u);
+    // All four tags present exactly once.
+    std::set<uint64_t> tags;
+    for (auto &pkt : noc.delivered(dst))
+        tags.insert(pkt.tag);
+    EXPECT_EQ(tags.size(), 4u);
+}
+
+TEST(MeshNoc, ContentionIncreasesLatency)
+{
+    // Many nodes hammering one destination: average latency must
+    // exceed the zero-load latency of the farthest sender.
+    MeshNoc noc;
+    NodeId dst = noc.nodeId(8, 8);
+    unsigned max_h = 0;
+    for (int x = 0; x < 16; x += 2) {
+        for (int y = 0; y < 16; y += 2) {
+            NodeId src = noc.nodeId(x, y);
+            if (src == dst)
+                continue;
+            for (int k = 0; k < 4; ++k) {
+                Packet p;
+                p.src = src;
+                p.dst = dst;
+                p.sizeFlits = 9;
+                noc.inject(p);
+            }
+            max_h = std::max(max_h, noc.hops(src, dst));
+        }
+    }
+    noc.drain();
+    EXPECT_GT(noc.avgPacketLatency(),
+              static_cast<double>(noc.zeroLoadLatency(max_h, 9)));
+}
+
+TEST(MeshNoc, BackToBackPacketsPipelineOnOneLink)
+{
+    // Throughput: N k-flit packets over the same path should take
+    // ~N*k cycles of link occupancy, not N * zero-load latency.
+    MeshNoc noc;
+    NodeId src = noc.nodeId(0, 0);
+    NodeId dst = noc.nodeId(5, 0);
+    const unsigned n_pkts = 20, flits = 4;
+    for (unsigned i = 0; i < n_pkts; ++i) {
+        Packet p;
+        p.src = src;
+        p.dst = dst;
+        p.sizeFlits = flits;
+        noc.inject(p);
+    }
+    noc.drain();
+    Cycles total = noc.now();
+    Cycles serial =
+        n_pkts * noc.zeroLoadLatency(noc.hops(src, dst), flits);
+    EXPECT_LT(total, serial / 2);
+    EXPECT_GE(total, Cycles(n_pkts * flits));
+}
+
+TEST(MeshNoc, IdleAndDeterminism)
+{
+    MeshNoc a, b;
+    for (MeshNoc *noc : {&a, &b}) {
+        EXPECT_TRUE(noc->idle());
+        for (int i = 0; i < 10; ++i) {
+            Packet p;
+            p.src = noc->nodeId(i, 0);
+            p.dst = noc->nodeId(0, i);
+            p.sizeFlits = 3;
+            noc->inject(p);
+        }
+        noc->drain();
+        EXPECT_TRUE(noc->idle());
+    }
+    EXPECT_EQ(a.now(), b.now());
+    EXPECT_EQ(a.flitHops(), b.flitHops());
+    EXPECT_DOUBLE_EQ(a.avgPacketLatency(), b.avgPacketLatency());
+}
+
+TEST(MeshNocDeath, BadDestinationRejected)
+{
+    MeshNoc noc;
+    Packet p;
+    p.src = 0;
+    p.dst = 16 * 16; // out of range
+    EXPECT_DEATH(noc.inject(p), "assertion failed");
+}
+
+TEST(MeshNoc, BackpressurePropagatesUpstream)
+{
+    // A long stream into one destination through a single column:
+    // finite input queues mean the network cannot hold the whole
+    // stream at once, yet everything eventually delivers in order
+    // per source (wormhole + FIFO queues).
+    MeshNoc noc;
+    NodeId src = noc.nodeId(0, 0);
+    NodeId dst = noc.nodeId(15, 0);
+    const unsigned packets = 200;
+    for (unsigned i = 0; i < packets; ++i) {
+        Packet p;
+        p.src = src;
+        p.dst = dst;
+        p.sizeFlits = 3;
+        p.tag = i;
+        noc.inject(p);
+    }
+    noc.drain();
+    auto &d = noc.delivered(dst);
+    ASSERT_EQ(d.size(), packets);
+    for (unsigned i = 0; i < packets; ++i)
+        EXPECT_EQ(d[i].tag, i);
+    // Throughput-bound completion: ~1 flit/cycle on the shared
+    // path, not packets x zero-load latency.
+    EXPECT_LT(noc.now(), packets * 3 + 200);
+}

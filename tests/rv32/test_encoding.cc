@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "rv32/encoding.hh"
+
+using namespace maicc;
+using namespace maicc::rv32;
+
+TEST(Encoding, KnownWords)
+{
+    // Cross-checked against riscv-gnu-toolchain output.
+    Inst addi;
+    addi.op = Op::ADDI;
+    addi.rd = x1;
+    addi.rs1 = x2;
+    addi.imm = -1;
+    EXPECT_EQ(encode(addi), 0xFFF10093u); // addi x1, x2, -1
+
+    Inst add;
+    add.op = Op::ADD;
+    add.rd = x3;
+    add.rs1 = x4;
+    add.rs2 = x5;
+    EXPECT_EQ(encode(add), 0x005201B3u); // add x3, x4, x5
+
+    Inst lui;
+    lui.op = Op::LUI;
+    lui.rd = x7;
+    lui.imm = 0xDEAD5 << 12;
+    EXPECT_EQ(encode(lui), 0xDEAD53B7u); // lui x7, 0xdead5
+
+    Inst sw;
+    sw.op = Op::SW;
+    sw.rs1 = x2;
+    sw.rs2 = x8;
+    sw.imm = 12;
+    EXPECT_EQ(encode(sw), 0x00812623u); // sw x8, 12(x2)
+
+    Inst mul;
+    mul.op = Op::MUL;
+    mul.rd = x10;
+    mul.rs1 = x11;
+    mul.rs2 = x12;
+    EXPECT_EQ(encode(mul), 0x02C58533u); // mul a0, a1, a2
+}
+
+TEST(Encoding, BranchImmediate)
+{
+    Inst beq;
+    beq.op = Op::BEQ;
+    beq.rs1 = x1;
+    beq.rs2 = x2;
+    beq.imm = -8;
+    uint32_t w = encode(beq);
+    Inst back = decode(w);
+    EXPECT_EQ(back.op, Op::BEQ);
+    EXPECT_EQ(back.imm, -8);
+    EXPECT_EQ(back.rs1, x1);
+    EXPECT_EQ(back.rs2, x2);
+}
+
+TEST(Encoding, JalImmediateRange)
+{
+    for (int32_t imm : {4, -4, 2048, -2048, 0xFFFE, -0x10000}) {
+        Inst j;
+        j.op = Op::JAL;
+        j.rd = x1;
+        j.imm = imm;
+        Inst back = decode(encode(j));
+        EXPECT_EQ(back.op, Op::JAL);
+        EXPECT_EQ(back.imm, imm) << "imm=" << imm;
+    }
+}
+
+TEST(Encoding, RoundTripEveryOpcode)
+{
+    // Property: decode(encode(i)) == i for representative operands
+    // of every operation.
+    for (int op_i = 0; op_i <= static_cast<int>(Op::SETMASK_C);
+         ++op_i) {
+        Op op = static_cast<Op>(op_i);
+        if (op == Op::ILLEGAL)
+            continue;
+        Inst in;
+        in.op = op;
+        in.rd = 5;
+        in.rs1 = 6;
+        in.rs2 = 7;
+        in.imm = 0;
+        in.cmemN = 8;
+        in.cmemVal = 1;
+        switch (op) {
+          case Op::LUI: case Op::AUIPC:
+            in.imm = 0x12345 << 12;
+            break;
+          case Op::JAL:
+            in.imm = 2048;
+            break;
+          case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BGE:
+          case Op::BLTU: case Op::BGEU:
+            in.imm = -16;
+            break;
+          case Op::SLLI: case Op::SRLI: case Op::SRAI:
+            in.imm = 13;
+            break;
+          case Op::FENCE: case Op::ECALL: case Op::EBREAK:
+            in.rd = in.rs1 = in.rs2 = 0;
+            in.cmemN = in.cmemVal = 0;
+            break;
+          default:
+            in.imm = -7;
+            break;
+        }
+        // Ops that don't encode certain fields: normalize.
+        Inst back = decode(encode(in));
+        EXPECT_EQ(back.op, in.op) << opName(op);
+        if (back.writesRd()) {
+            EXPECT_EQ(back.rd, in.rd) << opName(op);
+        }
+        if (back.readsRs1()) {
+            EXPECT_EQ(back.rs1, in.rs1) << opName(op);
+        }
+        if (back.readsRs2()) {
+            EXPECT_EQ(back.rs2, in.rs2) << opName(op);
+        }
+    }
+}
+
+TEST(Encoding, CMemFieldsSurvive)
+{
+    Inst mac;
+    mac.op = Op::MAC_C;
+    mac.rd = x10;
+    mac.rs1 = x11;
+    mac.rs2 = x12;
+    mac.cmemN = 16;
+    Inst back = decode(encode(mac));
+    EXPECT_EQ(back.op, Op::MAC_C);
+    EXPECT_EQ(back.cmemN, 16);
+    EXPECT_EQ(back.rd, x10);
+
+    Inst sr;
+    sr.op = Op::SETROW_C;
+    sr.rs1 = x5;
+    sr.cmemVal = 1;
+    back = decode(encode(sr));
+    EXPECT_EQ(back.op, Op::SETROW_C);
+    EXPECT_EQ(back.cmemVal, 1);
+    sr.cmemVal = 0;
+    back = decode(encode(sr));
+    EXPECT_EQ(back.cmemVal, 0);
+}
+
+TEST(Encoding, DescriptorHelpers)
+{
+    uint32_t d = cmemDesc(5, 37);
+    EXPECT_EQ(descSlice(d), 5u);
+    EXPECT_EQ(descRow(d), 37u);
+    EXPECT_EQ(cmemDesc(0, 0), 0u);
+    EXPECT_EQ(descRow(cmemDesc(7, 63)), 63u);
+    EXPECT_EQ(descSlice(cmemDesc(7, 63)), 7u);
+}
+
+TEST(Encoding, IllegalWordsDecodeAsIllegal)
+{
+    EXPECT_EQ(decode(0x00000000u).op, Op::ILLEGAL);
+    EXPECT_EQ(decode(0xFFFFFFFFu).op, Op::ILLEGAL);
+    EXPECT_EQ(decode(0x00000057u).op, Op::ILLEGAL); // FP opcode
+}
+
+TEST(Encoding, Disassembly)
+{
+    Inst in;
+    in.op = Op::ADDI;
+    in.rd = x1;
+    in.rs1 = x2;
+    in.imm = -1;
+    EXPECT_EQ(in.toString(), "addi x1, x2, -1");
+    in.op = Op::MAC_C;
+    in.rd = x10;
+    in.rs1 = x11;
+    in.rs2 = x12;
+    in.cmemN = 8;
+    EXPECT_NE(in.toString().find("mac.c"), std::string::npos);
+    EXPECT_NE(in.toString().find("n=8"), std::string::npos);
+}

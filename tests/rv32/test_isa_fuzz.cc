@@ -1,0 +1,113 @@
+/**
+ * Fuzz-style ISA properties: the decoder must be total (no crash
+ * on arbitrary words), and encode(decode(encode(i))) must be a
+ * fixed point for randomly generated valid instructions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "rv32/encoding.hh"
+
+using namespace maicc;
+using namespace maicc::rv32;
+
+TEST(IsaFuzz, DecoderIsTotal)
+{
+    Rng rng(77);
+    for (int i = 0; i < 200'000; ++i) {
+        uint32_t word = static_cast<uint32_t>(rng.next());
+        Inst in = decode(word);
+        // Decoding must classify or reject, never misbehave.
+        if (in.op != Op::ILLEGAL) {
+            EXPECT_LT(in.rd, 32);
+            EXPECT_LT(in.rs1, 32);
+            EXPECT_LT(in.rs2, 32);
+        }
+    }
+}
+
+TEST(IsaFuzz, EncodeDecodeFixedPoint)
+{
+    Rng rng(78);
+    int checked = 0;
+    for (int i = 0; i < 100'000; ++i) {
+        uint32_t word = static_cast<uint32_t>(rng.next());
+        Inst in = decode(word);
+        if (in.op == Op::ILLEGAL)
+            continue;
+        // Re-encoding a decoded instruction and decoding again
+        // must be stable (canonical form).
+        uint32_t canon = encode(in);
+        Inst back = decode(canon);
+        EXPECT_EQ(back.op, in.op);
+        EXPECT_EQ(encode(back), canon);
+        ++checked;
+    }
+    EXPECT_GT(checked, 1000); // plenty of valid encodings found
+}
+
+TEST(IsaFuzz, RandomValidInstructionsRoundTrip)
+{
+    Rng rng(79);
+    for (int i = 0; i < 20'000; ++i) {
+        Inst in;
+        in.op = static_cast<Op>(
+            rng.below(static_cast<uint64_t>(Op::ILLEGAL)));
+        in.rd = static_cast<uint8_t>(rng.below(32));
+        in.rs1 = static_cast<uint8_t>(rng.below(32));
+        in.rs2 = static_cast<uint8_t>(rng.below(32));
+        in.cmemN = static_cast<uint8_t>(1 + rng.below(31));
+        in.cmemVal = static_cast<uint8_t>(rng.below(2));
+        switch (in.op) {
+          case Op::LUI: case Op::AUIPC:
+            in.imm = static_cast<int32_t>(rng.next()) & ~0xFFF;
+            break;
+          case Op::JAL:
+            in.imm =
+                static_cast<int32_t>(rng.range(-500000, 500000))
+                & ~1;
+            break;
+          case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BGE:
+          case Op::BLTU: case Op::BGEU:
+            in.imm = static_cast<int32_t>(rng.range(-2000, 2000))
+                & ~1;
+            break;
+          case Op::SLLI: case Op::SRLI: case Op::SRAI:
+            in.imm = static_cast<int32_t>(rng.below(32));
+            break;
+          default:
+            in.imm = static_cast<int32_t>(rng.range(-2048, 2047));
+            break;
+        }
+        Inst back = decode(encode(in));
+        ASSERT_EQ(back.op, in.op) << opName(in.op);
+        if (back.writesRd()) {
+            EXPECT_EQ(back.rd, in.rd);
+        }
+        if (back.readsRs1()) {
+            EXPECT_EQ(back.rs1, in.rs1);
+        }
+        if (back.readsRs2()) {
+            EXPECT_EQ(back.rs2, in.rs2);
+        }
+        switch (in.op) {
+          case Op::LUI: case Op::AUIPC: case Op::JAL:
+          case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BGE:
+          case Op::BLTU: case Op::BGEU:
+          case Op::LB: case Op::LH: case Op::LW: case Op::LBU:
+          case Op::LHU: case Op::SB: case Op::SH: case Op::SW:
+          case Op::ADDI: case Op::SLTI: case Op::SLTIU:
+          case Op::XORI: case Op::ORI: case Op::ANDI:
+          case Op::SLLI: case Op::SRLI: case Op::SRAI:
+          case Op::JALR:
+            EXPECT_EQ(back.imm, in.imm) << opName(in.op);
+            break;
+          default:
+            break;
+        }
+        if (in.op == Op::MAC_C || in.op == Op::MOVE_C) {
+            EXPECT_EQ(back.cmemN, in.cmemN);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "sram/sram_array.hh"
+
+using namespace maicc;
+
+TEST(Row256, GetSetRoundTrip)
+{
+    Row256 r;
+    r.set(0, true);
+    r.set(63, true);
+    r.set(64, true);
+    r.set(255, true);
+    EXPECT_TRUE(r.get(0));
+    EXPECT_TRUE(r.get(63));
+    EXPECT_TRUE(r.get(64));
+    EXPECT_TRUE(r.get(255));
+    EXPECT_FALSE(r.get(1));
+    r.set(64, false);
+    EXPECT_FALSE(r.get(64));
+}
+
+TEST(Row256, FillAndPopcount)
+{
+    Row256 r;
+    EXPECT_EQ(r.popcount(), 0u);
+    r.fill(true);
+    EXPECT_EQ(r.popcount(), 256u);
+    r.fill(false);
+    EXPECT_EQ(r.popcount(), 0u);
+    r.set(100, true);
+    r.set(200, true);
+    EXPECT_EQ(r.popcount(), 2u);
+}
+
+TEST(Row256, Group32Access)
+{
+    Row256 r;
+    r.setGroup32(0, 0xDEADBEEF);
+    r.setGroup32(7, 0x12345678);
+    EXPECT_EQ(r.group32(0), 0xDEADBEEFu);
+    EXPECT_EQ(r.group32(7), 0x12345678u);
+    EXPECT_EQ(r.group32(3), 0u);
+    EXPECT_TRUE(r.get(0));  // 0xDEADBEEF bit 0 is 1
+    EXPECT_TRUE(r.get(31)); // 0xDEADBEEF bit 31 is 1
+}
+
+TEST(Row256, Shifted32MovesGroups)
+{
+    Row256 r;
+    r.setGroup32(0, 0xAAAA5555);
+    Row256 up = r.shifted32(2);
+    EXPECT_EQ(up.group32(2), 0xAAAA5555u);
+    EXPECT_EQ(up.group32(0), 0u);
+    Row256 down = up.shifted32(-2);
+    EXPECT_EQ(down.group32(0), 0xAAAA5555u);
+    // Shift out of range drops bits.
+    Row256 gone = r.shifted32(8);
+    EXPECT_EQ(gone.popcount(), 0u);
+}
+
+TEST(Row256, LogicOperators)
+{
+    Row256 a, b;
+    a.set(1, true);
+    a.set(2, true);
+    b.set(2, true);
+    b.set(3, true);
+    EXPECT_EQ((a & b).popcount(), 1u);
+    EXPECT_EQ((a | b).popcount(), 3u);
+    EXPECT_EQ((a ^ b).popcount(), 2u);
+    EXPECT_EQ((~a).popcount(), 254u);
+}
+
+TEST(SramArray, ReadWriteRows)
+{
+    SramArray arr(64);
+    Row256 r;
+    r.set(10, true);
+    arr.writeRow(5, r);
+    EXPECT_TRUE(arr.readRow(5).get(10));
+    EXPECT_FALSE(arr.readRow(6).get(10));
+}
+
+TEST(SramArray, BitlineComputeAndNor)
+{
+    SramArray arr(8);
+    Row256 a, b;
+    a.set(0, true);  // a=1, b=1  -> AND=1 NOR=0
+    b.set(0, true);
+    a.set(1, true);  // a=1, b=0  -> AND=0 NOR=0
+    b.set(2, true);  // a=0, b=1  -> AND=0 NOR=0
+    //      bit 3: a=0, b=0 -> AND=0 NOR=1
+    arr.writeRow(0, a);
+    arr.writeRow(1, b);
+    BitlineReadout out = arr.computeRows(0, 1);
+    EXPECT_TRUE(out.andBits.get(0));
+    EXPECT_FALSE(out.andBits.get(1));
+    EXPECT_FALSE(out.andBits.get(2));
+    EXPECT_FALSE(out.andBits.get(3));
+    EXPECT_FALSE(out.norBits.get(0));
+    EXPECT_FALSE(out.norBits.get(1));
+    EXPECT_FALSE(out.norBits.get(2));
+    EXPECT_TRUE(out.norBits.get(3));
+}
+
+TEST(SramArray, ActivationCountersTrackEvents)
+{
+    SramArray arr(8);
+    arr.readRow(0);
+    arr.writeRow(1, Row256{});
+    arr.computeRows(0, 1);
+    arr.computeRows(2, 3);
+    EXPECT_EQ(arr.readCount(), 1u);
+    EXPECT_EQ(arr.writeCount(), 1u);
+    EXPECT_EQ(arr.computeCount(), 2u);
+    arr.resetCounters();
+    EXPECT_EQ(arr.computeCount(), 0u);
+}
+
+TEST(SramArrayDeath, ComputeSameRowIsUndefined)
+{
+    SramArray arr(8);
+    EXPECT_DEATH(arr.computeRows(3, 3), "assertion failed");
+}
+
+TEST(SramArrayDeath, OutOfRangeRowPanics)
+{
+    SramArray arr(8);
+    EXPECT_DEATH(arr.readRow(8), "assertion failed");
+}

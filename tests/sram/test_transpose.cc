@@ -1,0 +1,69 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "sram/transpose.hh"
+
+using namespace maicc;
+
+TEST(Transpose, RoundTripUnsigned8)
+{
+    SramArray arr(64);
+    std::vector<int32_t> vals = {0, 1, 2, 127, 128, 255};
+    writeTransposed(arr, 0, 8, vals);
+    auto back = readTransposed(arr, 0, 8, vals.size(), false);
+    EXPECT_EQ(back, vals);
+}
+
+TEST(Transpose, RoundTripSigned8)
+{
+    SramArray arr(64);
+    std::vector<int32_t> vals = {-128, -1, 0, 1, 127, -37};
+    writeTransposed(arr, 4, 8, vals);
+    auto back = readTransposed(arr, 4, 8, vals.size(), true);
+    EXPECT_EQ(back, vals);
+}
+
+TEST(Transpose, BitLayoutMatchesSpec)
+{
+    SramArray arr(64);
+    // Element k=3 with value 0b101 at 4-bit precision: bit 0 ->
+    // row base+0 col 3, bit 2 -> row base+2 col 3.
+    std::vector<int32_t> vals = {0, 0, 0, 0b101};
+    writeTransposed(arr, 8, 4, vals);
+    EXPECT_TRUE(arr.readRow(8).get(3));
+    EXPECT_FALSE(arr.readRow(9).get(3));
+    EXPECT_TRUE(arr.readRow(10).get(3));
+    EXPECT_FALSE(arr.readRow(11).get(3));
+}
+
+TEST(Transpose, BaseColumnOffset)
+{
+    SramArray arr(64);
+    std::vector<int32_t> vals = {5, 9};
+    writeTransposed(arr, 0, 8, vals, 100);
+    auto back = readTransposed(arr, 0, 8, 2, false, 100);
+    EXPECT_EQ(back[0], 5);
+    EXPECT_EQ(back[1], 9);
+    // Columns outside the window stay clear.
+    auto other = readTransposed(arr, 0, 8, 2, false, 0);
+    EXPECT_EQ(other[0], 0);
+    EXPECT_EQ(other[1], 0);
+}
+
+TEST(Transpose, RandomRoundTripAllWidths)
+{
+    Rng rng(99);
+    for (unsigned n : {2u, 4u, 8u, 16u}) {
+        SramArray arr(64);
+        std::vector<int32_t> vals(256);
+        int32_t lo = -(1 << (n - 1));
+        int32_t hi = (1 << (n - 1)) - 1;
+        for (auto &v : vals)
+            v = static_cast<int32_t>(rng.range(lo, hi));
+        writeTransposed(arr, 0, n, vals);
+        auto back = readTransposed(arr, 0, n, 256, true);
+        EXPECT_EQ(back, vals) << "width " << n;
+    }
+}
