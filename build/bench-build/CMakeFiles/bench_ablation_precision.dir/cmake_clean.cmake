@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_precision"
+  "../bench/bench_ablation_precision.pdb"
+  "CMakeFiles/bench_ablation_precision.dir/bench_ablation_precision.cc.o"
+  "CMakeFiles/bench_ablation_precision.dir/bench_ablation_precision.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_noc_traffic"
+  "../bench/bench_noc_traffic.pdb"
+  "CMakeFiles/bench_noc_traffic.dir/bench_noc_traffic.cc.o"
+  "CMakeFiles/bench_noc_traffic.dir/bench_noc_traffic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_noc_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

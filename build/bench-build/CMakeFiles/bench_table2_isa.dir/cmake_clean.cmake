@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_isa"
+  "../bench/bench_table2_isa.pdb"
+  "CMakeFiles/bench_table2_isa.dir/bench_table2_isa.cc.o"
+  "CMakeFiles/bench_table2_isa.dir/bench_table2_isa.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_node"
+  "../bench/bench_table4_node.pdb"
+  "CMakeFiles/bench_table4_node.dir/bench_table4_node.cc.o"
+  "CMakeFiles/bench_table4_node.dir/bench_table4_node.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_mapping"
+  "../bench/bench_table6_mapping.pdb"
+  "CMakeFiles/bench_table6_mapping.dir/bench_table6_mapping.cc.o"
+  "CMakeFiles/bench_table6_mapping.dir/bench_table6_mapping.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

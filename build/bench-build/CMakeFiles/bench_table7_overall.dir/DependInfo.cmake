@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table7_overall.cc" "bench-build/CMakeFiles/bench_table7_overall.dir/bench_table7_overall.cc.o" "gcc" "bench-build/CMakeFiles/bench_table7_overall.dir/bench_table7_overall.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/maicc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/maicc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/maicc_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/maicc_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/maicc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/maicc_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/maicc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/maicc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/maicc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/rv32/CMakeFiles/maicc_rv32.dir/DependInfo.cmake"
+  "/root/repo/build/src/cmem/CMakeFiles/maicc_cmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/maicc_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/maicc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_dnn_parallel.dir/multi_dnn_parallel.cpp.o"
+  "CMakeFiles/multi_dnn_parallel.dir/multi_dnn_parallel.cpp.o.d"
+  "multi_dnn_parallel"
+  "multi_dnn_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_dnn_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resnet18_inference.dir/resnet18_inference.cpp.o"
+  "CMakeFiles/resnet18_inference.dir/resnet18_inference.cpp.o.d"
+  "resnet18_inference"
+  "resnet18_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resnet18_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sram")
+subdirs("cmem")
+subdirs("rv32")
+subdirs("mem")
+subdirs("core")
+subdirs("noc")
+subdirs("dram")
+subdirs("nn")
+subdirs("mapping")
+subdirs("energy")
+subdirs("runtime")
+subdirs("neuralcache")
+subdirs("baseline")

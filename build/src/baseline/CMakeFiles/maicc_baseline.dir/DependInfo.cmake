@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/platforms.cc" "src/baseline/CMakeFiles/maicc_baseline.dir/platforms.cc.o" "gcc" "src/baseline/CMakeFiles/maicc_baseline.dir/platforms.cc.o.d"
+  "/root/repo/src/baseline/scalar_conv.cc" "src/baseline/CMakeFiles/maicc_baseline.dir/scalar_conv.cc.o" "gcc" "src/baseline/CMakeFiles/maicc_baseline.dir/scalar_conv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/maicc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/maicc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/maicc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/maicc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/rv32/CMakeFiles/maicc_rv32.dir/DependInfo.cmake"
+  "/root/repo/build/src/cmem/CMakeFiles/maicc_cmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/maicc_sram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

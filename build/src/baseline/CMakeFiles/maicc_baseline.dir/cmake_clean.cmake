@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maicc_baseline.dir/platforms.cc.o"
+  "CMakeFiles/maicc_baseline.dir/platforms.cc.o.d"
+  "CMakeFiles/maicc_baseline.dir/scalar_conv.cc.o"
+  "CMakeFiles/maicc_baseline.dir/scalar_conv.cc.o.d"
+  "libmaicc_baseline.a"
+  "libmaicc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maicc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maicc_cmem.dir/cmem.cc.o"
+  "CMakeFiles/maicc_cmem.dir/cmem.cc.o.d"
+  "libmaicc_cmem.a"
+  "libmaicc_cmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maicc_cmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

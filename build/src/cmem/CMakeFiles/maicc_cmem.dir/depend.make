@@ -1,0 +1,2 @@
+# Empty dependencies file for maicc_cmem.
+# This may be replaced when dependencies are built.

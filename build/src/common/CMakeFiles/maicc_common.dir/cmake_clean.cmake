@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maicc_common.dir/logging.cc.o"
+  "CMakeFiles/maicc_common.dir/logging.cc.o.d"
+  "CMakeFiles/maicc_common.dir/stats.cc.o"
+  "CMakeFiles/maicc_common.dir/stats.cc.o.d"
+  "CMakeFiles/maicc_common.dir/table.cc.o"
+  "CMakeFiles/maicc_common.dir/table.cc.o.d"
+  "libmaicc_common.a"
+  "libmaicc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maicc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

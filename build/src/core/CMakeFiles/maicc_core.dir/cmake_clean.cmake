@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maicc_core.dir/aux_kernels.cc.o"
+  "CMakeFiles/maicc_core.dir/aux_kernels.cc.o.d"
+  "CMakeFiles/maicc_core.dir/conv_kernel.cc.o"
+  "CMakeFiles/maicc_core.dir/conv_kernel.cc.o.d"
+  "CMakeFiles/maicc_core.dir/scheduler.cc.o"
+  "CMakeFiles/maicc_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/maicc_core.dir/timing.cc.o"
+  "CMakeFiles/maicc_core.dir/timing.cc.o.d"
+  "libmaicc_core.a"
+  "libmaicc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maicc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maicc_dram.dir/dram.cc.o"
+  "CMakeFiles/maicc_dram.dir/dram.cc.o.d"
+  "libmaicc_dram.a"
+  "libmaicc_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maicc_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

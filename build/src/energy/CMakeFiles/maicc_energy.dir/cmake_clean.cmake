@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maicc_energy.dir/energy.cc.o"
+  "CMakeFiles/maicc_energy.dir/energy.cc.o.d"
+  "libmaicc_energy.a"
+  "libmaicc_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maicc_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

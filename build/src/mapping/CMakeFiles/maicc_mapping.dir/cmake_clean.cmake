@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maicc_mapping.dir/allocation.cc.o"
+  "CMakeFiles/maicc_mapping.dir/allocation.cc.o.d"
+  "CMakeFiles/maicc_mapping.dir/placement.cc.o"
+  "CMakeFiles/maicc_mapping.dir/placement.cc.o.d"
+  "CMakeFiles/maicc_mapping.dir/segmentation.cc.o"
+  "CMakeFiles/maicc_mapping.dir/segmentation.cc.o.d"
+  "libmaicc_mapping.a"
+  "libmaicc_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maicc_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

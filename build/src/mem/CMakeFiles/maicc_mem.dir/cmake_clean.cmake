@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maicc_mem.dir/llc.cc.o"
+  "CMakeFiles/maicc_mem.dir/llc.cc.o.d"
+  "CMakeFiles/maicc_mem.dir/node_memory.cc.o"
+  "CMakeFiles/maicc_mem.dir/node_memory.cc.o.d"
+  "CMakeFiles/maicc_mem.dir/row_store.cc.o"
+  "CMakeFiles/maicc_mem.dir/row_store.cc.o.d"
+  "libmaicc_mem.a"
+  "libmaicc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maicc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

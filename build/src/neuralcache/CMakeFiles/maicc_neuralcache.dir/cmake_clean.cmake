@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maicc_neuralcache.dir/neural_cache.cc.o"
+  "CMakeFiles/maicc_neuralcache.dir/neural_cache.cc.o.d"
+  "libmaicc_neuralcache.a"
+  "libmaicc_neuralcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maicc_neuralcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maicc_nn.dir/network.cc.o"
+  "CMakeFiles/maicc_nn.dir/network.cc.o.d"
+  "CMakeFiles/maicc_nn.dir/reference.cc.o"
+  "CMakeFiles/maicc_nn.dir/reference.cc.o.d"
+  "libmaicc_nn.a"
+  "libmaicc_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maicc_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maicc_noc.dir/noc.cc.o"
+  "CMakeFiles/maicc_noc.dir/noc.cc.o.d"
+  "libmaicc_noc.a"
+  "libmaicc_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maicc_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

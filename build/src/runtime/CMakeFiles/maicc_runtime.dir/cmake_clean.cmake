@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maicc_runtime.dir/host.cc.o"
+  "CMakeFiles/maicc_runtime.dir/host.cc.o.d"
+  "CMakeFiles/maicc_runtime.dir/system.cc.o"
+  "CMakeFiles/maicc_runtime.dir/system.cc.o.d"
+  "libmaicc_runtime.a"
+  "libmaicc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maicc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

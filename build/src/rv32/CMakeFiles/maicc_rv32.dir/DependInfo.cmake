@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rv32/assembler.cc" "src/rv32/CMakeFiles/maicc_rv32.dir/assembler.cc.o" "gcc" "src/rv32/CMakeFiles/maicc_rv32.dir/assembler.cc.o.d"
+  "/root/repo/src/rv32/encoding.cc" "src/rv32/CMakeFiles/maicc_rv32.dir/encoding.cc.o" "gcc" "src/rv32/CMakeFiles/maicc_rv32.dir/encoding.cc.o.d"
+  "/root/repo/src/rv32/executor.cc" "src/rv32/CMakeFiles/maicc_rv32.dir/executor.cc.o" "gcc" "src/rv32/CMakeFiles/maicc_rv32.dir/executor.cc.o.d"
+  "/root/repo/src/rv32/inst.cc" "src/rv32/CMakeFiles/maicc_rv32.dir/inst.cc.o" "gcc" "src/rv32/CMakeFiles/maicc_rv32.dir/inst.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cmem/CMakeFiles/maicc_cmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/maicc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/maicc_sram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

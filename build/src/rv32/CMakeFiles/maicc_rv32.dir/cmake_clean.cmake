@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maicc_rv32.dir/assembler.cc.o"
+  "CMakeFiles/maicc_rv32.dir/assembler.cc.o.d"
+  "CMakeFiles/maicc_rv32.dir/encoding.cc.o"
+  "CMakeFiles/maicc_rv32.dir/encoding.cc.o.d"
+  "CMakeFiles/maicc_rv32.dir/executor.cc.o"
+  "CMakeFiles/maicc_rv32.dir/executor.cc.o.d"
+  "CMakeFiles/maicc_rv32.dir/inst.cc.o"
+  "CMakeFiles/maicc_rv32.dir/inst.cc.o.d"
+  "libmaicc_rv32.a"
+  "libmaicc_rv32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maicc_rv32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maicc_sram.dir/transpose.cc.o"
+  "CMakeFiles/maicc_sram.dir/transpose.cc.o.d"
+  "libmaicc_sram.a"
+  "libmaicc_sram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maicc_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

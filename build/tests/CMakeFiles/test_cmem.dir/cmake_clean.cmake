@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cmem.dir/cmem/test_cmem.cc.o"
+  "CMakeFiles/test_cmem.dir/cmem/test_cmem.cc.o.d"
+  "CMakeFiles/test_cmem.dir/cmem/test_cmem_mac_property.cc.o"
+  "CMakeFiles/test_cmem.dir/cmem/test_cmem_mac_property.cc.o.d"
+  "test_cmem"
+  "test_cmem.pdb"
+  "test_cmem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

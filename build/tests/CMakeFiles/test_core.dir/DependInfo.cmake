@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_aux_kernels.cc" "tests/CMakeFiles/test_core.dir/core/test_aux_kernels.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_aux_kernels.cc.o.d"
+  "/root/repo/tests/core/test_conv_kernel.cc" "tests/CMakeFiles/test_core.dir/core/test_conv_kernel.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_conv_kernel.cc.o.d"
+  "/root/repo/tests/core/test_conv_kernel_sweep.cc" "tests/CMakeFiles/test_core.dir/core/test_conv_kernel_sweep.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_conv_kernel_sweep.cc.o.d"
+  "/root/repo/tests/core/test_scheduler.cc" "tests/CMakeFiles/test_core.dir/core/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_scheduler.cc.o.d"
+  "/root/repo/tests/core/test_scheduler_random.cc" "tests/CMakeFiles/test_core.dir/core/test_scheduler_random.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_scheduler_random.cc.o.d"
+  "/root/repo/tests/core/test_timing.cc" "tests/CMakeFiles/test_core.dir/core/test_timing.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/maicc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/maicc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/rv32/CMakeFiles/maicc_rv32.dir/DependInfo.cmake"
+  "/root/repo/build/src/cmem/CMakeFiles/maicc_cmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/maicc_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/maicc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_aux_kernels.cc.o"
+  "CMakeFiles/test_core.dir/core/test_aux_kernels.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_conv_kernel.cc.o"
+  "CMakeFiles/test_core.dir/core/test_conv_kernel.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_conv_kernel_sweep.cc.o"
+  "CMakeFiles/test_core.dir/core/test_conv_kernel_sweep.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_scheduler.cc.o"
+  "CMakeFiles/test_core.dir/core/test_scheduler.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_scheduler_random.cc.o"
+  "CMakeFiles/test_core.dir/core/test_scheduler_random.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_timing.cc.o"
+  "CMakeFiles/test_core.dir/core/test_timing.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

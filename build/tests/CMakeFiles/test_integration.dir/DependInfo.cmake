@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_noc_crossvalidation.cc" "tests/CMakeFiles/test_integration.dir/integration/test_noc_crossvalidation.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_noc_crossvalidation.cc.o.d"
+  "/root/repo/tests/integration/test_two_node_chain.cc" "tests/CMakeFiles/test_integration.dir/integration/test_two_node_chain.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_two_node_chain.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/maicc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/maicc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/maicc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/rv32/CMakeFiles/maicc_rv32.dir/DependInfo.cmake"
+  "/root/repo/build/src/cmem/CMakeFiles/maicc_cmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/maicc_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/maicc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

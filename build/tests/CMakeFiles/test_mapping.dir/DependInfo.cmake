@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mapping/test_allocation.cc" "tests/CMakeFiles/test_mapping.dir/mapping/test_allocation.cc.o" "gcc" "tests/CMakeFiles/test_mapping.dir/mapping/test_allocation.cc.o.d"
+  "/root/repo/tests/mapping/test_segmentation.cc" "tests/CMakeFiles/test_mapping.dir/mapping/test_segmentation.cc.o" "gcc" "tests/CMakeFiles/test_mapping.dir/mapping/test_segmentation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapping/CMakeFiles/maicc_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/maicc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/maicc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapping.dir/mapping/test_allocation.cc.o"
+  "CMakeFiles/test_mapping.dir/mapping/test_allocation.cc.o.d"
+  "CMakeFiles/test_mapping.dir/mapping/test_segmentation.cc.o"
+  "CMakeFiles/test_mapping.dir/mapping/test_segmentation.cc.o.d"
+  "test_mapping"
+  "test_mapping.pdb"
+  "test_mapping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

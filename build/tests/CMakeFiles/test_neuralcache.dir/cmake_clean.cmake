@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neuralcache.dir/neuralcache/test_neural_cache.cc.o"
+  "CMakeFiles/test_neuralcache.dir/neuralcache/test_neural_cache.cc.o.d"
+  "test_neuralcache"
+  "test_neuralcache.pdb"
+  "test_neuralcache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neuralcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rv32.dir/rv32/test_encoding.cc.o"
+  "CMakeFiles/test_rv32.dir/rv32/test_encoding.cc.o.d"
+  "CMakeFiles/test_rv32.dir/rv32/test_executor.cc.o"
+  "CMakeFiles/test_rv32.dir/rv32/test_executor.cc.o.d"
+  "CMakeFiles/test_rv32.dir/rv32/test_isa_fuzz.cc.o"
+  "CMakeFiles/test_rv32.dir/rv32/test_isa_fuzz.cc.o.d"
+  "test_rv32"
+  "test_rv32.pdb"
+  "test_rv32[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rv32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sram/test_sram_array.cc" "tests/CMakeFiles/test_sram.dir/sram/test_sram_array.cc.o" "gcc" "tests/CMakeFiles/test_sram.dir/sram/test_sram_array.cc.o.d"
+  "/root/repo/tests/sram/test_transpose.cc" "tests/CMakeFiles/test_sram.dir/sram/test_transpose.cc.o" "gcc" "tests/CMakeFiles/test_sram.dir/sram/test_transpose.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sram/CMakeFiles/maicc_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/maicc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
