@@ -22,8 +22,11 @@
 using namespace maicc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SystemConfig scfg;
+    scfg.numThreads = parseThreadsFlag(argc, argv);
+
     Tensor3 input(56, 56, 64);
     Rng rng(55);
     input.randomize(rng);
@@ -39,7 +42,7 @@ main()
         std::string lat = "-", tput = "-", watts = "-";
         if (min_cores <= 210) {
             auto weights = randomWeights(net, 5);
-            MaiccSystem sys(net, weights);
+            MaiccSystem sys(net, weights, scfg);
             MappingPlan plan =
                 planMapping(net, Strategy::Heuristic, 210);
             RunResult r = sys.run(plan, input);

@@ -11,6 +11,7 @@
 
 #include "common/table.hh"
 #include "energy/energy.hh"
+#include "runtime/parallel.hh"
 #include "runtime/system.hh"
 
 using namespace maicc;
@@ -31,8 +32,11 @@ pie(const char *name, double value, double total)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    SystemConfig scfg;
+    scfg.numThreads = parseThreadsFlag(argc, argv);
+
     // Area (independent of workload).
     AreaBreakdown a = computeArea(210);
     std::printf("== Figure 10 (left): area breakdown, mm^2 ==\n");
@@ -51,7 +55,7 @@ main()
     Tensor3 input(56, 56, 64);
     Rng rng(4);
     input.randomize(rng);
-    MaiccSystem sys(net, weights);
+    MaiccSystem sys(net, weights, scfg);
     RunResult r =
         sys.run(planMapping(net, Strategy::Heuristic, 210), input);
     EnergyBreakdown e = computeEnergy(r.activity);

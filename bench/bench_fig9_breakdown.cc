@@ -12,13 +12,17 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "runtime/parallel.hh"
 #include "runtime/system.hh"
 
 using namespace maicc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SystemConfig scfg;
+    scfg.numThreads = parseThreadsFlag(argc, argv);
+
     Network net = buildResNet18();
     auto weights = randomWeights(net, 99);
     Tensor3 input(56, 56, 64);
@@ -33,7 +37,7 @@ main()
     for (Strategy s : {Strategy::SingleLayer, Strategy::Greedy,
                        Strategy::Heuristic}) {
         MappingPlan plan = planMapping(net, s, 210);
-        MaiccSystem sys(net, weights);
+        MaiccSystem sys(net, weights, scfg);
         RunResult r = sys.run(plan, input);
         for (const auto &seg : r.segments) {
             for (const auto &ls : seg.layers) {
@@ -56,7 +60,7 @@ main()
     for (Strategy s : {Strategy::SingleLayer, Strategy::Greedy,
                        Strategy::Heuristic}) {
         MappingPlan plan = planMapping(net, s, 210);
-        MaiccSystem sys(net, weights);
+        MaiccSystem sys(net, weights, scfg);
         RunResult r = sys.run(plan, input);
         for (const auto &seg : r.segments) {
             for (const auto &ls : seg.layers) {

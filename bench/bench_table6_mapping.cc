@@ -12,13 +12,17 @@
 
 #include "common/table.hh"
 #include "nn/reference.hh"
+#include "runtime/parallel.hh"
 #include "runtime/system.hh"
 
 using namespace maicc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SystemConfig scfg;
+    scfg.numThreads = parseThreadsFlag(argc, argv);
+
     Network net = buildResNet18();
     auto weights = randomWeights(net, 2023);
     Tensor3 input(56, 56, 64);
@@ -37,7 +41,7 @@ main()
     for (Strategy s : {Strategy::SingleLayer, Strategy::Greedy,
                        Strategy::Heuristic}) {
         Col c{s, planMapping(net, s, 210), RunResult{}, true};
-        MaiccSystem sys(net, weights);
+        MaiccSystem sys(net, weights, scfg);
         c.result = sys.run(c.plan, input);
         for (size_t i = 0; i < net.size(); ++i) {
             if (c.result.layerOutputs[i].data

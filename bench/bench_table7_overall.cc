@@ -7,19 +7,44 @@
  * 4.3x throughput vs CPU, 31.6x / 1.8x efficiency vs CPU / GPU.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
 #include "baseline/platforms.hh"
 #include "common/table.hh"
 #include "energy/energy.hh"
+#include "runtime/parallel.hh"
 #include "runtime/system.hh"
 
 using namespace maicc;
 
-int
-main()
+namespace
 {
+
+/** Wall-clock one simulation at @p threads host threads. */
+double
+timedRun(const Network &net, const std::vector<Weights4> &weights,
+         const MappingPlan &plan, const Tensor3 &input,
+         unsigned threads, RunResult &out)
+{
+    SystemConfig scfg;
+    scfg.numThreads = threads;
+    MaiccSystem sys(net, weights, scfg);
+    auto t0 = std::chrono::steady_clock::now();
+    out = sys.run(plan, input);
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned threads = parseThreadsFlag(argc, argv);
+
     Network net = buildResNet18();
     auto weights = randomWeights(net, 7);
     Tensor3 input(56, 56, 64);
@@ -27,9 +52,9 @@ main()
     input.randomize(rng);
 
     // MAICC: heuristic mapping on the 210-core array.
-    MaiccSystem sys(net, weights);
     MappingPlan plan = planMapping(net, Strategy::Heuristic, 210);
-    RunResult r = sys.run(plan, input);
+    RunResult r;
+    double wall_ms = timedRun(net, weights, plan, input, threads, r);
     EnergyBreakdown e = computeEnergy(r.activity);
     double maicc_ms = r.latencyMs();
     double maicc_tput = 1e3 / maicc_ms;
@@ -89,6 +114,29 @@ main()
                 "MAICC reaches %.0f samples/s = %.1fx the GPU "
                 "(paper: 2.9x)\n",
                 mem_ratio, projected, projected / gpu.throughput);
+
+    // Simulator (host) wall clock: the --threads=N knob shards
+    // the node stepping; the determinism contract guarantees the
+    // parallel run is bitwise identical to the serial one, which
+    // is checked here whenever threads > 1.
+    std::printf("\nSimulator wall clock (host): %.0f ms at "
+                "--threads=%u\n",
+                wall_ms, threads);
+    if (threads > 1) {
+        RunResult serial;
+        double serial_ms =
+            timedRun(net, weights, plan, input, 1, serial);
+        bool identical = serial.totalCycles == r.totalCycles
+            && serial.output().data == r.output().data
+            && serial.activity.macActivations
+                == r.activity.macActivations;
+        std::printf("  serial reference: %.0f ms -> speedup "
+                    "%.2fx; bitwise identical: %s\n",
+                    serial_ms, serial_ms / wall_ms,
+                    identical ? "yes" : "NO (BUG)");
+        if (!identical)
+            return 1;
+    }
 
     std::printf("\nCPU/GPU rows are calibrated roofline models "
                 "anchored to the paper's measurements (see "

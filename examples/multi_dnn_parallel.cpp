@@ -7,7 +7,7 @@
  * stack). Per-model latency and aggregate throughput are compared
  * against time-multiplexing the whole array.
  *
- * Build & run:  ./build/examples/multi_dnn_parallel
+ * Build & run:  ./build/examples/multi_dnn_parallel [--threads=N]
  */
 
 #include <cstdio>
@@ -23,6 +23,8 @@ using namespace maicc;
 namespace
 {
 
+unsigned g_threads = 1; ///< host threads (--threads=N)
+
 struct Model
 {
     const char *role;
@@ -34,7 +36,9 @@ struct Model
 double
 runOn(Model &m, unsigned budget, RunResult *out = nullptr)
 {
-    MaiccSystem sys(m.net, m.weights);
+    SystemConfig scfg;
+    scfg.numThreads = g_threads;
+    MaiccSystem sys(m.net, m.weights, scfg);
     MappingPlan plan =
         planMapping(m.net, Strategy::Heuristic, budget);
     RunResult r = sys.run(plan, m.input);
@@ -49,8 +53,10 @@ runOn(Model &m, unsigned budget, RunResult *out = nullptr)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    g_threads = parseThreadsFlag(argc, argv);
+
     // Two perception-stack CNNs of different shapes. (A full
     // ResNet18 cannot spatially share the array: its stage-4
     // layers need at least 208 of the 210 cores at 8-bit --
@@ -105,7 +111,9 @@ main()
 
     // The host CPU's automatic partitioner (paper §3.1 / §8):
     // admit both models, let the host size the regions.
-    HostScheduler host(210);
+    // The host steps per-model region shards in parallel; results
+    // are identical at any --threads=N (DESIGN.md).
+    HostScheduler host(210, g_threads);
     host.addTask({"camera", &detector.net, &detector.weights,
                   &detector.input, 3.0}); // camera is hotter
     host.addTask({"radar", &policy.net, &policy.weights,

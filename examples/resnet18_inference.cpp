@@ -5,7 +5,7 @@
  * outputs bit-exactly against the int8 reference executor, and
  * report latency, per-segment timing, energy, and power.
  *
- * Build & run:  ./build/examples/resnet18_inference
+ * Build & run:  ./build/examples/resnet18_inference [--threads=N]
  */
 
 #include <algorithm>
@@ -14,13 +14,17 @@
 
 #include "common/table.hh"
 #include "nn/reference.hh"
+#include "runtime/parallel.hh"
 #include "runtime/system.hh"
 
 using namespace maicc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SystemConfig scfg;
+    scfg.numThreads = parseThreadsFlag(argc, argv);
+
     // Model + deterministic synthetic weights/input (stand-in for
     // ImageNet data; see DESIGN.md substitutions).
     Network net = buildResNet18();
@@ -35,7 +39,7 @@ main()
                 plan.segments.size(), plan.coreBudget);
 
     // Simulate.
-    MaiccSystem system(net, weights);
+    MaiccSystem system(net, weights, scfg);
     RunResult run = system.run(plan, input);
 
     TextTable t({"Segment", "Layers", "Cores", "Start (Mcyc)",

@@ -26,6 +26,22 @@ StatSummary::reset()
     _sum = _min = _max = 0.0;
 }
 
+void
+StatSummary::merge(const StatSummary &o)
+{
+    if (o._count == 0)
+        return;
+    if (_count == 0) {
+        _min = o._min;
+        _max = o._max;
+    } else {
+        _min = std::min(_min, o._min);
+        _max = std::max(_max, o._max);
+    }
+    _sum += o._sum;
+    _count += o._count;
+}
+
 std::string
 StatGroup::qualify(const std::string &name) const
 {
@@ -66,6 +82,15 @@ StatGroup::resetAll()
         kv.second.reset();
     for (auto &kv : _summaries)
         kv.second.reset();
+}
+
+void
+StatGroup::mergeFrom(const StatGroup &o)
+{
+    for (const auto &kv : o._counters)
+        counter(kv.first).inc(kv.second.value());
+    for (const auto &kv : o._summaries)
+        summary(kv.first).merge(kv.second);
 }
 
 void

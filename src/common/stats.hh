@@ -46,6 +46,9 @@ class StatSummary
     void sample(double v);
     void reset();
 
+    /** Fold another summary in, as if its samples were replayed. */
+    void merge(const StatSummary &o);
+
     uint64_t count() const { return _count; }
     double min() const { return _count ? _min : 0.0; }
     double max() const { return _count ? _max : 0.0; }
@@ -84,6 +87,17 @@ class StatGroup
 
     /** Zero every stat in the group. */
     void resetAll();
+
+    /**
+     * Add every counter and summary of @p o into this group
+     * (matched by unqualified name; missing stats are created).
+     * This is the merge step of the concurrency model: worker
+     * shards accumulate into private StatGroups and the owner
+     * merges them in shard order at the barrier, so counters are
+     * never a shared-write hotspot and totals are identical at any
+     * thread count.
+     */
+    void mergeFrom(const StatGroup &o);
 
     /** Pretty-print every stat. */
     void dump(std::ostream &os) const;

@@ -1,0 +1,164 @@
+#include "runtime/parallel.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace maicc
+{
+
+ShardRange
+shardRange(size_t items, size_t shard, size_t num_shards)
+{
+    maicc_assert(num_shards > 0 && shard < num_shards);
+    size_t base = items / num_shards;
+    size_t extra = items % num_shards;
+    size_t begin = shard * base + std::min(shard, extra);
+    size_t len = base + (shard < extra ? 1 : 0);
+    return {begin, begin + len};
+}
+
+size_t
+defaultShards(size_t items)
+{
+    // Enough shards for a wide pool to balance uneven shard costs,
+    // but O(64) so merge passes stay trivial. Purely a function of
+    // the item count (determinism contract).
+    return std::min<size_t>(items, 64);
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : numThreads(threads ? threads
+                         : std::max(1u,
+                               std::thread::hardware_concurrency()))
+{
+    for (unsigned i = 1; i < numThreads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    cvStart.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen_epoch = 0;
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            cvStart.wait(lock, [&] {
+                return stopping || epoch != seen_epoch;
+            });
+            if (stopping)
+                return;
+            seen_epoch = epoch;
+        }
+        runJobs();
+    }
+}
+
+void
+ThreadPool::runJobs()
+{
+    while (true) {
+        size_t job;
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            if (nextJob >= jobCount)
+                return;
+            job = nextJob++;
+        }
+        try {
+            (*jobFn)(job);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mtx);
+            if (!firstError)
+                firstError = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(mtx);
+        if (++jobsDone == jobCount)
+            cvDone.notify_all();
+    }
+}
+
+void
+ThreadPool::run(size_t jobs, const std::function<void(size_t)> &fn)
+{
+    if (jobs == 0)
+        return;
+    if (numThreads <= 1 || jobs == 1) {
+        // Serial path: same shard decomposition, same merge order,
+        // no synchronization.
+        for (size_t j = 0; j < jobs; ++j)
+            fn(j);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        jobFn = &fn;
+        jobCount = jobs;
+        nextJob = 0;
+        jobsDone = 0;
+        firstError = nullptr;
+        ++epoch;
+    }
+    cvStart.notify_all();
+    runJobs(); // the caller is a worker too
+
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        cvDone.wait(lock, [&] { return jobsDone == jobCount; });
+        jobFn = nullptr;
+        jobCount = 0;
+        err = firstError;
+        firstError = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+void
+ThreadPool::forShards(
+    size_t items, const std::function<void(size_t, ShardRange)> &fn)
+{
+    size_t shards = defaultShards(items);
+    run(shards, [&](size_t s) {
+        fn(s, shardRange(items, s, shards));
+    });
+}
+
+unsigned
+parseThreadsFlag(int &argc, char **argv)
+{
+    unsigned threads = 1;
+    if (const char *env = std::getenv("MAICC_THREADS"))
+        threads = static_cast<unsigned>(std::atoi(env));
+
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strncmp(argv[i], "--threads=", 10)) {
+            threads = static_cast<unsigned>(
+                std::atoi(argv[i] + 10));
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    return threads;
+}
+
+} // namespace maicc

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Deterministic parallel stepping engine for the many-core
+ * simulation (DESIGN.md "Concurrency model").
+ *
+ * The simulator's unit of concurrency is the *shard*: a contiguous
+ * slice of independent simulation objects (compute nodes of a node
+ * group, output rows of a layer, models of a multi-DNN schedule).
+ * A ThreadPool executes all shards of a step between two barriers;
+ * mesh-shared state (NoC, LLC, DRAM, merged stats) is only touched
+ * outside the parallel region, by the calling thread.
+ *
+ * Determinism contract: the shard decomposition is a pure function
+ * of the item count (never of the thread count or of scheduling
+ * order), every shard writes only shard-private state, and shard
+ * results are merged in shard-index order at the barrier. Hence
+ * the same seed and config produce bitwise-identical cycle counts,
+ * stats, and output tensors at any `--threads=N`.
+ */
+
+#ifndef MAICC_RUNTIME_PARALLEL_HH
+#define MAICC_RUNTIME_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace maicc
+{
+
+/** Contiguous half-open item range owned by one shard. */
+struct ShardRange
+{
+    size_t begin = 0;
+    size_t end = 0;
+
+    size_t size() const { return end - begin; }
+    bool empty() const { return begin >= end; }
+};
+
+/**
+ * Split @p items into @p num_shards contiguous ranges (the first
+ * `items % num_shards` shards get one extra item). Depends only on
+ * its arguments — never on thread count — so the decomposition is
+ * identical in serial and parallel runs.
+ */
+ShardRange shardRange(size_t items, size_t shard,
+                      size_t num_shards);
+
+/**
+ * Shard count for @p items work items: enough shards that the pool
+ * load-balances, few enough that per-shard merge cost stays
+ * negligible. A pure function of the item count (see the
+ * determinism contract above).
+ */
+size_t defaultShards(size_t items);
+
+/**
+ * A persistent pool of worker threads with a blocking fork-join
+ * `run()`. With `threads() <= 1` every job executes inline on the
+ * calling thread — the serial path is the same code.
+ */
+class ThreadPool
+{
+  public:
+    /** @p threads total workers; 0 means hardware concurrency. */
+    explicit ThreadPool(unsigned threads = 1);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned threads() const { return numThreads; }
+
+    /**
+     * Execute `fn(job)` for every job in [0, jobs) and barrier:
+     * returns only after all jobs finish. Jobs are claimed from an
+     * atomic counter, so *which* thread runs a job is unspecified;
+     * callers must keep per-job state disjoint and merge results
+     * in job-index order after run() returns. The calling thread
+     * participates. The first exception thrown by a job is
+     * rethrown here after the barrier.
+     */
+    void run(size_t jobs, const std::function<void(size_t)> &fn);
+
+    /**
+     * Convenience: shard [0, items) with defaultShards()/
+     * shardRange() and call `fn(shard_index, range)` per shard.
+     */
+    void forShards(size_t items,
+                   const std::function<void(size_t, ShardRange)> &fn);
+
+  private:
+    void workerLoop();
+    void runJobs();
+
+    unsigned numThreads;
+    std::vector<std::thread> workers;
+
+    std::mutex mtx;
+    std::condition_variable cvStart; ///< wakes workers for an epoch
+    std::condition_variable cvDone;  ///< wakes the caller at barrier
+    const std::function<void(size_t)> *jobFn = nullptr;
+    size_t jobCount = 0;
+    size_t nextJob = 0;     ///< next unclaimed job index
+    size_t jobsDone = 0;    ///< completed jobs this epoch
+    uint64_t epoch = 0;     ///< bumped per run() to wake workers
+    bool stopping = false;
+    std::exception_ptr firstError;
+};
+
+/**
+ * Parse and strip a `--threads=N` argument (the knob wired through
+ * every bench and example binary). Falls back to the MAICC_THREADS
+ * environment variable, then to 1 (serial). N = 0 means hardware
+ * concurrency.
+ */
+unsigned parseThreadsFlag(int &argc, char **argv);
+
+} // namespace maicc
+
+#endif // MAICC_RUNTIME_PARALLEL_HH

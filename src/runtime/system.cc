@@ -74,7 +74,8 @@ MaiccSystem::MaiccSystem(const Network &network,
                          const std::vector<Weights4> &w,
                          SystemConfig config)
     : net(network), weights(w), cfg(std::move(config)),
-      llcModel(cfg.llc)
+      llcModel(cfg.llc),
+      pool(std::make_unique<ThreadPool>(cfg.numThreads))
 {
     maicc_assert(weights.size() == net.size());
 }
@@ -89,20 +90,25 @@ MaiccSystem::runPool(size_t layer_idx, const Tensor3 &input,
     int out_h = l.outH(), out_w = l.outW();
     timing_out.pixelReady.assign(size_t(out_h) * out_w, 0);
     Cycles pool_cost = Cycles(l.R) * l.S + 10;
-    for (int oh = 0; oh < out_h; ++oh) {
-        for (int ow = 0; ow < out_w; ++ow) {
-            Cycles ready = 0;
-            for (int r = 0; r < l.R; ++r) {
-                for (int s = 0; s < l.S; ++s) {
-                    size_t p = size_t(oh * l.stride + r) * l.inW
-                        + (ow * l.stride + s);
-                    ready = std::max(ready, input_ready[p]);
+    // Output rows are shard-private: each row's ready time is a
+    // pure function of the (read-only) input timings.
+    pool->forShards(size_t(out_h), [&](size_t, ShardRange rows) {
+        for (size_t oh = rows.begin; oh < rows.end; ++oh) {
+            for (int ow = 0; ow < out_w; ++ow) {
+                Cycles ready = 0;
+                for (int r = 0; r < l.R; ++r) {
+                    for (int s = 0; s < l.S; ++s) {
+                        size_t p =
+                            size_t(oh * l.stride + r) * l.inW
+                            + (ow * l.stride + s);
+                        ready = std::max(ready, input_ready[p]);
+                    }
                 }
+                timing_out.pixelReady[oh * out_w + ow] =
+                    ready + pool_cost;
             }
-            timing_out.pixelReady[oh * out_w + ow] =
-                ready + pool_cost;
         }
-    }
+    });
 }
 
 LayerRunStats
@@ -142,6 +148,8 @@ MaiccSystem::runLayer(const Segment &seg,
     stats.alloc = alloc;
 
     // --- Data-collection core: in-order vector assembly. ---
+    // Sequential recurrence over dc_free: stays on the calling
+    // thread (DESIGN.md concurrency model, "timing recurrences").
     std::vector<Cycles> avail(in_pixels);
     {
         Cycles dc_free = seg_start;
@@ -154,6 +162,9 @@ MaiccSystem::runLayer(const Segment &seg,
     }
 
     // --- Compute-core chain: single-buffered pipeline. ---
+    // Each core's start time depends on its predecessor's finish
+    // time (back-pressure), so the chain is a serial wavefront —
+    // O(chain x pixels), negligible next to the functional MACs.
     unsigned mid = chain / 2;
     std::vector<Cycles> done(in_pixels);
     double wait_sum = 0;
@@ -202,79 +213,112 @@ MaiccSystem::runLayer(const Segment &seg,
     Cycles consumer_hops = from_dram ? 5 : 2;
     Cycles send_lat =
         Cycles(consumer_hops + 1) * (cfg.noc.routerLatency + 1) + 2;
-    Cycles last_out = seg_start;
-    for (int oh = 0; oh < out_h; ++oh) {
-        for (int ow = 0; ow < out_w; ++ow) {
-            int x_last = std::min(l.inH - 1,
-                                  oh * l.stride + l.R - 1 - l.pad);
-            int y_last = std::min(l.inW - 1,
-                                  ow * l.stride + l.S - 1 - l.pad);
-            size_t p_last = size_t(x_last) * l.inW + y_last;
-            Cycles t = done[p_last];
-            if (residual_ready) {
-                Cycles rr =
-                    (*residual_ready)[size_t(oh) * out_w + ow];
-                t = std::max(t, std::max(rr, seg_start));
+    // Output rows are shard-private; the last-output time is a
+    // per-shard maximum merged in shard order at the barrier
+    // (max is order-insensitive, so this is trivially bitwise
+    // identical to the serial pass).
+    size_t t_shards = defaultShards(size_t(out_h));
+    std::vector<Cycles> shard_last(t_shards, seg_start);
+    pool->forShards(size_t(out_h), [&](size_t shard,
+                                       ShardRange rows) {
+        Cycles last = seg_start;
+        for (size_t oh = rows.begin; oh < rows.end; ++oh) {
+            for (int ow = 0; ow < out_w; ++ow) {
+                int x_last = std::min(
+                    l.inH - 1, int(oh) * l.stride + l.R - 1 - l.pad);
+                int y_last = std::min(
+                    l.inW - 1, ow * l.stride + l.S - 1 - l.pad);
+                size_t p_last = size_t(x_last) * l.inW + y_last;
+                Cycles t = done[p_last];
+                if (residual_ready) {
+                    Cycles rr = (*residual_ready)[oh * out_w + ow];
+                    t = std::max(t, std::max(rr, seg_start));
+                }
+                t += cost.auxPerPixel + merge_lat + send_lat;
+                timing_out.pixelReady[oh * out_w + ow] = t;
+                last = std::max(last, t);
             }
-            t += cost.auxPerPixel + merge_lat + send_lat;
-            timing_out.pixelReady[size_t(oh) * out_w + ow] = t;
-            last_out = std::max(last_out, t);
         }
-    }
+        shard_last[shard] = last;
+    });
+    Cycles last_out = seg_start;
+    for (Cycles c : shard_last)
+        last_out = std::max(last_out, c);
     stats.lastOutput = last_out;
 
     // --- Functional compute, partitioned exactly as mapped. ---
+    // Parallel node stepping: every unit (one compute node's
+    // filter fragment) contributes to every output pixel, but each
+    // *output row* is written by exactly one shard, so sharding by
+    // rows gives each worker a disjoint slice of `acc` and
+    // `output_out` — no merge buffers, and per-pixel accumulation
+    // visits units in the same order as the serial loop, so the
+    // int32 partial-sum merge (the NoC merge pass) is bitwise
+    // identical at any thread count. Per-shard MAC counters are
+    // the per-thread stat accumulators, summed in shard order at
+    // the barrier.
     std::vector<int32_t> acc(out_pixels * l.outC, 0);
-    uint64_t mac_count = 0;
-    for (unsigned unit = 0; unit < units; ++unit) {
-        unsigned m = unit / splits;
-        unsigned si = unit % splits;
-        int c_lo = int(si) * 256;
-        int c_hi = std::min(l.inC, c_lo + 256);
-        const Weights4 &w = weights[lm.layerIdx];
-        for (int oh = 0; oh < out_h; ++oh) {
-            for (int ow = 0; ow < out_w; ++ow) {
-                int32_t sum = 0;
-                for (int r = 0; r < l.R; ++r) {
-                    int ih = oh * l.stride + r - l.pad;
-                    if (ih < 0 || ih >= l.inH)
-                        continue;
-                    for (int s = 0; s < l.S; ++s) {
-                        int iw = ow * l.stride + s - l.pad;
-                        if (iw < 0 || iw >= l.inW)
+    output_out = Tensor3(out_h, out_w, l.outC);
+    const Weights4 &w = weights[lm.layerIdx];
+    size_t f_shards = defaultShards(size_t(out_h));
+    std::vector<uint64_t> shard_macs(f_shards, 0);
+    pool->forShards(size_t(out_h), [&](size_t shard,
+                                       ShardRange rows) {
+        uint64_t macs = 0;
+        for (unsigned unit = 0; unit < units; ++unit) {
+            unsigned m = unit / splits;
+            unsigned si = unit % splits;
+            int c_lo = int(si) * 256;
+            int c_hi = std::min(l.inC, c_lo + 256);
+            for (size_t oh = rows.begin; oh < rows.end; ++oh) {
+                for (int ow = 0; ow < out_w; ++ow) {
+                    int32_t sum = 0;
+                    for (int r = 0; r < l.R; ++r) {
+                        int ih = int(oh) * l.stride + r - l.pad;
+                        if (ih < 0 || ih >= l.inH)
                             continue;
-                        ++mac_count;
-                        const int8_t *in_px =
-                            &input.data[input.index(ih, iw, 0)];
-                        const int8_t *w_px =
-                            &w.data[w.index(m, r, s, 0)];
-                        for (int c = c_lo; c < c_hi; ++c) {
-                            sum += int32_t(in_px[c]) * w_px[c];
+                        for (int s = 0; s < l.S; ++s) {
+                            int iw = ow * l.stride + s - l.pad;
+                            if (iw < 0 || iw >= l.inW)
+                                continue;
+                            ++macs;
+                            const int8_t *in_px =
+                                &input.data[input.index(ih, iw, 0)];
+                            const int8_t *w_px =
+                                &w.data[w.index(m, r, s, 0)];
+                            for (int c = c_lo; c < c_hi; ++c) {
+                                sum += int32_t(in_px[c]) * w_px[c];
+                            }
                         }
                     }
+                    acc[(oh * out_w + ow) * l.outC + m] += sum;
                 }
-                acc[(size_t(oh) * out_w + ow) * l.outC + m] += sum;
             }
         }
-    }
-
-    output_out = Tensor3(out_h, out_w, l.outC);
-    for (int oh = 0; oh < out_h; ++oh) {
-        for (int ow = 0; ow < out_w; ++ow) {
-            for (int m = 0; m < l.outC; ++m) {
-                int32_t v =
-                    acc[(size_t(oh) * out_w + ow) * l.outC + m];
-                if (residual) {
-                    v += int32_t(residual->at(oh, ow, m))
-                        << l.shift;
+        // Aux functions (requantize / ReLU / residual add) run on
+        // the same rows once all of the shard's units finished.
+        for (size_t oh = rows.begin; oh < rows.end; ++oh) {
+            for (int ow = 0; ow < out_w; ++ow) {
+                for (int m = 0; m < l.outC; ++m) {
+                    int32_t v = acc[(oh * out_w + ow) * l.outC + m];
+                    if (residual) {
+                        v += int32_t(residual->at(int(oh), ow, m))
+                            << l.shift;
+                    }
+                    output_out.at(int(oh), ow, m) =
+                        requantize(v, l.shift, l.relu);
                 }
-                output_out.at(oh, ow, m) =
-                    requantize(v, l.shift, l.relu);
             }
         }
-    }
+        shard_macs[shard] = macs;
+    });
+    uint64_t mac_count = 0;
+    for (uint64_t c : shard_macs)
+        mac_count += c;
 
     // --- Activity accounting. ---
+    // Mesh-shared state: the merged counters and the LLC model are
+    // only touched here, after the parallel region's barrier.
     auto &act = result.activity;
     unsigned n = l.nBits;
     act.macActivations += mac_count * n * n;

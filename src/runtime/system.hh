@@ -18,11 +18,21 @@
  * (ReLU / requantization / residual add / pooling) run exactly as
  * in nn/reference.hh — the final fmaps are compared bit-exactly
  * against the reference executor in the tests.
+ *
+ * Stepping is parallel: between NoC synchronization points each
+ * node's CMem and local memory evolve independently, so the
+ * functional compute and per-pixel completion passes are sharded
+ * over a ThreadPool (SystemConfig::numThreads) and merged at a
+ * barrier before the mesh-shared NoC/LLC/DRAM accounting. See
+ * DESIGN.md "Concurrency model" for the ownership rules and the
+ * determinism contract (bitwise-identical results at any thread
+ * count).
  */
 
 #ifndef MAICC_RUNTIME_SYSTEM_HH
 #define MAICC_RUNTIME_SYSTEM_HH
 
+#include <memory>
 #include <vector>
 
 #include "common/stats.hh"
@@ -34,6 +44,7 @@
 #include "nn/network.hh"
 #include "nn/reference.hh"
 #include "noc/noc.hh"
+#include "runtime/parallel.hh"
 
 namespace maicc
 {
@@ -47,6 +58,13 @@ struct SystemConfig
     CacheConfig llc;
     unsigned coreBudget = 210;
     unsigned dramChannels = 32;
+
+    /**
+     * Host threads stepping node shards in parallel (DESIGN.md
+     * "Concurrency model"). Results are bitwise identical at any
+     * value; 1 = fully serial, 0 = hardware concurrency.
+     */
+    unsigned numThreads = 1;
 
     /**
      * Aggregate DRAM read bandwidth in bytes per cycle used for
@@ -173,6 +191,7 @@ class MaiccSystem
     const std::vector<Weights4> &weights;
     SystemConfig cfg;
     SimpleCache llcModel;
+    std::unique_ptr<ThreadPool> pool; ///< steps node shards
 
     // Per-run state (run() resets these).
     std::vector<LayerTiming> residualTimings;

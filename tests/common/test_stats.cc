@@ -65,3 +65,56 @@ TEST(Stats, DumpContainsNamesAndValues)
     EXPECT_NE(os.str().find("x.hits"), std::string::npos);
     EXPECT_NE(os.str().find("3"), std::string::npos);
 }
+
+TEST(Stats, MergeFromAddsCountersAndSummaries)
+{
+    // The per-thread accumulator pattern: shard-private groups
+    // merged into the owner's group at the barrier.
+    StatGroup owner("node");
+    owner.counter("macOps").inc(10);
+    owner.summary("iter").sample(2.0);
+
+    StatGroup shard;
+    shard.counter("macOps").inc(32);
+    shard.counter("rowMoves").inc(7);
+    shard.summary("iter").sample(8.0);
+    shard.summary("iter").sample(4.0);
+
+    owner.mergeFrom(shard);
+    EXPECT_EQ(owner.get("macOps"), 42u);
+    EXPECT_EQ(owner.get("rowMoves"), 7u);
+    const auto &s = owner.summary("iter");
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.sum(), 14.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 8.0);
+}
+
+TEST(Stats, MergeOrderInvariantTotals)
+{
+    // Counter totals and summary count/sum/min/max are the same
+    // whichever order shards merge (the engine fixes shard order
+    // anyway; this shows the stats side is not the fragile part).
+    StatGroup a, b, ab, ba;
+    a.counter("c").inc(3);
+    a.summary("s").sample(1.5);
+    b.counter("c").inc(4);
+    b.summary("s").sample(-2.5);
+    ab.mergeFrom(a);
+    ab.mergeFrom(b);
+    ba.mergeFrom(b);
+    ba.mergeFrom(a);
+    EXPECT_EQ(ab.get("c"), ba.get("c"));
+    EXPECT_DOUBLE_EQ(ab.summary("s").sum(), ba.summary("s").sum());
+    EXPECT_DOUBLE_EQ(ab.summary("s").min(), ba.summary("s").min());
+    EXPECT_DOUBLE_EQ(ab.summary("s").max(), ba.summary("s").max());
+}
+
+TEST(Stats, MergeEmptySummaryKeepsState)
+{
+    StatGroup a, empty;
+    a.summary("s").sample(5.0);
+    a.mergeFrom(empty);
+    EXPECT_EQ(a.summary("s").count(), 1u);
+    EXPECT_DOUBLE_EQ(a.summary("s").min(), 5.0);
+}

@@ -1,0 +1,130 @@
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/parallel.hh"
+
+using namespace maicc;
+
+TEST(ShardRange, CoversAllItemsExactlyOnce)
+{
+    for (size_t items : {0u, 1u, 7u, 64u, 65u, 1000u}) {
+        for (size_t shards : {1u, 2u, 3u, 8u, 64u}) {
+            std::vector<int> hit(items, 0);
+            size_t prev_end = 0;
+            for (size_t s = 0; s < shards; ++s) {
+                ShardRange r = shardRange(items, s, shards);
+                EXPECT_EQ(r.begin, prev_end);
+                prev_end = r.end;
+                for (size_t i = r.begin; i < r.end; ++i)
+                    ++hit[i];
+            }
+            EXPECT_EQ(prev_end, items);
+            for (size_t i = 0; i < items; ++i)
+                EXPECT_EQ(hit[i], 1) << items << "/" << shards;
+        }
+    }
+}
+
+TEST(ShardRange, BalancedWithinOne)
+{
+    for (size_t s = 0; s < 8; ++s) {
+        size_t n = shardRange(100, s, 8).size();
+        EXPECT_TRUE(n == 12 || n == 13);
+    }
+}
+
+TEST(ShardRange, DecompositionIgnoresThreadCount)
+{
+    // The determinism contract: shard boundaries are a pure
+    // function of the item count, so defaultShards() must not
+    // consult the machine.
+    EXPECT_EQ(defaultShards(10), 10u);
+    EXPECT_EQ(defaultShards(64), 64u);
+    EXPECT_EQ(defaultShards(1000), 64u);
+    EXPECT_EQ(defaultShards(0), 0u);
+}
+
+TEST(ThreadPool, RunsEveryJobOnce)
+{
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        ThreadPool pool(threads);
+        EXPECT_EQ(pool.threads(), threads);
+        std::vector<std::atomic<int>> hits(100);
+        pool.run(100, [&](size_t j) { ++hits[j]; });
+        for (auto &h : hits)
+            EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ThreadPool, ReusableAcrossEpochs)
+{
+    ThreadPool pool(4);
+    for (int epoch = 0; epoch < 50; ++epoch) {
+        std::atomic<size_t> sum{0};
+        pool.run(17, [&](size_t j) { sum += j; });
+        EXPECT_EQ(sum.load(), 17u * 16 / 2);
+    }
+}
+
+TEST(ThreadPool, MoreThreadsThanJobs)
+{
+    ThreadPool pool(8);
+    std::vector<std::atomic<int>> hits(3);
+    pool.run(3, [&](size_t j) { ++hits[j]; });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+    pool.run(0, [&](size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ForShardsMergesInShardOrder)
+{
+    // Per-shard partial sums merged in shard order must equal the
+    // serial sum — at every thread count.
+    std::vector<uint64_t> items(1000);
+    std::iota(items.begin(), items.end(), 1);
+    uint64_t serial = std::accumulate(items.begin(), items.end(),
+                                      uint64_t(0));
+    for (unsigned threads : {1u, 2u, 8u}) {
+        ThreadPool pool(threads);
+        std::vector<uint64_t> partial(defaultShards(items.size()));
+        pool.forShards(items.size(), [&](size_t s, ShardRange r) {
+            uint64_t sum = 0;
+            for (size_t i = r.begin; i < r.end; ++i)
+                sum += items[i];
+            partial[s] = sum;
+        });
+        uint64_t total = 0;
+        for (uint64_t p : partial)
+            total += p;
+        EXPECT_EQ(total, serial) << threads << " threads";
+    }
+}
+
+TEST(ThreadPool, PropagatesFirstException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.run(32,
+                 [&](size_t j) {
+                     if (j % 7 == 3)
+                         throw std::runtime_error("shard failed");
+                 }),
+        std::runtime_error);
+    // The pool must survive a failed epoch.
+    std::atomic<int> ok{0};
+    pool.run(8, [&](size_t) { ++ok; });
+    EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(ThreadPool, SerialPoolRunsInline)
+{
+    ThreadPool pool(1);
+    std::thread::id caller = std::this_thread::get_id();
+    pool.run(5, [&](size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+}
