@@ -11,15 +11,20 @@
 
 #include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "common/random.hh"
 #include "common/table.hh"
+#include "common/trace.hh"
 #include "noc/noc.hh"
 
 using namespace maicc;
 
 namespace
 {
+
+/** JSONL dump path from --trace=FILE / MAICC_TRACE ("" = off). */
+std::string tracePath;
 
 /** Run uniform-random traffic at @p rate pkts/node/100-cycles. */
 double
@@ -47,8 +52,10 @@ uniformRandom(double rate, Cycles horizon = 20'000)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    tracePath = trace::parseTraceFlag(argc, argv);
+
     std::printf("== Mesh NoC: uniform-random latency vs load "
                 "(5-flit packets) ==\n\n");
     TextTable t({"Injection (pkts/node/100cyc)", "Avg latency",
@@ -67,8 +74,13 @@ main()
                 zero);
 
     // The traffic MAICC actually generates: neighbour chains.
+    // This phase is the one dumped by --trace=FILE (the uniform
+    // sweep above would produce hundreds of MB of flit records).
     std::printf("== Chain traffic (MAICC node groups) ==\n");
     MeshNoc noc;
+    trace::TraceSink sink;
+    if (!tracePath.empty())
+        noc.setTrace(&sink);
     for (int y = 1; y <= 14; ++y) {
         for (int x = 1; x < 15; ++x) {
             for (int r = 0; r < 8; ++r) {
@@ -90,5 +102,21 @@ main()
     std::printf("Neighbour chains never share links (zig-zag "
                 "placement), so the whole array forwards in "
                 "~vector-serialization time.\n");
+    if (!tracePath.empty()) {
+        if (sink.writeJsonlFile(tracePath)) {
+            std::printf("trace: %zu pkt + %zu flit records -> %s "
+                        "(check with: check_trace "
+                        "--queue-depth=%u --cycles=%llu %s)\n",
+                        sink.packets.size(), sink.flits.size(),
+                        tracePath.c_str(),
+                        noc.config().queueDepth,
+                        static_cast<unsigned long long>(noc.now()),
+                        tracePath.c_str());
+        } else {
+            std::fprintf(stderr, "cannot write trace to %s\n",
+                         tracePath.c_str());
+            return 1;
+        }
+    }
     return 0;
 }

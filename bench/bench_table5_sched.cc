@@ -9,9 +9,11 @@
 
 #include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "common/random.hh"
 #include "common/table.hh"
+#include "common/trace.hh"
 #include "core/conv_kernel.hh"
 #include "core/scheduler.hh"
 #include "core/timing.hh"
@@ -26,7 +28,8 @@ Cycles
 runConfig(const ConvNodeWorkload &w,
           const std::vector<int8_t> &ifmap,
           const std::vector<int8_t> &filters, unsigned queue,
-          unsigned ports, bool with_static)
+          unsigned ports, bool with_static,
+          trace::TraceSink *sink = nullptr)
 {
     rv32::Program prog = buildConvNodeProgram(w);
     if (with_static)
@@ -40,14 +43,16 @@ runConfig(const ConvNodeWorkload &w,
     cfg.cmemQueueSize = queue;
     cfg.wbPorts = ports;
     CoreTimingModel model(prog, mem, &cmem, &rows, cfg);
+    model.setTrace(sink);
     return model.run().cycles;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string trace_path = trace::parseTraceFlag(argc, argv);
     ConvNodeWorkload w;
     Rng rng(7);
     std::vector<int8_t> ifmap(size_t(w.H) * w.W * w.C);
@@ -94,5 +99,23 @@ main()
     std::printf("Paper reference (1 port): 61895 / 60761 / 59141 / "
                 "59141 w/o static; 52098 / 50802 / 50154 / 50154 "
                 "with static.\n");
+
+    if (!trace_path.empty()) {
+        // Per-instruction commit trace of the paper-default config
+        // (q=2, 1 WB port, dynamic only), for offline re-checking
+        // with check_trace.
+        trace::TraceSink sink;
+        Cycles c = runConfig(w, ifmap, filters, 2, 1, false, &sink);
+        if (!sink.writeJsonlFile(trace_path)) {
+            std::fprintf(stderr, "cannot write trace to %s\n",
+                         trace_path.c_str());
+            return 1;
+        }
+        std::printf("\ntrace: %zu inst records -> %s (check with: "
+                    "check_trace --wb-ports=1 --cycles=%llu %s)\n",
+                    sink.insts.size(), trace_path.c_str(),
+                    static_cast<unsigned long long>(c),
+                    trace_path.c_str());
+    }
     return 0;
 }

@@ -9,11 +9,14 @@
  *     product and the cycle count.
  *
  * Build & run:  ./build/examples/quickstart
+ * Dump a commit trace:  ./build/examples/quickstart --trace=q.jsonl
  */
 
 #include <cstdio>
+#include <string>
 
 #include "cmem/cmem.hh"
+#include "common/trace.hh"
 #include "core/timing.hh"
 #include "mem/node_memory.hh"
 #include "mem/row_store.hh"
@@ -23,8 +26,10 @@ using namespace maicc;
 using namespace maicc::rv32;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string trace_path = trace::parseTraceFlag(argc, argv);
+
     // A node: computing memory + local memory + the core model.
     CMem cmem;
     FlatMemory external;
@@ -60,6 +65,9 @@ main()
     // Timing + functional execution together.
     CoreTimingModel core(program, memory, &cmem, &rows,
                          CoreConfig{});
+    trace::TraceSink sink;
+    if (!trace_path.empty())
+        core.setTrace(&sink);
     CoreRunStats stats = core.run();
 
     int32_t dot = static_cast<int32_t>(core.executor().reg(a0));
@@ -72,5 +80,14 @@ main()
                 static_cast<unsigned long long>(stats.insts),
                 static_cast<unsigned long long>(
                     stats.cmemBusyCycles));
+    if (!trace_path.empty()) {
+        if (!sink.writeJsonlFile(trace_path)) {
+            std::fprintf(stderr, "cannot write trace to %s\n",
+                        trace_path.c_str());
+            return 1;
+        }
+        std::printf("trace: %zu inst records -> %s\n",
+                    sink.insts.size(), trace_path.c_str());
+    }
     return 0;
 }

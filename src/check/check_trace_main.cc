@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Offline invariant checker for JSONL commit traces.
+ *
+ * Re-checks a trace dumped by a bench or test run (--trace=FILE or
+ * MAICC_TRACE) against the pipeline and NoC invariants:
+ *
+ *   check_trace [options] TRACE.jsonl...
+ *
+ * Options (defaults match CoreConfig / NocConfig):
+ *   --wb-ports=N        register write-back ports      (default 1)
+ *   --width=N           mesh columns                   (default 16)
+ *   --height=N          mesh rows                      (default 16)
+ *   --router-latency=N  per-hop pipeline cycles        (default 2)
+ *   --queue-depth=N     flits per input queue          (default 4)
+ *   --cycles=N          reported total cycles (enables the
+ *                       cycle-bound rule; default off)
+ *
+ * Exits 0 when every file passes, 1 on any violation or I/O error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/invariants.hh"
+#include "common/trace.hh"
+
+namespace
+{
+
+bool
+intFlag(const char *arg, const char *name, long long &out)
+{
+    size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) || arg[n] != '=')
+        return false;
+    out = std::strtoll(arg + n + 1, nullptr, 10);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace maicc;
+
+    check::CoreCheckParams core;
+    check::NocCheckParams noc;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        long long v = 0;
+        if (intFlag(argv[i], "--wb-ports", v)) {
+            core.wbPorts = unsigned(v);
+        } else if (intFlag(argv[i], "--width", v)) {
+            noc.width = int(v);
+        } else if (intFlag(argv[i], "--height", v)) {
+            noc.height = int(v);
+        } else if (intFlag(argv[i], "--router-latency", v)) {
+            noc.routerLatency = unsigned(v);
+        } else if (intFlag(argv[i], "--queue-depth", v)) {
+            noc.queueDepth = unsigned(v);
+        } else if (intFlag(argv[i], "--cycles", v)) {
+            core.totalCycles = Cycles(v);
+            noc.totalCycles = Cycles(v);
+        } else if (!std::strncmp(argv[i], "--", 2)) {
+            std::fprintf(stderr, "check_trace: unknown option %s\n",
+                         argv[i]);
+            return 1;
+        } else {
+            files.push_back(argv[i]);
+        }
+    }
+
+    if (files.empty()) {
+        std::fprintf(stderr,
+                     "usage: check_trace [options] TRACE.jsonl...\n");
+        return 1;
+    }
+
+    bool all_ok = true;
+    for (const std::string &path : files) {
+        trace::TraceSink sink;
+        if (!sink.readJsonlFile(path)) {
+            std::fprintf(stderr, "check_trace: cannot parse %s\n",
+                         path.c_str());
+            all_ok = false;
+            continue;
+        }
+        check::CheckResult res = check::checkTrace(sink, core, noc);
+        std::printf("%s: %zu inst, %zu pkt, %zu eject, %zu flit "
+                    "records -> %zu violation(s)\n",
+                    path.c_str(), sink.insts.size(),
+                    sink.packets.size(), sink.ejects.size(),
+                    sink.flits.size(), res.violations.size());
+        if (!res.ok()) {
+            std::fputs(res.summary().c_str(), stdout);
+            all_ok = false;
+        }
+    }
+    return all_ok ? 0 : 1;
+}

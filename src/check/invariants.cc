@@ -1,0 +1,537 @@
+#include "check/invariants.hh"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <unordered_map>
+
+namespace maicc
+{
+namespace check
+{
+
+namespace
+{
+
+std::string
+fmt(const char *format, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, format);
+    std::vsnprintf(buf, sizeof(buf), format, ap);
+    va_end(ap);
+    return buf;
+}
+
+} // namespace
+
+void
+CheckResult::add(const std::string &rule, const std::string &detail)
+{
+    size_t count = 0;
+    for (const Violation &v : violations) {
+        if (v.rule == rule)
+            ++count;
+    }
+    if (count >= kMaxPerRule)
+        return;
+    if (count + 1 == kMaxPerRule) {
+        violations.push_back(
+            {rule, detail + " (further " + rule
+                       + " violations suppressed)"});
+        return;
+    }
+    violations.push_back({rule, detail});
+}
+
+void
+CheckResult::merge(const CheckResult &other)
+{
+    for (const Violation &v : other.violations)
+        add(v.rule, v.detail);
+}
+
+bool
+CheckResult::has(const std::string &rule) const
+{
+    for (const Violation &v : violations) {
+        if (v.rule == rule)
+            return true;
+    }
+    return false;
+}
+
+std::string
+CheckResult::summary() const
+{
+    std::ostringstream os;
+    for (const Violation &v : violations)
+        os << v.rule << ": " << v.detail << "\n";
+    return os.str();
+}
+
+CheckResult
+checkInstTrace(const std::vector<trace::InstRecord> &insts,
+               const CoreCheckParams &params)
+{
+    CheckResult res;
+
+    // Newest bypass-ready time per architectural register, and the
+    // seq of the instruction that set it (for reporting).
+    Cycles regReady[32] = {};
+    uint64_t regWriter[32] = {};
+    bool regWritten[32] = {};
+
+    // Write-backs per cycle (only instructions with a destination
+    // consume a register-file port).
+    std::map<Cycles, unsigned> wbCount;
+
+    // Per-slice array occupancy front.
+    std::unordered_map<unsigned, Cycles> sliceFreeAt;
+    std::unordered_map<unsigned, uint64_t> sliceLastSeq;
+
+    bool have_prev = false;
+    Cycles prev_issue = 0;
+    uint64_t prev_seq = 0;
+
+    for (const trace::InstRecord &r : insts) {
+        // inorder-issue: one instruction per cycle, in order.
+        if (have_prev && r.issue <= prev_issue) {
+            res.add("inorder-issue",
+                    fmt("inst %llu (pc 0x%x) issues at %llu, not "
+                        "after inst %llu at %llu",
+                        (unsigned long long)r.seq, r.pc,
+                        (unsigned long long)r.issue,
+                        (unsigned long long)prev_seq,
+                        (unsigned long long)prev_issue));
+        }
+        have_prev = true;
+        prev_issue = r.issue;
+        prev_seq = r.seq;
+
+        // raw-order: operands must be bypass-ready at issue.
+        const struct
+        {
+            bool reads;
+            uint8_t reg;
+        } srcs[2] = {{r.readsRs1, r.rs1}, {r.readsRs2, r.rs2}};
+        for (const auto &s : srcs) {
+            if (!s.reads || s.reg == 0 || !regWritten[s.reg])
+                continue;
+            if (r.issue < regReady[s.reg]) {
+                res.add(
+                    "raw-order",
+                    fmt("inst %llu (pc 0x%x) reads x%u at %llu "
+                        "before producer inst %llu is ready at %llu",
+                        (unsigned long long)r.seq, r.pc, s.reg,
+                        (unsigned long long)r.issue,
+                        (unsigned long long)regWriter[s.reg],
+                        (unsigned long long)regReady[s.reg]));
+            }
+        }
+        if (r.writesRd && r.rd != 0) {
+            regReady[r.rd] = r.regReadyAt;
+            regWriter[r.rd] = r.seq;
+            regWritten[r.rd] = true;
+        }
+
+        if (r.writesRd)
+            ++wbCount[r.wb];
+
+        // slice-overlap: array occupancies per slice are disjoint
+        // and dispatched in program order.
+        unsigned slices[2];
+        size_t num_slices = 0;
+        if (r.usesSliceA)
+            slices[num_slices++] = r.sliceA;
+        if (r.usesSliceB && (!r.usesSliceA || r.sliceB != r.sliceA))
+            slices[num_slices++] = r.sliceB;
+        for (size_t i = 0; i < num_slices; ++i) {
+            unsigned s = slices[i];
+            auto it = sliceFreeAt.find(s);
+            if (it != sliceFreeAt.end() && r.dispatch < it->second) {
+                res.add(
+                    "slice-overlap",
+                    fmt("inst %llu (pc 0x%x) dispatches on slice "
+                        "%u at %llu while inst %llu occupies it "
+                        "until %llu",
+                        (unsigned long long)r.seq, r.pc, s,
+                        (unsigned long long)r.dispatch,
+                        (unsigned long long)sliceLastSeq[s],
+                        (unsigned long long)it->second));
+            }
+            sliceFreeAt[s] = r.dispatch + r.busy;
+            sliceLastSeq[s] = r.seq;
+        }
+
+        // cycle-bound: the run's cycle count covers every event.
+        if (params.totalCycles) {
+            Cycles last = std::max(
+                {r.wb, r.done, r.regReadyAt, r.dispatch + r.busy});
+            if (last > params.totalCycles) {
+                res.add("cycle-bound",
+                        fmt("inst %llu (pc 0x%x) has an event at "
+                            "%llu past the reported total of %llu",
+                            (unsigned long long)r.seq, r.pc,
+                            (unsigned long long)last,
+                            (unsigned long long)
+                                params.totalCycles));
+            }
+        }
+    }
+
+    // wb-ports: register-file write ports are oversubscribed.
+    for (const auto &[cyc, n] : wbCount) {
+        if (n > params.wbPorts) {
+            res.add("wb-ports",
+                    fmt("%u write-backs in cycle %llu with %u "
+                        "port(s)",
+                        n, (unsigned long long)cyc,
+                        params.wbPorts));
+        }
+    }
+
+    return res;
+}
+
+CheckResult
+checkNocTrace(const trace::TraceSink &sink,
+              const NocCheckParams &params)
+{
+    CheckResult res;
+
+    std::unordered_map<uint64_t, trace::PacketRecord> pktById;
+    for (const trace::PacketRecord &p : sink.packets)
+        pktById.emplace(p.id, p);
+
+    auto coordOf = [&](NodeId n) {
+        return NodeCoord{n % params.width, n / params.width};
+    };
+    auto hopsOf = [&](NodeId a, NodeId b) {
+        NodeCoord ca = coordOf(a), cb = coordOf(b);
+        return unsigned(std::abs(ca.x - cb.x)
+                        + std::abs(ca.y - cb.y));
+    };
+    // Input queue fed by output port @p out of router @p at;
+    // returns false for the local/eject port (no downstream queue).
+    auto downstreamOf = [&](NodeId at, int out, NodeId &next,
+                            int &in) {
+        NodeCoord c = coordOf(at);
+        switch (out) {
+          case trace::kDirEast:
+            next = c.y * params.width + (c.x + 1);
+            in = trace::kDirWest;
+            return true;
+          case trace::kDirWest:
+            next = c.y * params.width + (c.x - 1);
+            in = trace::kDirEast;
+            return true;
+          case trace::kDirSouth:
+            next = (c.y + 1) * params.width + c.x;
+            in = trace::kDirNorth;
+            return true;
+          case trace::kDirNorth:
+            next = (c.y - 1) * params.width + c.x;
+            in = trace::kDirSouth;
+            return true;
+          default:
+            return false;
+        }
+    };
+
+    // Per-packet flit accounting.
+    struct PacketFlow
+    {
+        uint32_t injected = 0;
+        uint32_t injectHeads = 0;
+        uint32_t injectTails = 0;
+        uint32_t ejected = 0;
+        uint32_t grants = 0;
+    };
+    std::unordered_map<uint64_t, PacketFlow> flow;
+
+    // Link-bandwidth accounting: events per (cycle, router, port).
+    using PortKey = std::tuple<Cycles, NodeId, int>;
+    std::map<PortKey, unsigned> grantsPerOut;
+    std::map<PortKey, unsigned> departsPerIn;
+    std::map<std::pair<Cycles, NodeId>, unsigned> injectsPerNode;
+
+    // Queue occupancy re-simulation: per input queue, a list of
+    // (cycle, is_arrival) events. Departures precede arrivals
+    // within a cycle, matching the model's phase order.
+    struct QueueEvent
+    {
+        Cycles cycle;
+        bool arrival;
+    };
+    std::map<std::pair<NodeId, int>, std::vector<QueueEvent>>
+        queueEvents;
+
+    // Wormhole contiguity: grants per output port in cycle order.
+    struct PortGrant
+    {
+        Cycles cycle;
+        uint64_t packetId;
+        bool head;
+        bool tail;
+    };
+    std::map<std::pair<NodeId, int>, std::vector<PortGrant>>
+        portGrants;
+
+    for (const trace::FlitRecord &f : sink.flits) {
+        if (!pktById.count(f.packetId)) {
+            res.add("flit-conservation",
+                    fmt("flit at router %d cycle %llu belongs to "
+                        "unknown packet %llu",
+                        f.router, (unsigned long long)f.cycle,
+                        (unsigned long long)f.packetId));
+            continue;
+        }
+        PacketFlow &pf = flow[f.packetId];
+
+        if (params.totalCycles && f.cycle > params.totalCycles) {
+            res.add("cycle-bound",
+                    fmt("flit of packet %llu at router %d stamped "
+                        "%llu past the final cycle %llu",
+                        (unsigned long long)f.packetId, f.router,
+                        (unsigned long long)f.cycle,
+                        (unsigned long long)params.totalCycles));
+        }
+
+        if (f.inDir == trace::kDirInject) {
+            // Injection into the source router's local queue.
+            ++pf.injected;
+            if (f.head)
+                ++pf.injectHeads;
+            if (f.tail)
+                ++pf.injectTails;
+            ++injectsPerNode[{f.cycle, f.router}];
+            queueEvents[{f.router, trace::kDirLocal}].push_back(
+                {f.cycle, true});
+        } else {
+            // A switch grant: departure from the input queue, and
+            // an arrival downstream unless this is an ejection.
+            ++pf.grants;
+            ++grantsPerOut[{f.cycle, f.router, f.outDir}];
+            ++departsPerIn[{f.cycle, f.router, f.inDir}];
+            queueEvents[{f.router, f.inDir}].push_back(
+                {f.cycle, false});
+            NodeId next;
+            int in;
+            if (downstreamOf(f.router, f.outDir, next, in)) {
+                queueEvents[{next, in}].push_back({f.cycle, true});
+            } else {
+                ++pf.ejected;
+                NodeId dst = pktById[f.packetId].dst;
+                if (f.router != dst) {
+                    res.add("flit-conservation",
+                            fmt("packet %llu (dst %d) ejected a "
+                                "flit at router %d",
+                                (unsigned long long)f.packetId,
+                                dst, f.router));
+                }
+            }
+        }
+    }
+
+    // link-bandwidth: one grant per output port, one departure per
+    // input port, one injection per node, per cycle.
+    for (const auto &[key, n] : grantsPerOut) {
+        if (n > 1) {
+            res.add("link-bandwidth",
+                    fmt("%u grants through router %d output %d in "
+                        "cycle %llu",
+                        n, std::get<1>(key), std::get<2>(key),
+                        (unsigned long long)std::get<0>(key)));
+        }
+    }
+    for (const auto &[key, n] : departsPerIn) {
+        if (n > 1) {
+            res.add("link-bandwidth",
+                    fmt("%u departures from router %d input %d in "
+                        "cycle %llu",
+                        n, std::get<1>(key), std::get<2>(key),
+                        (unsigned long long)std::get<0>(key)));
+        }
+    }
+    for (const auto &[key, n] : injectsPerNode) {
+        if (n > 1) {
+            res.add("link-bandwidth",
+                    fmt("%u injections at node %d in cycle %llu", n,
+                        key.second,
+                        (unsigned long long)key.first));
+        }
+    }
+
+    // queue-bound: replay each input queue's arrivals/departures.
+    for (auto &[queue, events] : queueEvents) {
+        std::stable_sort(events.begin(), events.end(),
+                         [](const QueueEvent &a,
+                            const QueueEvent &b) {
+                             if (a.cycle != b.cycle)
+                                 return a.cycle < b.cycle;
+                             return a.arrival < b.arrival;
+                         });
+        long occupancy = 0;
+        for (const QueueEvent &e : events) {
+            occupancy += e.arrival ? 1 : -1;
+            if (occupancy < 0) {
+                res.add("queue-bound",
+                        fmt("router %d input %d departs an empty "
+                            "queue in cycle %llu",
+                            queue.first, queue.second,
+                            (unsigned long long)e.cycle));
+                occupancy = 0;
+            } else if (occupancy > long(params.queueDepth)) {
+                res.add("queue-bound",
+                        fmt("router %d input %d holds %ld flits in "
+                            "cycle %llu (depth %u)",
+                            queue.first, queue.second, occupancy,
+                            (unsigned long long)e.cycle,
+                            params.queueDepth));
+            }
+        }
+    }
+
+    // wormhole-contiguity: rebuild each output port's grant stream.
+    for (const trace::FlitRecord &f : sink.flits) {
+        if (f.inDir == trace::kDirInject
+            || !pktById.count(f.packetId))
+            continue;
+        portGrants[{f.router, f.outDir}].push_back(
+            {f.cycle, f.packetId, f.head, f.tail});
+    }
+    for (auto &[port, grants] : portGrants) {
+        std::stable_sort(grants.begin(), grants.end(),
+                         [](const PortGrant &a, const PortGrant &b) {
+                             return a.cycle < b.cycle;
+                         });
+        bool open = false;
+        uint64_t owner = 0;
+        for (const PortGrant &g : grants) {
+            if (!open) {
+                if (!g.head) {
+                    res.add(
+                        "wormhole-contiguity",
+                        fmt("router %d output %d grants a non-head "
+                            "flit of packet %llu in cycle %llu "
+                            "with no wormhole open",
+                            port.first, port.second,
+                            (unsigned long long)g.packetId,
+                            (unsigned long long)g.cycle));
+                }
+            } else if (g.packetId != owner) {
+                res.add("wormhole-contiguity",
+                        fmt("router %d output %d interleaves "
+                            "packet %llu into packet %llu's "
+                            "wormhole in cycle %llu",
+                            port.first, port.second,
+                            (unsigned long long)g.packetId,
+                            (unsigned long long)owner,
+                            (unsigned long long)g.cycle));
+            }
+            // Resync on the observed flit so one bad grant does
+            // not cascade into a violation per following flit.
+            open = !g.tail;
+            owner = g.packetId;
+        }
+    }
+
+    // flit-conservation and min-latency per packet.
+    for (const trace::PacketRecord &p : sink.packets) {
+        const PacketFlow &pf = flow[p.id];
+        if (pf.injected > p.sizeFlits || pf.injectHeads > 1
+            || pf.injectTails > 1) {
+            res.add("flit-conservation",
+                    fmt("packet %llu (%u flits) injected %u flits "
+                        "(%u heads, %u tails)",
+                        (unsigned long long)p.id, p.sizeFlits,
+                        pf.injected, pf.injectHeads,
+                        pf.injectTails));
+        }
+        if (params.totalCycles && p.inject > params.totalCycles) {
+            res.add("cycle-bound",
+                    fmt("packet %llu injected at %llu past the "
+                        "final cycle %llu",
+                        (unsigned long long)p.id,
+                        (unsigned long long)p.inject,
+                        (unsigned long long)params.totalCycles));
+        }
+    }
+    for (const trace::PacketEjectRecord &e : sink.ejects) {
+        auto it = pktById.find(e.id);
+        if (it == pktById.end()) {
+            res.add("flit-conservation",
+                    fmt("eject of unknown packet %llu at node %d",
+                        (unsigned long long)e.id, e.node));
+            continue;
+        }
+        const trace::PacketRecord &p = it->second;
+        const PacketFlow &pf = flow[p.id];
+        unsigned hops = hopsOf(p.src, p.dst);
+        if (e.node != p.dst) {
+            res.add("flit-conservation",
+                    fmt("packet %llu (dst %d) ejected at node %d",
+                        (unsigned long long)p.id, p.dst, e.node));
+        }
+        if (pf.injected != p.sizeFlits
+            || pf.ejected != p.sizeFlits) {
+            res.add("flit-conservation",
+                    fmt("delivered packet %llu (%u flits) injected "
+                        "%u and ejected %u",
+                        (unsigned long long)p.id, p.sizeFlits,
+                        pf.injected, pf.ejected));
+        }
+        // Every flit is granted once per traversed router on the
+        // minimal X-Y path (hops + 1 routers including source and
+        // destination).
+        if (pf.grants != (hops + 1) * p.sizeFlits) {
+            res.add("flit-conservation",
+                    fmt("delivered packet %llu made %u grants, "
+                        "expected %u (%u hops x %u flits)",
+                        (unsigned long long)p.id, pf.grants,
+                        (hops + 1) * p.sizeFlits, hops,
+                        p.sizeFlits));
+        }
+        Cycles zero_load = Cycles(hops + 1)
+                * (params.routerLatency + 1)
+            + (p.sizeFlits - 1);
+        if (e.cycle < p.inject
+            || e.cycle - p.inject < zero_load) {
+            res.add("min-latency",
+                    fmt("packet %llu delivered in %lld cycles, "
+                        "below the zero-load latency %llu",
+                        (unsigned long long)p.id,
+                        (long long)(e.cycle - p.inject),
+                        (unsigned long long)zero_load));
+        }
+        if (params.totalCycles && e.cycle > params.totalCycles) {
+            res.add("cycle-bound",
+                    fmt("packet %llu ejected at %llu past the "
+                        "final cycle %llu",
+                        (unsigned long long)p.id,
+                        (unsigned long long)e.cycle,
+                        (unsigned long long)params.totalCycles));
+        }
+    }
+
+    return res;
+}
+
+CheckResult
+checkTrace(const trace::TraceSink &sink,
+           const CoreCheckParams &core_params,
+           const NocCheckParams &noc_params)
+{
+    CheckResult res = checkInstTrace(sink.insts, core_params);
+    res.merge(checkNocTrace(sink, noc_params));
+    return res;
+}
+
+} // namespace check
+} // namespace maicc

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Invariant checkers over commit traces (common/trace.hh).
+ *
+ * Each checker is a pure function from a trace (plus the few model
+ * parameters the trace does not carry) to a list of violations. The
+ * rules re-derive pipeline and network legality from the records
+ * alone, independently of the model code that produced them, so a
+ * scheduling bug in CoreTimingModel or MeshNoc shows up as an
+ * inconsistency between records rather than a silently wrong
+ * end-to-end cycle count.
+ *
+ * Core-pipeline rules (checkInstTrace):
+ *  - inorder-issue:  issue cycles strictly increase (one in-order
+ *                    issue per cycle);
+ *  - raw-order:      a consumer never issues before the bypass-ready
+ *                    time of the newest prior producer of each
+ *                    source register it reads;
+ *  - wb-ports:       at most wbPorts register write-backs commit in
+ *                    any one cycle;
+ *  - slice-overlap:  per CMem slice, array-occupancy intervals
+ *                    [dispatch, dispatch + busy) never overlap and
+ *                    dispatch in program order;
+ *  - cycle-bound:    the reported total cycle count covers every
+ *                    event timestamp in the trace.
+ *
+ * NoC rules (checkNocTrace):
+ *  - link-bandwidth:     at most one grant per output port, one
+ *                        departure per input port, and one injection
+ *                        per node, per cycle;
+ *  - queue-bound:        re-simulated input-queue occupancy (from
+ *                        arrivals and departures only) never exceeds
+ *                        queueDepth and never goes negative;
+ *  - wormhole-contiguity: on every output port, between a head grant
+ *                        and its tail grant only flits of the same
+ *                        packet pass;
+ *  - flit-conservation:  every packet injects exactly sizeFlits
+ *                        flits (one head, one tail); a delivered
+ *                        packet ejects exactly sizeFlits flits at
+ *                        its destination and makes exactly
+ *                        (hops + 1) * sizeFlits grants (minimal X-Y
+ *                        path); no flit belongs to an unknown packet;
+ *  - min-latency:        inject-to-eject latency is at least the
+ *                        zero-load latency for the packet's hop
+ *                        count and size;
+ *  - cycle-bound:        no record is stamped after the reported
+ *                        final cycle.
+ */
+
+#ifndef MAICC_CHECK_INVARIANTS_HH
+#define MAICC_CHECK_INVARIANTS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/trace.hh"
+
+namespace maicc
+{
+namespace check
+{
+
+/** One invariant failure: which rule, and what exactly broke. */
+struct Violation
+{
+    std::string rule;   ///< stable rule name (see file comment)
+    std::string detail; ///< human-readable specifics
+};
+
+/** Result of one or more checker runs. */
+struct CheckResult
+{
+    std::vector<Violation> violations;
+
+    bool ok() const { return violations.empty(); }
+
+    /** Record a violation (capped per rule; see kMaxPerRule). */
+    void add(const std::string &rule, const std::string &detail);
+
+    /** Fold @p other's violations into this result. */
+    void merge(const CheckResult &other);
+
+    /** True if any violation matches @p rule. */
+    bool has(const std::string &rule) const;
+
+    /** One line per violation, for logs and test output. */
+    std::string summary() const;
+
+    /** Per rule, reporting stops after this many violations. */
+    static constexpr size_t kMaxPerRule = 64;
+};
+
+/** Model parameters for the core-pipeline rules. */
+struct CoreCheckParams
+{
+    unsigned wbPorts = 1;
+
+    /**
+     * CoreRunStats::cycles of the traced run; 0 skips the
+     * cycle-bound rule (for traces without a known total).
+     */
+    Cycles totalCycles = 0;
+};
+
+/** Model parameters for the NoC rules (mirrors NocConfig). */
+struct NocCheckParams
+{
+    int width = 16;
+    int height = 16;
+    unsigned routerLatency = 2;
+    unsigned queueDepth = 4;
+
+    /**
+     * MeshNoc::now() when the trace was captured; 0 skips the
+     * cycle-bound rule.
+     */
+    Cycles totalCycles = 0;
+};
+
+/** Check the core-pipeline rules over @p insts. */
+CheckResult checkInstTrace(
+    const std::vector<trace::InstRecord> &insts,
+    const CoreCheckParams &params);
+
+/** Check the NoC rules over the packet/eject/flit records. */
+CheckResult checkNocTrace(const trace::TraceSink &sink,
+                          const NocCheckParams &params);
+
+/** Run both rule sets over @p sink and merge the results. */
+CheckResult checkTrace(const trace::TraceSink &sink,
+                       const CoreCheckParams &core_params,
+                       const NocCheckParams &noc_params);
+
+} // namespace check
+} // namespace maicc
+
+#endif // MAICC_CHECK_INVARIANTS_HH

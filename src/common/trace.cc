@@ -1,0 +1,198 @@
+#include "common/trace.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace maicc
+{
+namespace trace
+{
+
+namespace
+{
+
+/**
+ * Extract the integer value of "key": from a JSONL line written by
+ * writeJsonl below. @return @p fallback when the key is absent.
+ */
+long long
+jsonInt(const std::string &line, const char *key,
+        long long fallback = 0)
+{
+    std::string needle = std::string("\"") + key + "\":";
+    size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return fallback;
+    return std::strtoll(line.c_str() + pos + needle.size(),
+                        nullptr, 10);
+}
+
+bool
+jsonHas(const std::string &line, const char *type)
+{
+    return line.find(std::string("{\"t\":\"") + type + "\"")
+        == 0;
+}
+
+} // namespace
+
+void
+TraceSink::writeJsonl(std::ostream &os) const
+{
+    for (const InstRecord &r : insts) {
+        os << "{\"t\":\"inst\",\"seq\":" << r.seq
+           << ",\"pc\":" << r.pc << ",\"op\":" << r.op
+           << ",\"rd\":" << unsigned(r.rd)
+           << ",\"rs1\":" << unsigned(r.rs1)
+           << ",\"rs2\":" << unsigned(r.rs2)
+           << ",\"wr\":" << r.writesRd
+           << ",\"r1\":" << r.readsRs1
+           << ",\"r2\":" << r.readsRs2
+           << ",\"fetch\":" << r.fetch
+           << ",\"issue\":" << r.issue
+           << ",\"disp\":" << r.dispatch
+           << ",\"busy\":" << r.busy
+           << ",\"done\":" << r.done
+           << ",\"wb\":" << r.wb
+           << ",\"rdy\":" << r.regReadyAt
+           << ",\"sraw\":" << r.stallRaw
+           << ",\"swaw\":" << r.stallWaw
+           << ",\"squeue\":" << r.stallQueue
+           << ",\"sstruct\":" << r.stallStructural
+           << ",\"cmem\":" << r.cmem
+           << ",\"sa\":" << unsigned(r.sliceA)
+           << ",\"sb\":" << unsigned(r.sliceB)
+           << ",\"ua\":" << r.usesSliceA
+           << ",\"ub\":" << r.usesSliceB << "}\n";
+    }
+    for (const PacketRecord &r : packets) {
+        os << "{\"t\":\"pkt\",\"id\":" << r.id
+           << ",\"src\":" << r.src << ",\"dst\":" << r.dst
+           << ",\"flits\":" << r.sizeFlits
+           << ",\"cyc\":" << r.inject << "}\n";
+    }
+    for (const PacketEjectRecord &r : ejects) {
+        os << "{\"t\":\"eject\",\"id\":" << r.id
+           << ",\"node\":" << r.node << ",\"cyc\":" << r.cycle
+           << "}\n";
+    }
+    for (const FlitRecord &r : flits) {
+        os << "{\"t\":\"flit\",\"id\":" << r.packetId
+           << ",\"rtr\":" << r.router
+           << ",\"in\":" << int(r.inDir)
+           << ",\"out\":" << int(r.outDir)
+           << ",\"head\":" << r.head << ",\"tail\":" << r.tail
+           << ",\"cyc\":" << r.cycle << "}\n";
+    }
+}
+
+bool
+TraceSink::writeJsonlFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeJsonl(os);
+    return bool(os);
+}
+
+bool
+TraceSink::readJsonl(std::istream &is)
+{
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        if (jsonHas(line, "inst")) {
+            InstRecord r;
+            r.seq = jsonInt(line, "seq");
+            r.pc = static_cast<Addr>(jsonInt(line, "pc"));
+            r.op = static_cast<uint16_t>(jsonInt(line, "op"));
+            r.rd = static_cast<uint8_t>(jsonInt(line, "rd"));
+            r.rs1 = static_cast<uint8_t>(jsonInt(line, "rs1"));
+            r.rs2 = static_cast<uint8_t>(jsonInt(line, "rs2"));
+            r.writesRd = jsonInt(line, "wr");
+            r.readsRs1 = jsonInt(line, "r1");
+            r.readsRs2 = jsonInt(line, "r2");
+            r.fetch = jsonInt(line, "fetch");
+            r.issue = jsonInt(line, "issue");
+            r.dispatch = jsonInt(line, "disp");
+            r.busy = jsonInt(line, "busy");
+            r.done = jsonInt(line, "done");
+            r.wb = jsonInt(line, "wb");
+            r.regReadyAt = jsonInt(line, "rdy");
+            r.stallRaw = jsonInt(line, "sraw");
+            r.stallWaw = jsonInt(line, "swaw");
+            r.stallQueue = jsonInt(line, "squeue");
+            r.stallStructural = jsonInt(line, "sstruct");
+            r.cmem = jsonInt(line, "cmem");
+            r.sliceA = static_cast<uint8_t>(jsonInt(line, "sa"));
+            r.sliceB = static_cast<uint8_t>(jsonInt(line, "sb"));
+            r.usesSliceA = jsonInt(line, "ua");
+            r.usesSliceB = jsonInt(line, "ub");
+            insts.push_back(r);
+        } else if (jsonHas(line, "pkt")) {
+            PacketRecord r;
+            r.id = jsonInt(line, "id");
+            r.src = static_cast<NodeId>(jsonInt(line, "src"));
+            r.dst = static_cast<NodeId>(jsonInt(line, "dst"));
+            r.sizeFlits =
+                static_cast<uint32_t>(jsonInt(line, "flits"));
+            r.inject = jsonInt(line, "cyc");
+            packets.push_back(r);
+        } else if (jsonHas(line, "eject")) {
+            PacketEjectRecord r;
+            r.id = jsonInt(line, "id");
+            r.node = static_cast<NodeId>(jsonInt(line, "node"));
+            r.cycle = jsonInt(line, "cyc");
+            ejects.push_back(r);
+        } else if (jsonHas(line, "flit")) {
+            FlitRecord r;
+            r.packetId = jsonInt(line, "id");
+            r.router = static_cast<NodeId>(jsonInt(line, "rtr"));
+            r.inDir = static_cast<int8_t>(jsonInt(line, "in"));
+            r.outDir = static_cast<int8_t>(jsonInt(line, "out"));
+            r.head = jsonInt(line, "head");
+            r.tail = jsonInt(line, "tail");
+            r.cycle = jsonInt(line, "cyc");
+            flits.push_back(r);
+        } else if (line[0] == '{') {
+            continue; // unknown record type: skip
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+TraceSink::readJsonlFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        return false;
+    return readJsonl(is);
+}
+
+std::string
+parseTraceFlag(int &argc, char **argv)
+{
+    std::string path;
+    if (const char *env = std::getenv("MAICC_TRACE"))
+        path = env;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strncmp(argv[i], "--trace=", 8))
+            path = argv[i] + 8;
+        else
+            argv[out++] = argv[i];
+    }
+    argc = out;
+    return path;
+}
+
+} // namespace trace
+} // namespace maicc

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 #include "mem/address_map.hh"
 #include "rv32/encoding.hh"
 
@@ -55,6 +56,7 @@ CoreTimingModel::run(uint64_t max_insts)
 
         const Inst &in = exec.current();
         Addr pc_before = exec.pc();
+        const bool tracing = trace::kEnabled && sink != nullptr;
 
         // Bookings older than the in-order issue front can never be
         // contended again; prune to bound memory on long runs.
@@ -69,6 +71,7 @@ CoreTimingModel::run(uint64_t max_insts)
         uint32_t rs1_val = exec.reg(in.rs1);
         uint32_t rs2_val = exec.reg(in.rs2);
 
+        Cycles fetch = fetchReady;
         Cycles issue = fetchReady;
 
         // RAW interlock via the scoreboard / bypass network.
@@ -77,20 +80,32 @@ CoreTimingModel::run(uint64_t max_insts)
             raw = std::max(raw, regReady[in.rs1]);
         if (in.readsRs2())
             raw = std::max(raw, regReady[in.rs2]);
-        stats.stallRaw += raw - issue;
+        Cycles stall_raw = raw - issue;
+        stats.stallRaw += stall_raw;
         issue = raw;
 
         // WAW: destination must have retired its previous write.
+        Cycles stall_waw = 0;
         if (in.writesRd()) {
             Cycles waw = std::max(issue, regWbDone[in.rd]);
-            stats.stallWaw += waw - issue;
+            stall_waw = waw - issue;
+            stats.stallWaw += stall_waw;
             issue = waw;
         }
+
+        Cycles stall_queue = 0;
+        Cycles stall_struct = 0;
 
         bool cmem_op = rv32::isCMemOp(in.op);
         Cycles dispatch = 0;
         unsigned slice_a = 0, slice_b = 0;
         bool uses_slice_b = false;
+
+        // Per-instruction outcome, captured for the commit trace.
+        Cycles done_t = 0;  ///< result/data completion
+        Cycles wb_t = 0;    ///< write-back slot (done_t if no rd)
+        Cycles rdy_t = 0;   ///< bypass-ready time written for rd
+        Cycles array_busy = 0;
 
         if (cmem_op) {
             maicc_assert(cmem);
@@ -134,6 +149,11 @@ CoreTimingModel::run(uint64_t max_insts)
               default: break;
             }
 
+            // SetMask.C is a 1-cycle CSR write (Table 2): it orders
+            // with the slice's array ops at dispatch, but occupies
+            // no array bank and is not CMem array busy time.
+            bool array_op = in.op != Op::SETMASK_C;
+
             // Earliest the target slice(s) can accept the op.
             // LoadRow.RC only needs the slice port; compute ops
             // additionally wait for any in-flight remote rows.
@@ -153,7 +173,8 @@ CoreTimingModel::run(uint64_t max_insts)
                 // No issue queue: the instruction blocks in ID
                 // until the CMem can start it.
                 Cycles d = std::max(issue, slice_ready);
-                stats.stallQueueFull += d - issue;
+                stall_queue = d - issue;
+                stats.stallQueueFull += stall_queue;
                 issue = d;
                 dispatch = d;
             } else {
@@ -166,7 +187,8 @@ CoreTimingModel::run(uint64_t max_insts)
                         issue,
                         cmemDispatch[cmemDispatch.size()
                                      - cfg.cmemQueueSize]);
-                    stats.stallQueueFull += q - issue;
+                    stall_queue = q - issue;
+                    stats.stallQueueFull += stall_queue;
                     issue = q;
                 }
                 dispatch = std::max(issue, slice_ready);
@@ -177,10 +199,13 @@ CoreTimingModel::run(uint64_t max_insts)
                 cmemDispatch.pop_front();
             lastCMemDispatch = dispatch;
 
-            sliceFree[slice_a] = dispatch + busy;
-            if (uses_slice_b)
-                sliceFree[slice_b] = dispatch + busy;
-            stats.cmemBusyCycles += busy;
+            if (array_op) {
+                sliceFree[slice_a] = dispatch + busy;
+                if (uses_slice_b)
+                    sliceFree[slice_b] = dispatch + busy;
+                stats.cmemBusyCycles += busy;
+                array_busy = busy;
+            }
             ++stats.cmemInsts;
 
             Cycles done = dispatch + busy;
@@ -191,22 +216,31 @@ CoreTimingModel::run(uint64_t max_insts)
                 sliceDataReady[slice_a] =
                     std::max(sliceDataReady[slice_a], done);
             }
+            done_t = done;
 
             if (in.writesRd()) {
                 // CMem results return through the register file.
                 Cycles wb = bookWbPort(done);
                 regReady[in.rd] = wb;
                 regWbDone[in.rd] = wb;
+                rdy_t = wb;
+                wb_t = wb;
                 end_time = std::max(end_time, wb + 1);
             } else {
-                end_time = std::max(end_time, done);
+                // Pipeline-side occupancy only: an in-flight
+                // LoadRow.RC row fill is accounted for by the
+                // sliceDataReady fold in the epilogue.
+                wb_t = done;
+                end_time = std::max(end_time, dispatch + busy);
             }
         } else if (rv32::isLoadOp(in.op) || rv32::isStoreOp(in.op)
                    || rv32::isAmoOp(in.op)) {
             Cycles s = std::max(issue, memPortFree);
-            stats.stallStructural += s - issue;
+            stall_struct = s - issue;
+            stats.stallStructural += stall_struct;
             issue = s;
             memPortFree = issue + 1;
+            dispatch = issue;
 
             Addr ea = rs1_val
                 + (rv32::isAmoOp(in.op) || in.op == Op::LR_W
@@ -226,36 +260,55 @@ CoreTimingModel::run(uint64_t max_insts)
                 regReady[in.rd] = done; // bypass at fill
                 Cycles wb = bookWbPort(done);
                 regWbDone[in.rd] = wb;
+                done_t = done;
+                rdy_t = done;
+                wb_t = wb;
                 end_time = std::max(end_time, wb + 1);
             } else {
                 // Stores are fire-and-forget (posted writes).
+                done_t = issue + 1;
+                wb_t = done_t;
                 end_time = std::max(end_time, issue + 1);
             }
         } else if (in.op == Op::DIV || in.op == Op::DIVU
                    || in.op == Op::REM || in.op == Op::REMU) {
             Cycles s = std::max(issue, divFree);
-            stats.stallStructural += s - issue;
+            stall_struct = s - issue;
+            stats.stallStructural += stall_struct;
             issue = s;
+            dispatch = issue;
             Cycles done = issue + cfg.divLatency;
             divFree = done; // unpipelined
             regReady[in.rd] = done;
             Cycles wb = bookWbPort(done);
             regWbDone[in.rd] = wb;
+            done_t = done;
+            rdy_t = done;
+            wb_t = wb;
             end_time = std::max(end_time, wb + 1);
         } else if (in.op == Op::MUL || in.op == Op::MULH
                    || in.op == Op::MULHSU || in.op == Op::MULHU) {
+            dispatch = issue;
             Cycles done = issue + cfg.mulLatency;
             regReady[in.rd] = done;
             Cycles wb = bookWbPort(done);
             regWbDone[in.rd] = wb;
+            done_t = done;
+            rdy_t = done;
+            wb_t = wb;
             end_time = std::max(end_time, wb + 1);
         } else {
             // Single-cycle ALU / control.
+            dispatch = issue;
             Cycles done = issue + 1;
+            done_t = done;
+            wb_t = done;
             if (in.writesRd()) {
                 regReady[in.rd] = done; // full bypass
                 Cycles wb = bookWbPort(done);
                 regWbDone[in.rd] = wb;
+                rdy_t = done;
+                wb_t = wb;
                 end_time = std::max(end_time, wb + 1);
             } else {
                 end_time = std::max(end_time, done);
@@ -264,7 +317,6 @@ CoreTimingModel::run(uint64_t max_insts)
 
         // Architectural execution and fetch redirect.
         exec.step();
-        ++stats.insts;
         bool taken = rv32::isControlOp(in.op)
             && exec.pc() != pc_before + 4;
         fetchReady = issue + 1;
@@ -273,9 +325,46 @@ CoreTimingModel::run(uint64_t max_insts)
             stats.branchPenaltyCycles += cfg.branchPenalty;
         }
         end_time = std::max(end_time, fetchReady);
+
+        if (tracing) {
+            trace::InstRecord rec;
+            rec.seq = stats.insts;
+            rec.pc = pc_before;
+            rec.op = static_cast<uint16_t>(in.op);
+            rec.rd = in.rd;
+            rec.rs1 = in.rs1;
+            rec.rs2 = in.rs2;
+            rec.writesRd = in.writesRd();
+            rec.readsRs1 = in.readsRs1();
+            rec.readsRs2 = in.readsRs2();
+            rec.fetch = fetch;
+            rec.issue = issue;
+            rec.dispatch = cmem_op ? dispatch : issue;
+            rec.busy = array_busy;
+            rec.done = done_t;
+            rec.wb = wb_t;
+            rec.regReadyAt = rdy_t;
+            rec.stallRaw = stall_raw;
+            rec.stallWaw = stall_waw;
+            rec.stallQueue = stall_queue;
+            rec.stallStructural = stall_struct;
+            rec.cmem = cmem_op;
+            rec.sliceA = static_cast<uint8_t>(slice_a);
+            rec.sliceB = static_cast<uint8_t>(slice_b);
+            rec.usesSliceA = array_busy > 0;
+            rec.usesSliceB = uses_slice_b && array_busy > 0;
+            sink->insts.push_back(rec);
+        }
+
+        ++stats.insts;
     }
 
+    // The program has drained from the pipeline; in-flight CMem
+    // array operations and remote row fills (sliceDataReady) may
+    // still be outstanding and bound the run time.
     for (Cycles t : sliceFree)
+        end_time = std::max(end_time, t);
+    for (Cycles t : sliceDataReady)
         end_time = std::max(end_time, t);
     stats.cycles = end_time;
     return stats;

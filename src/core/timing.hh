@@ -45,6 +45,11 @@
 namespace maicc
 {
 
+namespace trace
+{
+class TraceSink;
+}
+
 /**
  * Timing simulation of one node program. Construct with the same
  * collaborators as rv32::Executor plus a CoreConfig, then run().
@@ -61,6 +66,13 @@ class CoreTimingModel
 
     /** Architectural state after (or during) the run. */
     const rv32::Executor &executor() const { return exec; }
+
+    /**
+     * Attach a commit-trace sink (common/trace.hh); run() then
+     * emits one InstRecord per retired instruction. Pass nullptr
+     * to detach. The sink is borrowed, not owned.
+     */
+    void setTrace(trace::TraceSink *s) { sink = s; }
 
   private:
     /** Book a write-back port at or after @p ready; @return slot. */
@@ -92,6 +104,8 @@ class CoreTimingModel
     Cycles divFree = 0;
     Cycles memPortFree = 0;
     Cycles fetchReady = 0;
+
+    trace::TraceSink *sink = nullptr; ///< optional commit trace
 
     CoreRunStats stats;
 };

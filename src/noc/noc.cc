@@ -3,9 +3,19 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace maicc
 {
+
+// The trace layer names ports without including this header; keep
+// the two numberings locked together.
+static_assert(MeshNoc::dirLocal == trace::kDirLocal);
+static_assert(MeshNoc::dirEast == trace::kDirEast);
+static_assert(MeshNoc::dirWest == trace::kDirWest);
+static_assert(MeshNoc::dirSouth == trace::kDirSouth);
+static_assert(MeshNoc::dirNorth == trace::kDirNorth);
+static_assert(MeshNoc::numDirs == trace::kDirInject);
 
 MeshNoc::MeshNoc(const NocConfig &config)
     : cfg(config), routers(cfg.width * cfg.height),
@@ -83,6 +93,10 @@ MeshNoc::inject(Packet pkt)
     maicc_assert(pkt.sizeFlits >= 1);
     pkt.id = nextPacketId++;
     pkt.injectTime = cycle;
+    if (trace::kEnabled && sink) {
+        sink->packets.push_back({pkt.id, pkt.src, pkt.dst,
+                                 pkt.sizeFlits, pkt.injectTime});
+    }
     injectQueues[pkt.src].push_back(pkt);
 }
 
@@ -158,6 +172,7 @@ MeshNoc::tick()
         Router &r = routers[n];
         for (int o = 0; o < numDirs; ++o) {
             int candidate = -1;
+            bool fresh_grant = false;
             if (r.outLockedTo[o] >= 0) {
                 int i = r.outLockedTo[o];
                 if (!r.in[i].q.empty()
@@ -173,7 +188,7 @@ MeshNoc::tick()
                     if (route(n, q.front().dst) != o)
                         continue;
                     candidate = i;
-                    r.rrNext[o] = (i + 1) % numDirs;
+                    fresh_grant = true;
                     break;
                 }
             }
@@ -188,6 +203,13 @@ MeshNoc::tick()
                     >= cfg.queueDepth)
                     continue;
             }
+            // The round-robin pointer advances only when the grant
+            // commits: a winner dropped by the credit check keeps
+            // its priority next cycle instead of losing the slot to
+            // whoever the pointer lands on (starvation under
+            // sustained backpressure).
+            if (fresh_grant)
+                r.rrNext[o] = (candidate + 1) % numDirs;
             moves.push_back({n, candidate, o});
         }
     }
@@ -201,12 +223,22 @@ MeshNoc::tick()
             r.outLockedTo[m.out_dir] = m.in_dir;
         if (flit.tail)
             r.outLockedTo[m.out_dir] = -1;
+        if (trace::kEnabled && sink) {
+            sink->flits.push_back(
+                {inFlight[flit.packetIdx].id, m.router,
+                 static_cast<int8_t>(m.in_dir),
+                 static_cast<int8_t>(m.out_dir), flit.head,
+                 flit.tail, cycle});
+        }
         if (m.out_dir == dirLocal) {
             if (flit.tail) {
                 Packet &pkt = inFlight[flit.packetIdx];
                 latencySum +=
                     static_cast<double>(cycle - pkt.injectTime);
                 ++deliveredCount;
+                if (trace::kEnabled && sink)
+                    sink->ejects.push_back(
+                        {pkt.id, m.router, cycle});
                 deliverQueues[m.router].push_back(pkt);
                 freeSlots.push_back(flit.packetIdx);
             }
@@ -249,6 +281,12 @@ MeshNoc::tick()
         flit.dst = pkt.dst;
         flit.packetIdx = frontPacketIdx[n];
         flit.readyAt = cycle + 1 + cfg.routerLatency;
+        if (trace::kEnabled && sink) {
+            sink->flits.push_back(
+                {pkt.id, n, trace::kDirInject,
+                 static_cast<int8_t>(dirLocal), flit.head,
+                 flit.tail, cycle});
+        }
         local.push_back(flit);
         ++progress;
         if (progress == pkt.sizeFlits) {

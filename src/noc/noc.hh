@@ -23,6 +23,11 @@
 namespace maicc
 {
 
+namespace trace
+{
+class TraceSink;
+}
+
 /** Topology and router parameters. */
 struct NocConfig
 {
@@ -58,6 +63,17 @@ struct Packet
 class MeshNoc
 {
   public:
+    /**
+     * Router port numbering, public so traces (common/trace.hh)
+     * and the invariant checkers (src/check) can name ports.
+     */
+    static constexpr int dirLocal = 0;
+    static constexpr int dirEast = 1;
+    static constexpr int dirWest = 2;
+    static constexpr int dirSouth = 3;
+    static constexpr int dirNorth = 4;
+    static constexpr int numDirs = 5;
+
     explicit MeshNoc(const NocConfig &cfg = NocConfig{});
 
     const NocConfig &config() const { return cfg; }
@@ -113,14 +129,14 @@ class MeshNoc
     /** Mean packet latency (inject -> tail ejected). */
     double avgPacketLatency() const;
 
-  private:
-    static constexpr int dirLocal = 0;
-    static constexpr int dirEast = 1;
-    static constexpr int dirWest = 2;
-    static constexpr int dirSouth = 3;
-    static constexpr int dirNorth = 4;
-    static constexpr int numDirs = 5;
+    /**
+     * Attach a commit-trace sink (common/trace.hh); inject() and
+     * tick() then emit packet/flit records. Pass nullptr to
+     * detach. The sink is borrowed, not owned.
+     */
+    void setTrace(trace::TraceSink *s) { sink = s; }
 
+  private:
     struct Flit
     {
         bool head = false;
@@ -162,6 +178,7 @@ class MeshNoc
     uint64_t flitHopCount = 0;
     uint64_t deliveredCount = 0;
     double latencySum = 0.0;
+    trace::TraceSink *sink = nullptr; ///< optional commit trace
 };
 
 /**

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Seeded random RV32 + CMem program generation for the differential
+ * and invariant test suites (tests/check).
+ *
+ * Generated programs are unconstrained in data values but fully
+ * constrained in *effects*, so they run on both the functional
+ * executor and the timing model without tripping an assertion:
+ *
+ *  - random rd targets come from the scratch pool x1..x15; the
+ *    base/descriptor registers x16..x20 are written only by the
+ *    generator's own set-up sequences;
+ *  - loads/stores address the local dmem through x0, the slice-0
+ *    window through x16 (= 0x1000), or DRAM through x17
+ *    (= 0x80000000), always with an in-range, size-aligned offset;
+ *  - MAC.C descriptors name one slice with disjoint row ranges
+ *    (operand A in rows 0..24+n, operand B in rows 32..56+n,
+ *    n <= 8 <= 32 rows per operand, inside the 64-row slice);
+ *  - control flow is forward skips and bounded count-down loops on
+ *    x20, never nested, so every program terminates at its ecall.
+ */
+
+#ifndef MAICC_TESTS_CHECK_RAND_PROGRAM_HH
+#define MAICC_TESTS_CHECK_RAND_PROGRAM_HH
+
+#include "common/random.hh"
+#include "rv32/assembler.hh"
+#include "rv32/encoding.hh"
+
+namespace maicc
+{
+namespace testgen
+{
+
+/** Register roles; see file comment. */
+constexpr rv32::Reg kSlice0Base = static_cast<rv32::Reg>(16);
+constexpr rv32::Reg kDramBase = static_cast<rv32::Reg>(17);
+constexpr rv32::Reg kDescA = static_cast<rv32::Reg>(18);
+constexpr rv32::Reg kDescB = static_cast<rv32::Reg>(19);
+constexpr rv32::Reg kLoopCounter = static_cast<rv32::Reg>(20);
+
+struct RandProgramOptions
+{
+    unsigned units = 60;     ///< random instruction units to emit
+    bool withCMem = true;    ///< include CMem-extension units
+    bool withBranches = true;
+    bool withMemory = true;  ///< include loads/stores
+};
+
+namespace detail
+{
+
+inline rv32::Reg
+scratch(Rng &rng)
+{
+    return static_cast<rv32::Reg>(1 + rng.below(15));
+}
+
+/** Any readable register: x0 or the scratch pool. */
+inline rv32::Reg
+source(Rng &rng)
+{
+    return static_cast<rv32::Reg>(rng.below(16));
+}
+
+inline void
+emitAluImm(rv32::Assembler &a, Rng &rng)
+{
+    using namespace rv32;
+    Reg rd = scratch(rng), rs = source(rng);
+    int32_t imm = int32_t(rng.range(-2048, 2047));
+    switch (rng.below(8)) {
+      case 0: a.addi(rd, rs, imm); break;
+      case 1: a.xori(rd, rs, imm); break;
+      case 2: a.ori(rd, rs, imm); break;
+      case 3: a.andi(rd, rs, imm); break;
+      case 4: a.slti(rd, rs, imm); break;
+      case 5: a.slli(rd, rs, int32_t(rng.below(32))); break;
+      case 6: a.srli(rd, rs, int32_t(rng.below(32))); break;
+      default: a.srai(rd, rs, int32_t(rng.below(32))); break;
+    }
+}
+
+inline void
+emitAluReg(rv32::Assembler &a, Rng &rng)
+{
+    using namespace rv32;
+    Reg rd = scratch(rng), r1 = source(rng), r2 = source(rng);
+    switch (rng.below(10)) {
+      case 0: a.add(rd, r1, r2); break;
+      case 1: a.sub(rd, r1, r2); break;
+      case 2: a.sll(rd, r1, r2); break;
+      case 3: a.slt(rd, r1, r2); break;
+      case 4: a.sltu(rd, r1, r2); break;
+      case 5: a.xorr(rd, r1, r2); break;
+      case 6: a.srl(rd, r1, r2); break;
+      case 7: a.sra(rd, r1, r2); break;
+      case 8: a.orr(rd, r1, r2); break;
+      default: a.andr(rd, r1, r2); break;
+    }
+}
+
+inline void
+emitMulDiv(rv32::Assembler &a, Rng &rng)
+{
+    using namespace rv32;
+    Reg rd = scratch(rng), r1 = source(rng), r2 = source(rng);
+    switch (rng.below(8)) {
+      case 0: a.mul(rd, r1, r2); break;
+      case 1: a.mulh(rd, r1, r2); break;
+      case 2: a.mulhsu(rd, r1, r2); break;
+      case 3: a.mulhu(rd, r1, r2); break;
+      case 4: a.div(rd, r1, r2); break;
+      case 5: a.divu(rd, r1, r2); break;
+      case 6: a.rem(rd, r1, r2); break;
+      default: a.remu(rd, r1, r2); break;
+    }
+}
+
+inline void
+emitMemory(rv32::Assembler &a, Rng &rng)
+{
+    using namespace rv32;
+    Reg rd = scratch(rng), rs = source(rng);
+    // Base and in-region offset span: dmem via x0 (4 KB), the
+    // slice-0 window via x16 (2 KB), DRAM via x17 (2 KB probed).
+    Reg base = zero;
+    int32_t span = 0x1000;
+    switch (rng.below(3)) {
+      case 0: break;
+      case 1: base = kSlice0Base; span = 0x800; break;
+      default: base = kDramBase; span = 0x800; break;
+    }
+    switch (rng.below(6)) {
+      case 0:
+        a.lw(rd, base, int32_t(rng.below(span / 4)) * 4);
+        break;
+      case 1:
+        a.lhu(rd, base, int32_t(rng.below(span / 2)) * 2);
+        break;
+      case 2:
+        a.lbu(rd, base, int32_t(rng.below(span)));
+        break;
+      case 3:
+        a.sw(rs, base, int32_t(rng.below(span / 4)) * 4);
+        break;
+      case 4:
+        a.sh(rs, base, int32_t(rng.below(span / 2)) * 2);
+        break;
+      default:
+        a.sb(rs, base, int32_t(rng.below(span)));
+        break;
+    }
+}
+
+inline void
+emitBranch(rv32::Assembler &a, Rng &rng)
+{
+    using namespace rv32;
+    Reg r1 = source(rng), r2 = source(rng);
+    auto skip = a.newLabel();
+    switch (rng.below(6)) {
+      case 0: a.beq(r1, r2, skip); break;
+      case 1: a.bne(r1, r2, skip); break;
+      case 2: a.blt(r1, r2, skip); break;
+      case 3: a.bge(r1, r2, skip); break;
+      case 4: a.bltu(r1, r2, skip); break;
+      default: a.bgeu(r1, r2, skip); break;
+    }
+    unsigned fill = 1 + unsigned(rng.below(3));
+    for (unsigned i = 0; i < fill; ++i)
+        emitAluImm(a, rng);
+    a.bind(skip);
+}
+
+inline void
+emitLoop(rv32::Assembler &a, Rng &rng)
+{
+    using namespace rv32;
+    a.li(kLoopCounter, int32_t(1 + rng.below(5)));
+    auto top = a.newLabel();
+    a.bind(top);
+    unsigned body = 1 + unsigned(rng.below(2));
+    for (unsigned i = 0; i < body; ++i)
+        emitAluReg(a, rng);
+    a.addi(kLoopCounter, kLoopCounter, -1);
+    a.bne(kLoopCounter, zero, top);
+}
+
+inline void
+emitCMem(rv32::Assembler &a, Rng &rng)
+{
+    using namespace rv32;
+    // Remote row addresses are arbitrary 32-byte-aligned DRAM
+    // addresses (the sparse RowStore accepts any key).
+    auto remoteRowAddr = [&] {
+        return int32_t(0x80000000u + uint32_t(rng.below(64)) * 32);
+    };
+    switch (rng.below(7)) {
+      case 0: { // MAC.C: one slice, disjoint operand rows
+        unsigned n = rng.below(2) ? 4 : 8;
+        unsigned sl = unsigned(rng.below(8));
+        unsigned base_a = unsigned(rng.below(24));
+        unsigned base_b = 32 + unsigned(rng.below(24));
+        a.li(kDescA, int32_t(cmemDesc(sl, base_a)));
+        a.li(kDescB, int32_t(cmemDesc(sl, base_b)));
+        a.maccC(scratch(rng), kDescA, kDescB, n);
+        break;
+      }
+      case 1: { // Move.C: n rows, both ranges inside 64 rows
+        unsigned n = 1 + unsigned(rng.below(8));
+        a.li(kDescA, int32_t(cmemDesc(unsigned(rng.below(8)),
+                                      unsigned(rng.below(56)))));
+        a.li(kDescB, int32_t(cmemDesc(unsigned(rng.below(8)),
+                                      unsigned(rng.below(56)))));
+        a.moveC(kDescA, kDescB, n);
+        break;
+      }
+      case 2:
+        a.li(kDescA, int32_t(cmemDesc(unsigned(rng.below(8)),
+                                      unsigned(rng.below(64)))));
+        a.setRowC(kDescA, rng.below(2) != 0);
+        break;
+      case 3:
+        a.li(kDescA, int32_t(cmemDesc(unsigned(rng.below(8)),
+                                      unsigned(rng.below(64)))));
+        a.li(kDescB, int32_t(rng.range(-2, 2)));
+        a.shiftRowC(kDescA, kDescB);
+        break;
+      case 4:
+        a.li(kDescA, remoteRowAddr());
+        a.li(kDescB, int32_t(cmemDesc(unsigned(rng.below(8)),
+                                      unsigned(rng.below(64)))));
+        a.loadRowRC(kDescA, kDescB);
+        break;
+      case 5:
+        a.li(kDescA, remoteRowAddr());
+        a.li(kDescB, int32_t(cmemDesc(unsigned(rng.below(8)),
+                                      unsigned(rng.below(64)))));
+        a.storeRowRC(kDescA, kDescB);
+        break;
+      default:
+        a.li(kDescA, int32_t(rng.below(8)));
+        a.li(kDescB, int32_t(rng.below(256)));
+        a.setMaskC(kDescA, kDescB);
+        break;
+    }
+}
+
+} // namespace detail
+
+/** Generate a random, terminating, assertion-safe program. */
+inline rv32::Program
+randomProgram(Rng &rng, const RandProgramOptions &opt = {})
+{
+    using namespace rv32;
+    Assembler a;
+
+    // Fixed bases, then random scratch values to branch/store on.
+    a.li(kSlice0Base, 0x1000);
+    a.li(kDramBase, int32_t(0x80000000u));
+    for (unsigned r = 1; r <= 15; ++r) {
+        a.li(static_cast<Reg>(r),
+             int32_t(uint32_t(rng.next())));
+    }
+
+    for (unsigned u = 0; u < opt.units; ++u) {
+        switch (rng.below(10)) {
+          case 0:
+          case 1:
+          case 2:
+            detail::emitAluImm(a, rng);
+            break;
+          case 3:
+          case 4:
+            detail::emitAluReg(a, rng);
+            break;
+          case 5:
+            detail::emitMulDiv(a, rng);
+            break;
+          case 6:
+            if (opt.withMemory) {
+                detail::emitMemory(a, rng);
+                break;
+            }
+            detail::emitAluReg(a, rng);
+            break;
+          case 7:
+            if (opt.withBranches) {
+                detail::emitBranch(a, rng);
+                break;
+            }
+            detail::emitAluImm(a, rng);
+            break;
+          case 8:
+            if (opt.withBranches) {
+                detail::emitLoop(a, rng);
+                break;
+            }
+            detail::emitAluReg(a, rng);
+            break;
+          default:
+            if (opt.withCMem) {
+                detail::emitCMem(a, rng);
+                break;
+            }
+            detail::emitAluImm(a, rng);
+            break;
+        }
+    }
+    a.ecall();
+    return a.finish();
+}
+
+} // namespace testgen
+} // namespace maicc
+
+#endif // MAICC_TESTS_CHECK_RAND_PROGRAM_HH

@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Validation of the invariant checkers themselves: traces captured
+ * from the real models must pass, and seeded mutants — targeted
+ * perturbations of a real trace, each emulating a known class of
+ * scheduling bug — must each be flagged by the matching rule (the
+ * mutant table lives in EXPERIMENTS.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "check/invariants.hh"
+#include "cmem/cmem.hh"
+#include "common/random.hh"
+#include "common/trace.hh"
+#include "core/timing.hh"
+#include "mem/node_memory.hh"
+#include "mem/row_store.hh"
+#include "noc/noc.hh"
+#include "rand_program.hh"
+#include "rv32/assembler.hh"
+
+using namespace maicc;
+using namespace maicc::rv32;
+
+// Trace capture (and thus mutant construction) needs tracing
+// compiled in; a -DMAICC_TRACE=OFF build skips these tests.
+#define MAICC_REQUIRE_TRACING()                                    \
+    do {                                                           \
+        if (!trace::kEnabled)                                      \
+            GTEST_SKIP() << "built with MAICC_TRACE=OFF";          \
+    } while (0)
+
+namespace
+{
+
+/** Trace a random program on the real core model. */
+struct TracedRun
+{
+    explicit TracedRun(uint64_t seed, CoreConfig cfg = CoreConfig{})
+        : config(cfg)
+    {
+        Rng rng(seed);
+        prog = testgen::randomProgram(rng);
+        CMem cmem;
+        FlatMemory ext;
+        RowStore rows;
+        NodeMemory nodeMem(cmem, &ext);
+        CoreTimingModel model(prog, nodeMem, &cmem, &rows, cfg);
+        model.setTrace(&sink);
+        stats = model.run();
+    }
+
+    check::CoreCheckParams
+    params() const
+    {
+        check::CoreCheckParams p;
+        p.wbPorts = config.wbPorts;
+        p.totalCycles = stats.cycles;
+        return p;
+    }
+
+    CoreConfig config;
+    Program prog;
+    trace::TraceSink sink;
+    CoreRunStats stats;
+};
+
+/** Trace seeded random traffic on the real mesh, fully drained. */
+struct TracedNoc
+{
+    explicit TracedNoc(uint64_t seed, NocConfig cfg = NocConfig{})
+        : config(cfg), noc(cfg)
+    {
+        noc.setTrace(&sink);
+        Rng rng(seed);
+        int nodes = cfg.width * cfg.height;
+        for (int i = 0; i < 40; ++i) {
+            Packet p;
+            p.src = NodeId(rng.below(nodes));
+            p.dst = NodeId(rng.below(nodes));
+            p.sizeFlits = 1 + unsigned(rng.below(9));
+            noc.inject(p);
+            // Spread injections over time.
+            unsigned gap = unsigned(rng.below(3));
+            for (unsigned t = 0; t < gap; ++t)
+                noc.tick();
+        }
+        noc.drain();
+    }
+
+    check::NocCheckParams
+    params() const
+    {
+        check::NocCheckParams p;
+        p.width = config.width;
+        p.height = config.height;
+        p.routerLatency = config.routerLatency;
+        p.queueDepth = config.queueDepth;
+        p.totalCycles = noc.now();
+        return p;
+    }
+
+    NocConfig config;
+    MeshNoc noc;
+    trace::TraceSink sink;
+};
+
+} // namespace
+
+TEST(Invariants, RealCoreTracePasses)
+{
+    MAICC_REQUIRE_TRACING();
+    for (uint64_t seed : {3u, 14u, 159u}) {
+        TracedRun run(seed);
+        auto res = check::checkInstTrace(run.sink.insts,
+                                        run.params());
+        EXPECT_TRUE(res.ok()) << "seed " << seed << "\n"
+                              << res.summary();
+    }
+}
+
+TEST(Invariants, RealNocTracePasses)
+{
+    MAICC_REQUIRE_TRACING();
+    TracedNoc run(42);
+    auto res = check::checkNocTrace(run.sink, run.params());
+    EXPECT_TRUE(res.ok()) << res.summary();
+    EXPECT_FALSE(run.sink.packets.empty());
+    EXPECT_EQ(run.sink.ejects.size(), run.sink.packets.size());
+}
+
+TEST(Invariants, JsonlRoundTripPreservesTheTrace)
+{
+    TracedRun core(7);
+    TracedNoc mesh(7);
+    trace::TraceSink combined;
+    combined.insts = core.sink.insts;
+    combined.packets = mesh.sink.packets;
+    combined.ejects = mesh.sink.ejects;
+    combined.flits = mesh.sink.flits;
+
+    std::stringstream ss;
+    combined.writeJsonl(ss);
+    trace::TraceSink loaded;
+    ASSERT_TRUE(loaded.readJsonl(ss));
+    EXPECT_EQ(loaded.insts.size(), combined.insts.size());
+    EXPECT_EQ(loaded.packets.size(), combined.packets.size());
+    EXPECT_EQ(loaded.ejects.size(), combined.ejects.size());
+    EXPECT_EQ(loaded.flits.size(), combined.flits.size());
+
+    // The re-loaded trace checks exactly like the original.
+    auto res = check::checkTrace(loaded, core.params(),
+                                 mesh.params());
+    EXPECT_TRUE(res.ok()) << res.summary();
+}
+
+// ---------------------------------------------------------------
+// Core-pipeline mutants (M1..M5 in EXPERIMENTS.md).
+// ---------------------------------------------------------------
+
+TEST(InvariantMutants, M1_RawBypassDropped)
+{
+    MAICC_REQUIRE_TRACING();
+    // Emulate a lost RAW interlock: a consumer issues one cycle
+    // before its producer's result is bypass-ready.
+    TracedRun run(21);
+    auto insts = run.sink.insts;
+    Cycles ready[32] = {};
+    bool mutated = false;
+    for (auto &r : insts) {
+        if (!mutated && r.readsRs1 && r.rs1 != 0 && ready[r.rs1]
+            && r.issue >= ready[r.rs1] && ready[r.rs1] > 0) {
+            r.issue = ready[r.rs1] - 1;
+            mutated = true;
+        }
+        if (r.writesRd && r.rd != 0)
+            ready[r.rd] = r.regReadyAt;
+    }
+    ASSERT_TRUE(mutated);
+    auto res = check::checkInstTrace(insts, run.params());
+    EXPECT_TRUE(res.has("raw-order")) << res.summary();
+}
+
+TEST(InvariantMutants, M2_WbPortOversubscribed)
+{
+    MAICC_REQUIRE_TRACING();
+    // Emulate broken write-back arbitration: two results retire in
+    // the same cycle through a single port.
+    TracedRun run(22);
+    auto insts = run.sink.insts;
+    ASSERT_EQ(run.config.wbPorts, 1u);
+    size_t first = SIZE_MAX;
+    bool mutated = false;
+    for (size_t i = 0; i < insts.size(); ++i) {
+        if (!insts[i].writesRd)
+            continue;
+        if (first == SIZE_MAX) {
+            first = i;
+        } else {
+            insts[i].wb = insts[first].wb;
+            mutated = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(mutated);
+    auto res = check::checkInstTrace(insts, run.params());
+    EXPECT_TRUE(res.has("wb-ports")) << res.summary();
+}
+
+TEST(InvariantMutants, M3_SliceDoubleDispatch)
+{
+    MAICC_REQUIRE_TRACING();
+    // Emulate lost slice occupancy tracking: two array ops on one
+    // slice execute overlapped.
+    Assembler a;
+    a.li(static_cast<Reg>(7), int32_t(cmemDesc(3, 0)));
+    a.li(static_cast<Reg>(8), int32_t(cmemDesc(3, 32)));
+    a.maccC(static_cast<Reg>(10), static_cast<Reg>(7),
+            static_cast<Reg>(8), 8);
+    a.maccC(static_cast<Reg>(11), static_cast<Reg>(7),
+            static_cast<Reg>(8), 8);
+    a.ecall();
+    Program prog = a.finish();
+    CMem cmem;
+    FlatMemory ext;
+    RowStore rows;
+    NodeMemory nodeMem(cmem, &ext);
+    CoreConfig cfg;
+    CoreTimingModel model(prog, nodeMem, &cmem, &rows, cfg);
+    trace::TraceSink sink;
+    model.setTrace(&sink);
+    auto st = model.run();
+
+    check::CoreCheckParams params;
+    params.totalCycles = st.cycles;
+    ASSERT_TRUE(check::checkInstTrace(sink.insts, params).ok());
+
+    auto insts = sink.insts;
+    size_t second_mac = SIZE_MAX, first_mac = SIZE_MAX;
+    for (size_t i = 0; i < insts.size(); ++i) {
+        if (insts[i].usesSliceA) {
+            if (first_mac == SIZE_MAX)
+                first_mac = i;
+            else
+                second_mac = i;
+        }
+    }
+    ASSERT_NE(second_mac, SIZE_MAX);
+    insts[second_mac].dispatch = insts[first_mac].dispatch + 1;
+    auto res = check::checkInstTrace(insts, params);
+    EXPECT_TRUE(res.has("slice-overlap")) << res.summary();
+}
+
+TEST(InvariantMutants, M4_CycleCountUnderReported)
+{
+    MAICC_REQUIRE_TRACING();
+    // Emulate the "run ends before in-flight work lands" bug class
+    // (the LoadRow.RC epilogue regression): the reported total is
+    // one cycle short of the latest event in the trace.
+    TracedRun run(24);
+    auto params = run.params();
+    ASSERT_TRUE(check::checkInstTrace(run.sink.insts, params).ok());
+    Cycles latest = 0;
+    for (const auto &r : run.sink.insts)
+        latest = std::max({latest, r.wb, r.done, r.regReadyAt});
+    ASSERT_GT(latest, 0u);
+    params.totalCycles = latest - 1;
+    auto res = check::checkInstTrace(run.sink.insts, params);
+    EXPECT_TRUE(res.has("cycle-bound")) << res.summary();
+}
+
+TEST(InvariantMutants, M5_OutOfOrderIssue)
+{
+    MAICC_REQUIRE_TRACING();
+    // Emulate a broken in-order front end: one instruction issues
+    // in the same cycle as its predecessor.
+    TracedRun run(25);
+    auto insts = run.sink.insts;
+    ASSERT_GE(insts.size(), 2u);
+    insts[1].issue = insts[0].issue;
+    auto res = check::checkInstTrace(insts, run.params());
+    EXPECT_TRUE(res.has("inorder-issue")) << res.summary();
+}
+
+// ---------------------------------------------------------------
+// NoC mutants (M6..M10 in EXPERIMENTS.md).
+// ---------------------------------------------------------------
+
+TEST(InvariantMutants, M6_CreditCheckSkipped)
+{
+    // Emulate a dropped credit check: a fifth flit arrives into a
+    // depth-4 input queue that nothing drained.
+    trace::TraceSink sink;
+    for (uint64_t id = 1; id <= 5; ++id) {
+        sink.packets.push_back(
+            {id, 0, 1, 1, Cycles(id - 1)});
+        // Five injections into node 0's local queue, no grants.
+        sink.flits.push_back({id, 0, trace::kDirInject,
+                              trace::kDirLocal, true, true,
+                              Cycles(id - 1)});
+    }
+    check::NocCheckParams params;
+    params.queueDepth = 4;
+    auto res = check::checkNocTrace(sink, params);
+    EXPECT_TRUE(res.has("queue-bound")) << res.summary();
+}
+
+TEST(InvariantMutants, M7_FlitDropped)
+{
+    MAICC_REQUIRE_TRACING();
+    // Emulate a lost flit: one ejection record of a delivered
+    // packet vanishes.
+    TracedNoc run(27);
+    auto sink = run.sink;
+    size_t victim = SIZE_MAX;
+    for (size_t i = 0; i < sink.flits.size(); ++i) {
+        if (sink.flits[i].inDir != trace::kDirInject
+            && sink.flits[i].outDir == trace::kDirLocal) {
+            victim = i;
+            break;
+        }
+    }
+    ASSERT_NE(victim, SIZE_MAX);
+    sink.flits.erase(sink.flits.begin() + victim);
+    auto res = check::checkNocTrace(sink, run.params());
+    EXPECT_TRUE(res.has("flit-conservation")) << res.summary();
+}
+
+TEST(InvariantMutants, M8_WormholeInterleaved)
+{
+    // Emulate a broken wormhole lock: a second packet's head is
+    // granted through an output port while another packet's worm
+    // is still open.
+    trace::TraceSink sink;
+    sink.packets.push_back({1, 0, 2, 2, 0});
+    sink.packets.push_back({2, 0, 2, 2, 0});
+    // Packet 1 worm opens on router 1's East port, then packet 2
+    // interleaves before packet 1's tail.
+    sink.flits.push_back({1, 1, trace::kDirWest, trace::kDirEast,
+                          true, false, 10});
+    sink.flits.push_back({2, 1, trace::kDirLocal, trace::kDirEast,
+                          true, false, 11});
+    sink.flits.push_back({1, 1, trace::kDirWest, trace::kDirEast,
+                          false, true, 12});
+    sink.flits.push_back({2, 1, trace::kDirLocal, trace::kDirEast,
+                          false, true, 13});
+    check::NocCheckParams params;
+    auto res = check::checkNocTrace(sink, params);
+    EXPECT_TRUE(res.has("wormhole-contiguity")) << res.summary();
+}
+
+TEST(InvariantMutants, M9_LatencyCheated)
+{
+    MAICC_REQUIRE_TRACING();
+    // Emulate an optimistic router: a packet is reported delivered
+    // before the zero-load latency of its path has elapsed.
+    TracedNoc run(29);
+    auto sink = run.sink;
+    ASSERT_FALSE(sink.ejects.empty());
+    uint64_t id = sink.ejects[0].id;
+    for (const auto &p : sink.packets) {
+        if (p.id == id) {
+            sink.ejects[0].cycle = p.inject + 1;
+            break;
+        }
+    }
+    auto res = check::checkNocTrace(sink, run.params());
+    EXPECT_TRUE(res.has("min-latency")) << res.summary();
+}
+
+TEST(InvariantMutants, M10_LinkBandwidthViolated)
+{
+    MAICC_REQUIRE_TRACING();
+    // Emulate a double grant: the same output port moves two flits
+    // in one cycle.
+    TracedNoc run(30);
+    auto sink = run.sink;
+    size_t grant = SIZE_MAX;
+    for (size_t i = 0; i < sink.flits.size(); ++i) {
+        if (sink.flits[i].inDir != trace::kDirInject) {
+            grant = i;
+            break;
+        }
+    }
+    ASSERT_NE(grant, SIZE_MAX);
+    sink.flits.push_back(sink.flits[grant]);
+    auto res = check::checkNocTrace(sink, run.params());
+    EXPECT_TRUE(res.has("link-bandwidth")) << res.summary();
+}

@@ -236,6 +236,57 @@ TEST(CoreTiming, RemoteAccessIsNonBlocking)
     EXPECT_LT(st.cycles, cfg.remoteLatency + 15u + 10u);
 }
 
+TEST(CoreTiming, RunCoversInFlightRemoteRowFills)
+{
+    // A program that halts right after a LoadRow.RC: the remote
+    // round trip is still in flight when the pipeline drains, and
+    // the run must not end before the row lands (the epilogue folds
+    // sliceDataReady, not just sliceFree).
+    CoreConfig cfg;
+    Assembler a;
+    a.li(t0, static_cast<int32_t>(0x40000000)); // remote row addr
+    a.li(t1, cmemDesc(2, 0));
+    a.loadRowRC(t0, t1);
+    a.ecall();
+    TimingHarness h(a.finish(), cfg);
+    auto st = h.run();
+    EXPECT_GE(st.cycles, cfg.remoteLatency + CMem::rowXferCycles());
+}
+
+TEST(CoreTiming, SetMaskIsNotArrayBusyTime)
+{
+    // SetMask.C is a 1-cycle CSR write (Table 2): it must not be
+    // charged to cmemBusyCycles or occupy an array bank, or the
+    // Fig. 9 utilization breakdown over-reports array activity.
+    Assembler a;
+    a.li(t0, 1);    // slice 1
+    a.li(t1, 0xFF); // mask value
+    a.setMaskC(t0, t1);
+    a.ecall();
+    TimingHarness h(a.finish());
+    auto st = h.run();
+    EXPECT_EQ(st.cmemInsts, 1u);
+    EXPECT_EQ(st.cmemBusyCycles, 0u);
+}
+
+TEST(CoreTiming, BusyBreakdownCountsOnlyArrayOps)
+{
+    // Fig. 9-style breakdown: a masked MAC sequence. The MAC is 64
+    // array cycles; the SetMask configuring it adds none.
+    Assembler a;
+    a.li(t0, 1);
+    a.li(t1, 0x0F);
+    a.setMaskC(t0, t1);
+    a.li(t2, cmemDesc(1, 0));
+    a.li(t3, cmemDesc(1, 8));
+    a.maccC(a0, t2, t3, 8);
+    a.ecall();
+    TimingHarness h(a.finish());
+    auto st = h.run();
+    EXPECT_EQ(st.cmemInsts, 2u);
+    EXPECT_EQ(st.cmemBusyCycles, 64u);
+}
+
 TEST(CoreTiming, StatsAreConsistent)
 {
     Assembler a;
