@@ -1,7 +1,9 @@
 #include "common/stats.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
+#include <numeric>
 
 namespace maicc
 {
@@ -42,6 +44,75 @@ StatSummary::merge(const StatSummary &o)
     _count += o._count;
 }
 
+void
+StatHistogram::sample(double v)
+{
+    _samples.push_back(v);
+    _sorted.clear();
+}
+
+void
+StatHistogram::reset()
+{
+    _samples.clear();
+    _sorted.clear();
+}
+
+void
+StatHistogram::merge(const StatHistogram &o)
+{
+    _samples.insert(_samples.end(), o._samples.begin(),
+                    o._samples.end());
+    _sorted.clear();
+}
+
+void
+StatHistogram::ensureSorted() const
+{
+    if (_sorted.size() != _samples.size()) {
+        _sorted = _samples;
+        std::sort(_sorted.begin(), _sorted.end());
+    }
+}
+
+double
+StatHistogram::min() const
+{
+    ensureSorted();
+    return _sorted.empty() ? 0.0 : _sorted.front();
+}
+
+double
+StatHistogram::max() const
+{
+    ensureSorted();
+    return _sorted.empty() ? 0.0 : _sorted.back();
+}
+
+double
+StatHistogram::sum() const
+{
+    return std::accumulate(_samples.begin(), _samples.end(), 0.0);
+}
+
+double
+StatHistogram::mean() const
+{
+    return _samples.empty() ? 0.0 : sum() / double(_samples.size());
+}
+
+double
+StatHistogram::percentile(double p) const
+{
+    if (_samples.empty())
+        return 0.0;
+    ensureSorted();
+    // Nearest rank: ceil(p/100 * n), 1-based, clamped to [1, n].
+    double rank = std::ceil(p / 100.0 * double(_sorted.size()));
+    size_t idx = rank < 1.0 ? 0 : size_t(rank) - 1;
+    return _sorted[std::min(idx, _sorted.size() - 1)];
+}
+
 std::string
 StatGroup::qualify(const std::string &name) const
 {
@@ -68,6 +139,17 @@ StatGroup::summary(const std::string &name)
     return it->second;
 }
 
+StatHistogram &
+StatGroup::histogram(const std::string &name)
+{
+    auto it = _histograms.find(name);
+    if (it == _histograms.end()) {
+        it = _histograms.emplace(name, StatHistogram(qualify(name)))
+                 .first;
+    }
+    return it->second;
+}
+
 uint64_t
 StatGroup::get(const std::string &name) const
 {
@@ -82,6 +164,8 @@ StatGroup::resetAll()
         kv.second.reset();
     for (auto &kv : _summaries)
         kv.second.reset();
+    for (auto &kv : _histograms)
+        kv.second.reset();
 }
 
 void
@@ -91,6 +175,8 @@ StatGroup::mergeFrom(const StatGroup &o)
         counter(kv.first).inc(kv.second.value());
     for (const auto &kv : o._summaries)
         summary(kv.first).merge(kv.second);
+    for (const auto &kv : o._histograms)
+        histogram(kv.first).merge(kv.second);
 }
 
 void
@@ -105,6 +191,15 @@ StatGroup::dump(std::ostream &os) const
         os << std::left << std::setw(40) << s.name()
            << "count=" << s.count() << " mean=" << s.mean()
            << " min=" << s.min() << " max=" << s.max() << "\n";
+    }
+    for (const auto &kv : _histograms) {
+        const auto &h = kv.second;
+        os << std::left << std::setw(40) << h.name()
+           << "count=" << h.count() << " mean=" << h.mean()
+           << " p50=" << h.percentile(50)
+           << " p95=" << h.percentile(95)
+           << " p99=" << h.percentile(99)
+           << " max=" << h.max() << "\n";
     }
 }
 

@@ -65,6 +65,53 @@ class StatSummary
 };
 
 /**
+ * A sampled distribution with percentile queries. Samples are kept
+ * exactly (the simulator's request counts are small enough that the
+ * memory is negligible next to the tensors in flight), so
+ * percentile() is nearest-rank over the real values rather than a
+ * bucket approximation — the serving tests compare percentiles
+ * bitwise across thread counts, which a bucketed estimate could not
+ * guarantee.
+ */
+class StatHistogram
+{
+  public:
+    StatHistogram() = default;
+    explicit StatHistogram(std::string name) : _name(std::move(name))
+    {}
+
+    void sample(double v);
+    void reset();
+
+    /** Fold another histogram in, as if its samples were replayed. */
+    void merge(const StatHistogram &o);
+
+    uint64_t count() const { return _samples.size(); }
+    double min() const;
+    double max() const;
+    double mean() const;
+    double sum() const;
+
+    /**
+     * Nearest-rank percentile, @p p in [0, 100]: the smallest
+     * sample such that at least p% of all samples are <= it.
+     * Monotone in p by construction (p99 >= p95 >= p50). 0 when
+     * empty.
+     */
+    double percentile(double p) const;
+
+    const std::string &name() const { return _name; }
+    const std::vector<double> &samples() const { return _samples; }
+
+  private:
+    void ensureSorted() const;
+
+    std::string _name;
+    std::vector<double> _samples;
+    mutable std::vector<double> _sorted; ///< lazy percentile cache
+};
+
+/**
  * A flat registry of counters and summaries. Each simulated component
  * owns a StatGroup and registers stats under hierarchical dotted
  * names ("node12.cmem.macOps").
@@ -81,6 +128,9 @@ class StatGroup
 
     /** Create (or fetch) a summary named prefix.name. */
     StatSummary &summary(const std::string &name);
+
+    /** Create (or fetch) a histogram named prefix.name. */
+    StatHistogram &histogram(const std::string &name);
 
     /** Read a counter's value; 0 when absent. */
     uint64_t get(const std::string &name) const;
@@ -115,6 +165,7 @@ class StatGroup
     std::string _prefix;
     std::map<std::string, StatCounter> _counters;
     std::map<std::string, StatSummary> _summaries;
+    std::map<std::string, StatHistogram> _histograms;
 };
 
 } // namespace maicc

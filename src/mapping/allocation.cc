@@ -40,6 +40,22 @@ totalUnits(const LayerSpec &l)
     return l.outC * splits;
 }
 
+bool
+CoreLedger::tryAllocate(unsigned cores)
+{
+    if (cores > freeCores())
+        return false;
+    _used += cores;
+    return true;
+}
+
+void
+CoreLedger::release(unsigned cores)
+{
+    maicc_assert(cores <= _used);
+    _used -= cores;
+}
+
 namespace
 {
 

@@ -55,6 +55,33 @@ struct NodeAllocation
 /** Total filter fragments (M x channelSplits) of a layer. */
 unsigned totalUnits(const LayerSpec &l);
 
+/**
+ * Incremental core accounting for online serving: the host admits a
+ * request by reserving cores against the array budget and returns
+ * them when the inference completes. Purely a budget — physical
+ * slot occupancy lives in RegionAllocator (placement.hh); the
+ * serving layer keeps the two in lock-step.
+ */
+class CoreLedger
+{
+  public:
+    explicit CoreLedger(unsigned total = 210) : _total(total) {}
+
+    unsigned total() const { return _total; }
+    unsigned used() const { return _used; }
+    unsigned freeCores() const { return _total - _used; }
+
+    /** Reserve @p cores; false (and no change) when over budget. */
+    bool tryAllocate(unsigned cores);
+
+    /** Return @p cores to the pool; asserts against over-free. */
+    void release(unsigned cores);
+
+  private:
+    unsigned _total;
+    unsigned _used = 0;
+};
+
 /** Densest packing (fewest cores). */
 NodeAllocation minAllocation(const LayerSpec &l);
 

@@ -36,6 +36,57 @@ SegmentPlacement::layerNodes(size_t layer) const
     return out;
 }
 
+RegionAllocator::RegionAllocator(const ArrayGeometry &geo)
+    : _geo(geo), _used(geo.computeNodes(), false),
+      _free(geo.computeNodes())
+{
+}
+
+std::vector<unsigned>
+RegionAllocator::allocate(unsigned count)
+{
+    std::vector<unsigned> slots;
+    if (count == 0 || count > _free)
+        return slots;
+    slots.reserve(count);
+
+    // First fit: the lowest contiguous serpentine run of length
+    // >= count.
+    unsigned run = 0;
+    for (unsigned i = 0; i < _used.size(); ++i) {
+        run = _used[i] ? 0 : run + 1;
+        if (run == count) {
+            for (unsigned s = i + 1 - count; s <= i; ++s)
+                slots.push_back(s);
+            break;
+        }
+    }
+    // Fragmented: fall back to the lowest free slots.
+    if (slots.empty()) {
+        for (unsigned i = 0; i < _used.size() && slots.size() < count;
+             ++i) {
+            if (!_used[i])
+                slots.push_back(i);
+        }
+    }
+    maicc_assert(slots.size() == count);
+    for (unsigned s : slots) {
+        _used[s] = true;
+        --_free;
+    }
+    return slots;
+}
+
+void
+RegionAllocator::release(const std::vector<unsigned> &slots)
+{
+    for (unsigned s : slots) {
+        maicc_assert(_used.at(s));
+        _used[s] = false;
+        ++_free;
+    }
+}
+
 SegmentPlacement
 placeSegment(const Segment &seg, const ArrayGeometry &geo)
 {

@@ -72,6 +72,43 @@ SegmentPlacement placeSegment(const Segment &seg,
                               const ArrayGeometry &geo =
                                   ArrayGeometry{});
 
+/**
+ * Online occupancy tracking of the serpentine compute region for
+ * request-driven serving: node groups are allocated when a request
+ * is admitted and reclaimed when it completes, so the region
+ * fragments and re-coalesces over time. Allocation prefers the
+ * lowest contiguous serpentine run (consecutive cores of a chain
+ * stay physically adjacent, as in placeSegment); when fragmentation
+ * leaves no run long enough, the group falls back to the lowest
+ * free slots — the chain then spans a seam, which the timing model
+ * tolerates (hop latency is per-edge, not per-distance).
+ */
+class RegionAllocator
+{
+  public:
+    explicit RegionAllocator(const ArrayGeometry &geo =
+                                 ArrayGeometry{});
+
+    unsigned totalNodes() const { return unsigned(_used.size()); }
+    unsigned freeNodes() const { return _free; }
+    bool used(unsigned slot) const { return _used.at(slot); }
+
+    /**
+     * Allocate @p count serpentine slots; the returned indices are
+     * sorted ascending. Empty when fewer than @p count are free
+     * (no partial allocation).
+     */
+    std::vector<unsigned> allocate(unsigned count);
+
+    /** Release previously allocated @p slots (asserts each used). */
+    void release(const std::vector<unsigned> &slots);
+
+  private:
+    ArrayGeometry _geo;
+    std::vector<bool> _used;
+    unsigned _free = 0;
+};
+
 } // namespace maicc
 
 #endif // MAICC_MAPPING_PLACEMENT_HH

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Request-driven multi-DNN serving simulation (paper §4.3 taken to
+ * its production conclusion, and the §8 outlook: "the MIMD
+ * execution mode supports parallel inference of multiple DNN
+ * models, whose scheduling is future work").
+ *
+ * Where HostScheduler (host.hh) partitions the array once for a
+ * fixed co-tenant set, the ServingSimulator drives the array with
+ * an *open-loop arrival process*: inference requests over a mix of
+ * registered models arrive at seeded-random (Poisson) or
+ * trace-file times, are admitted online while their node group
+ * fits the 210-core budget, queue FIFO otherwise, and release
+ * their cores on completion. Same-model requests waiting in the
+ * queue can be batched into one region and pipelined through its
+ * segment sequence.
+ *
+ * The event loop is a serial discrete-event simulation in integer
+ * cycles; every per-request service time comes from the existing
+ * functional+timing system (MaiccSystem::run under the request's
+ * granted core budget), so the PR 1 determinism contract carries
+ * over: a fixed seed produces bitwise-identical results at any
+ * SystemConfig::numThreads (see DESIGN.md "Request-driven
+ * serving").
+ */
+
+#ifndef MAICC_RUNTIME_SERVING_HH
+#define MAICC_RUNTIME_SERVING_HH
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "runtime/system.hh"
+
+namespace maicc
+{
+
+/** Where request arrival times come from. */
+enum class ArrivalProcess
+{
+    Poisson, ///< seeded exponential inter-arrival gaps
+    Trace,   ///< explicit (cycle, model) pairs from a trace file
+};
+
+/** One model registered with the serving simulator. */
+struct ServedModel
+{
+    std::string name;
+    const Network *net = nullptr;
+    const std::vector<Weights4> *weights = nullptr;
+    const Tensor3 *input = nullptr;
+
+    /** Relative share of the arrival mix (Poisson mode). */
+    double mixWeight = 1.0;
+
+    /**
+     * Cores granted per admitted request: clamped up to the
+     * model's minimum node group and down to what is free at
+     * admission time. 0 means "minimum region".
+     */
+    unsigned preferredCores = 0;
+};
+
+/** Serving-layer configuration. */
+struct ServingConfig
+{
+    SystemConfig system; ///< numThreads, clockHz, coreBudget, ...
+
+    ArrivalProcess arrivals = ArrivalProcess::Poisson;
+    uint64_t seed = 1;
+
+    /**
+     * Mean inter-arrival gap of the Poisson process, in cycles.
+     * The offered load knob: smaller gap = heavier traffic. The
+     * exponential variates are drawn from the seed and *scaled* by
+     * this mean, so sweeping the load with a fixed seed moves every
+     * arrival monotonically — the property the latency-vs-load
+     * acceptance test relies on.
+     */
+    Cycles meanInterarrival = 500'000;
+
+    /** Requests offered in Poisson mode. */
+    unsigned offeredRequests = 32;
+
+    /** Arrivals at or past this cycle are cut off (0 = no cutoff). */
+    Cycles horizon = 0;
+
+    /**
+     * Waiting-room capacity: an arrival finding this many requests
+     * already queued is rejected (admission control). Running
+     * requests do not count.
+     */
+    unsigned queueCapacity = 64;
+
+    /**
+     * Same-model batching: when a request is admitted, up to
+     * maxBatch-1 further queued requests of the same model join its
+     * region and pipeline through the segment sequence (one new
+     * sample per bottleneck-segment interval). 1 disables batching.
+     */
+    unsigned maxBatch = 1;
+
+    /**
+     * Stop simulating at this cycle even if requests are still
+     * queued or in flight (0 = drain everything). Unfinished
+     * requests are reported as pending.
+     */
+    Cycles cutoff = 0;
+};
+
+/** Life of one request, all times in cycles. */
+struct RequestRecord
+{
+    uint64_t id = 0;     ///< arrival order, 0-based
+    size_t model = 0;    ///< index into registered models
+    Cycles arrival = 0;
+    Cycles start = 0;    ///< admission (cores granted)
+    Cycles finish = 0;   ///< output delivered
+    unsigned cores = 0;  ///< region size it ran in
+    unsigned batchSize = 1; ///< size of the batch it was served in
+    bool rejected = false;
+    bool completed = false;
+
+    Cycles queueing() const { return start - arrival; }
+    Cycles latency() const { return finish - arrival; }
+};
+
+/** One point of the core-utilization time series. */
+struct UtilizationSample
+{
+    Cycles cycle = 0;
+    unsigned usedCores = 0;
+};
+
+/** Outcome of one serving run. */
+struct ServingResult
+{
+    std::vector<RequestRecord> requests; ///< in arrival order
+
+    uint64_t offered = 0;
+    uint64_t completed = 0;
+    uint64_t rejected = 0;
+    uint64_t pending = 0; ///< queued or in flight at cutoff
+
+    Cycles endCycle = 0; ///< last completion (or the cutoff)
+
+    /**
+     * Smallest isolated service latency over every (model, cores)
+     * region actually used — the floor under every percentile.
+     */
+    Cycles minServiceLatency = 0;
+
+    /** Completed-request latency percentiles, in cycles. */
+    double p50 = 0, p95 = 0, p99 = 0;
+    double meanLatency = 0;
+    double meanQueueing = 0;
+
+    /** Time-weighted used-core fraction over [0, endCycle]. */
+    double utilization = 0;
+
+    /** Used cores after every admission/completion event. */
+    std::vector<UtilizationSample> coreTimeline;
+
+    /** Completed requests per second at @p freq_hz. */
+    double throughput(double freq_hz = 1e9) const;
+
+    /**
+     * Record counts, percentiles, utilization, and the per-request
+     * latency histogram into @p stats (under "serving.").
+     */
+    void dumpStats(StatGroup &stats) const;
+};
+
+/**
+ * The request-driven serving simulator. Register models, choose an
+ * arrival process, run(). run() may be called repeatedly; each call
+ * re-seeds from the config and starts from an empty array.
+ */
+class ServingSimulator
+{
+  public:
+    explicit ServingSimulator(ServingConfig cfg);
+
+    /** Register a model; @return its model index. */
+    size_t addModel(ServedModel m);
+
+    /**
+     * Load explicit arrivals for ArrivalProcess::Trace. Each line
+     * is `<cycle> <model-name>`; '#' starts a comment. Arrivals
+     * must be sorted by cycle. @return false on parse failure.
+     */
+    bool loadTrace(std::istream &in);
+    bool loadTraceFile(const std::string &path);
+
+    /** Simulate the whole request stream. */
+    ServingResult run();
+
+  private:
+    /** Latency profile of one model in one region size. */
+    struct ServiceProfile
+    {
+        Cycles latency = 0;  ///< one isolated inference
+        Cycles interval = 0; ///< pipelined batch re-admission gap
+    };
+
+    struct Arrival
+    {
+        Cycles cycle = 0;
+        size_t model = 0;
+    };
+
+    const ServiceProfile &profile(size_t model, unsigned cores);
+    std::vector<Arrival> generateArrivals() const;
+
+    ServingConfig cfg;
+    std::vector<ServedModel> models;
+    std::vector<Arrival> traceArrivals;
+    std::vector<unsigned> minCoresCache;
+    std::map<std::pair<size_t, unsigned>, ServiceProfile> profiles;
+};
+
+} // namespace maicc
+
+#endif // MAICC_RUNTIME_SERVING_HH

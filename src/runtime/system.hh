@@ -60,6 +60,13 @@ struct SystemConfig
     unsigned dramChannels = 32;
 
     /**
+     * Core clock used to convert cycle counts into wall-clock
+     * metrics (latency ms, requests/s). Timing itself is in
+     * cycles; this knob only scales reported rates.
+     */
+    double clockHz = 1e9;
+
+    /**
      * Host threads stepping node shards in parallel (DESIGN.md
      * "Concurrency model"). Results are bitwise identical at any
      * value; 1 = fully serial, 0 = hardware concurrency.

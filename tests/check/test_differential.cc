@@ -21,7 +21,7 @@
 #include "mem/address_map.hh"
 #include "mem/node_memory.hh"
 #include "mem/row_store.hh"
-#include "rand_program.hh"
+#include "common/rand_program.hh"
 
 using namespace maicc;
 using namespace maicc::rv32;

@@ -19,7 +19,7 @@
 #include "mem/node_memory.hh"
 #include "mem/row_store.hh"
 #include "noc/noc.hh"
-#include "rand_program.hh"
+#include "common/rand_program.hh"
 #include "rv32/assembler.hh"
 
 using namespace maicc;

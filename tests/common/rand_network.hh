@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Seeded random DNN graph generation, the network-level sibling of
+ * rand_program.hh: shape-consistent mixes of conv / FC / pooling /
+ * residual layers for the mapping property suite and the serving
+ * tests. Include as "common/rand_network.hh".
+ *
+ * Generated graphs are unconstrained in weights but fully
+ * constrained in *shape*, so they pass every allocation and
+ * reference-executor assertion:
+ *
+ *  - every layer's (inC, inH, inW) is its producer's output shape;
+ *  - convolutions use odd kernels with same-padding, so stride-1
+ *    layers preserve the fmap and stride-2 layers halve an even
+ *    one;
+ *  - residual inputs are only taken from earlier layers (or the
+ *    network input) whose output shape matches exactly;
+ *  - channel counts come from the hardware-relevant set (below,
+ *    at, and above the 256-lane vector width), keeping R*S within
+ *    a node's vector slots at every precision the repo uses.
+ */
+
+#ifndef MAICC_TESTS_COMMON_RAND_NETWORK_HH
+#define MAICC_TESTS_COMMON_RAND_NETWORK_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "nn/network.hh"
+
+namespace maicc
+{
+namespace testgen
+{
+
+struct RandNetworkOptions
+{
+    unsigned minLayers = 2;     ///< compute/pool layers to emit
+    unsigned maxLayers = 6;
+    bool withPool = true;       ///< allow 2x2 pooling layers
+    bool withResidual = true;   ///< allow fused residual adds
+    bool withHead = true;       ///< allow global-pool + FC head
+};
+
+namespace detail
+{
+
+/** Channel counts spanning the sub-/at-/above-256 packing cases. */
+inline int
+randChannels(Rng &rng)
+{
+    static const int kChoices[] = {16, 32, 64, 128, 256, 512};
+    return kChoices[rng.below(6)];
+}
+
+} // namespace detail
+
+/** Generate a random, shape-consistent, mappable network. */
+inline Network
+randomNetwork(Rng &rng, const RandNetworkOptions &opt = {})
+{
+    Network net;
+    net.name = "randnet";
+
+    // Shapes the serving/mapping paths exercise without making the
+    // functional simulation the bottleneck of a property run.
+    int h = 4 + 2 * int(rng.below(5)); // 4, 6, 8, 10, 12
+    int w = h;
+    int c = detail::randChannels(rng);
+    const int in_h = h, in_w = w, in_c = c;
+
+    // Output shape of every emitted layer, for residual matching.
+    struct Shape
+    {
+        int h, w, c;
+        bool operator==(const Shape &) const = default;
+    };
+    std::vector<Shape> shapes;
+
+    unsigned layers = opt.minLayers
+        + unsigned(rng.below(opt.maxLayers - opt.minLayers + 1));
+    for (unsigned i = 0; i < layers; ++i) {
+        bool pool = opt.withPool && i > 0 && h >= 4 && h % 2 == 0
+            && rng.below(5) == 0;
+        LayerSpec l;
+        l.inputFrom = int(net.layers.size()) - 1;
+        l.inC = c;
+        l.inH = h;
+        l.inW = w;
+        if (pool) {
+            l.name = format("pool%u", i);
+            l.kind = rng.below(2) ? LayerKind::AvgPool
+                                  : LayerKind::MaxPool;
+            l.outC = c;
+            l.R = l.S = 2;
+            l.stride = 2;
+        } else {
+            l.name = format("conv%u", i);
+            l.kind = LayerKind::Conv;
+            l.outC = detail::randChannels(rng);
+            l.R = l.S = rng.below(2) ? 3 : 1;
+            l.pad = (l.R - 1) / 2; // same padding
+            l.stride =
+                (h >= 4 && h % 2 == 0 && rng.below(4) == 0) ? 2 : 1;
+            l.relu = rng.below(4) != 0;
+            l.shift = 5 + unsigned(rng.below(3));
+        }
+        Shape out{l.outH(), l.outW(), l.outC};
+        if (!pool && opt.withResidual && rng.below(3) == 0) {
+            // A residual add needs an exact shape match; -1 wires
+            // the network input.
+            std::vector<int> candidates;
+            if (Shape{in_h, in_w, in_c} == out)
+                candidates.push_back(-1);
+            for (size_t j = 0; j < shapes.size(); ++j) {
+                if (shapes[j] == out)
+                    candidates.push_back(int(j));
+            }
+            if (!candidates.empty())
+                l.addFrom =
+                    candidates[rng.below(candidates.size())];
+        }
+        net.layers.push_back(l);
+        shapes.push_back(out);
+        h = out.h;
+        w = out.w;
+        c = out.c;
+    }
+
+    if (opt.withHead && rng.below(2) == 0) {
+        LayerSpec gap;
+        gap.name = "gap";
+        gap.kind = LayerKind::AvgPool;
+        gap.inputFrom = int(net.layers.size()) - 1;
+        gap.inC = gap.outC = c;
+        gap.inH = gap.inW = h;
+        gap.R = gap.S = h;
+        gap.stride = h;
+        net.layers.push_back(gap);
+
+        LayerSpec fc;
+        fc.name = "head";
+        fc.kind = LayerKind::Linear;
+        fc.inputFrom = int(net.layers.size()) - 1;
+        fc.inC = c;
+        fc.inH = fc.inW = 1;
+        fc.outC = 10;
+        fc.shift = 6;
+        net.layers.push_back(fc);
+    }
+    return net;
+}
+
+} // namespace testgen
+} // namespace maicc
+
+#endif // MAICC_TESTS_COMMON_RAND_NETWORK_HH

@@ -1,7 +1,10 @@
 /**
  * @file
- * Seeded random RV32 + CMem program generation for the differential
- * and invariant test suites (tests/check).
+ * Seeded random RV32 + CMem program generation, shared by the
+ * differential and invariant suites (tests/check) and any other
+ * suite that needs assertion-safe random programs. Lives in
+ * tests/common/ next to rand_network.hh, the matching random
+ * *network* generator; include as "common/rand_program.hh".
  *
  * Generated programs are unconstrained in data values but fully
  * constrained in *effects*, so they run on both the functional
@@ -20,8 +23,8 @@
  *    x20, never nested, so every program terminates at its ecall.
  */
 
-#ifndef MAICC_TESTS_CHECK_RAND_PROGRAM_HH
-#define MAICC_TESTS_CHECK_RAND_PROGRAM_HH
+#ifndef MAICC_TESTS_COMMON_RAND_PROGRAM_HH
+#define MAICC_TESTS_COMMON_RAND_PROGRAM_HH
 
 #include "common/random.hh"
 #include "rv32/assembler.hh"
@@ -315,4 +318,4 @@ randomProgram(Rng &rng, const RandProgramOptions &opt = {})
 } // namespace testgen
 } // namespace maicc
 
-#endif // MAICC_TESTS_CHECK_RAND_PROGRAM_HH
+#endif // MAICC_TESTS_COMMON_RAND_PROGRAM_HH

@@ -118,3 +118,72 @@ TEST(Stats, MergeEmptySummaryKeepsState)
     EXPECT_EQ(a.summary("s").count(), 1u);
     EXPECT_DOUBLE_EQ(a.summary("s").min(), 5.0);
 }
+
+TEST(Stats, HistogramNearestRankPercentiles)
+{
+    StatGroup g;
+    auto &h = g.histogram("lat");
+    // 1..100 in scrambled order: percentile p must be exactly p.
+    for (int v = 100; v >= 1; --v)
+        h.sample(double(v));
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(h.percentile(95), 95.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99), 99.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(Stats, HistogramPercentileMonotoneInP)
+{
+    // The serving acceptance criterion p99 >= p95 >= p50 must hold
+    // for any sample set, including tiny and duplicated ones.
+    StatHistogram h("h");
+    for (double v : {7.0, 7.0, 3.0, 42.0, 1.0})
+        h.sample(v);
+    double p50 = h.percentile(50);
+    double p95 = h.percentile(95);
+    double p99 = h.percentile(99);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_GE(p50, h.min());
+    EXPECT_LE(p99, h.max());
+}
+
+TEST(Stats, HistogramSingleSampleAndEmpty)
+{
+    StatHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(99), 0.0);
+    h.sample(13.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1), 13.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 13.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99), 13.0);
+}
+
+TEST(Stats, HistogramMergeAndResetAll)
+{
+    StatGroup owner, shard;
+    owner.histogram("lat").sample(1.0);
+    shard.histogram("lat").sample(3.0);
+    shard.histogram("lat").sample(2.0);
+    owner.mergeFrom(shard);
+    EXPECT_EQ(owner.histogram("lat").count(), 3u);
+    EXPECT_DOUBLE_EQ(owner.histogram("lat").percentile(100), 3.0);
+    owner.resetAll();
+    EXPECT_EQ(owner.histogram("lat").count(), 0u);
+}
+
+TEST(Stats, HistogramDumpShowsPercentiles)
+{
+    StatGroup g("srv");
+    for (int i = 1; i <= 10; ++i)
+        g.histogram("latency").sample(double(i));
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("srv.latency"), std::string::npos);
+    EXPECT_NE(os.str().find("p99"), std::string::npos);
+}

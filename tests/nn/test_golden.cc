@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Golden-vector regression tests for the bit-exact reference
+ * executor (src/nn/reference.*). Each case runs a small fixed
+ * network on seeded inputs and compares every layer output,
+ * value-for-value, against a checked-in vector file under
+ * tests/nn/golden/ — so any change to the arithmetic contract
+ * (conv accumulation, FC, pooling, residual add, requantization)
+ * fails loudly with the first differing element.
+ *
+ * To regenerate after an *intentional* contract change:
+ *
+ *   MAICC_REGOLD=1 ./test_golden
+ *
+ * which rewrites the vector files in the source tree; review the
+ * diff like any other code change.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/network.hh"
+#include "nn/reference.hh"
+
+using namespace maicc;
+
+namespace
+{
+
+std::string
+goldenPath(const std::string &case_name)
+{
+    return std::string(MAICC_GOLDEN_DIR) + "/" + case_name + ".txt";
+}
+
+void
+writeGolden(const std::string &path, const ReferenceResult &res)
+{
+    std::ofstream f(path);
+    ASSERT_TRUE(f.good()) << "cannot write " << path;
+    f << "layers " << res.outputs.size() << "\n";
+    for (size_t i = 0; i < res.outputs.size(); ++i) {
+        const Tensor3 &t = res.outputs[i];
+        f << "layer " << i << " " << t.H << " " << t.W << " " << t.C
+          << "\n";
+        for (size_t j = 0; j < t.data.size(); ++j)
+            f << int(t.data[j]) << ((j + 1) % 16 ? ' ' : '\n');
+        f << "\n";
+    }
+}
+
+void
+compareGolden(const std::string &path, const ReferenceResult &res)
+{
+    std::ifstream f(path);
+    ASSERT_TRUE(f.good())
+        << "missing golden vector " << path
+        << " — run with MAICC_REGOLD=1 to generate";
+    std::string tok;
+    size_t layers = 0;
+    f >> tok >> layers;
+    ASSERT_EQ(tok, "layers");
+    ASSERT_EQ(layers, res.outputs.size());
+    for (size_t i = 0; i < layers; ++i) {
+        size_t idx;
+        int h, w, c;
+        f >> tok >> idx >> h >> w >> c;
+        ASSERT_EQ(tok, "layer");
+        ASSERT_EQ(idx, i);
+        const Tensor3 &t = res.outputs[i];
+        ASSERT_EQ(t.H, h) << "layer " << i;
+        ASSERT_EQ(t.W, w) << "layer " << i;
+        ASSERT_EQ(t.C, c) << "layer " << i;
+        for (size_t j = 0; j < t.data.size(); ++j) {
+            int v;
+            ASSERT_TRUE(bool(f >> v))
+                << "golden file truncated at layer " << i
+                << " element " << j;
+            ASSERT_EQ(int(t.data[j]), v)
+                << "layer " << i << " element " << j;
+        }
+    }
+}
+
+/** Run @p net on seeded data and check (or regenerate) the vector. */
+void
+runCase(const std::string &case_name, const Network &net,
+        uint64_t seed)
+{
+    std::vector<Weights4> weights = randomWeights(net, seed);
+    Tensor3 input(net.layer(0).inH, net.layer(0).inW,
+                  net.layer(0).inC);
+    Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+    input.randomize(rng, -16, 15);
+
+    ReferenceResult res = referenceRun(net, weights, input);
+    if (std::getenv("MAICC_REGOLD"))
+        writeGolden(goldenPath(case_name), res);
+    else
+        compareGolden(goldenPath(case_name), res);
+}
+
+LayerSpec
+conv(const char *name, int in_c, int in_h, int out_c, int rs,
+     int stride, bool relu, unsigned shift)
+{
+    LayerSpec l;
+    l.name = name;
+    l.kind = LayerKind::Conv;
+    l.inC = in_c;
+    l.inH = l.inW = in_h;
+    l.outC = out_c;
+    l.R = l.S = rs;
+    l.pad = (rs - 1) / 2;
+    l.stride = stride;
+    l.relu = relu;
+    l.shift = shift;
+    return l;
+}
+
+} // namespace
+
+TEST(GoldenVectors, ConvSamePad3x3)
+{
+    Network net;
+    net.name = "golden-conv3x3";
+    net.layers.push_back(conv("c0", 8, 6, 16, 3, 1, true, 5));
+    net.layers.back().inputFrom = -1;
+    runCase("conv3x3", net, 11);
+}
+
+TEST(GoldenVectors, ConvStride2And1x1)
+{
+    Network net;
+    net.name = "golden-conv-stride2";
+    LayerSpec c0 = conv("c0", 16, 8, 16, 3, 2, false, 6);
+    c0.inputFrom = -1;
+    net.layers.push_back(c0);
+    LayerSpec c1 = conv("c1", 16, 4, 32, 1, 1, true, 6);
+    c1.inputFrom = 0;
+    net.layers.push_back(c1);
+    runCase("conv_stride2", net, 13);
+}
+
+TEST(GoldenVectors, LinearHead)
+{
+    Network net;
+    net.name = "golden-linear";
+    LayerSpec fc;
+    fc.name = "fc";
+    fc.kind = LayerKind::Linear;
+    fc.inputFrom = -1;
+    fc.inC = 64;
+    fc.inH = fc.inW = 1;
+    fc.outC = 10;
+    fc.shift = 6;
+    net.layers.push_back(fc);
+    runCase("linear", net, 17);
+}
+
+TEST(GoldenVectors, Pooling)
+{
+    Network net;
+    net.name = "golden-pooling";
+    LayerSpec c0 = conv("c0", 8, 8, 8, 3, 1, false, 5);
+    c0.inputFrom = -1;
+    net.layers.push_back(c0);
+
+    LayerSpec mp;
+    mp.name = "maxpool";
+    mp.kind = LayerKind::MaxPool;
+    mp.inputFrom = 0;
+    mp.inC = mp.outC = 8;
+    mp.inH = mp.inW = 8;
+    mp.R = mp.S = 2;
+    mp.stride = 2;
+    net.layers.push_back(mp);
+
+    LayerSpec ap;
+    ap.name = "avgpool";
+    ap.kind = LayerKind::AvgPool;
+    ap.inputFrom = 1;
+    ap.inC = ap.outC = 8;
+    ap.inH = ap.inW = 4;
+    ap.R = ap.S = 2;
+    ap.stride = 2;
+    net.layers.push_back(ap);
+    runCase("pooling", net, 19);
+}
+
+TEST(GoldenVectors, ResidualAdd)
+{
+    // conv -> conv with a residual add from the first conv's
+    // output, exercising `acc += residual << shift` before the
+    // shared requantization.
+    Network net;
+    net.name = "golden-residual";
+    LayerSpec c0 = conv("c0", 8, 6, 8, 3, 1, true, 5);
+    c0.inputFrom = -1;
+    net.layers.push_back(c0);
+    LayerSpec c1 = conv("c1", 8, 6, 8, 3, 1, true, 5);
+    c1.inputFrom = 0;
+    c1.addFrom = 0;
+    net.layers.push_back(c1);
+    // And one add wired to the network input (addFrom = -1).
+    LayerSpec c2 = conv("c2", 8, 6, 8, 3, 1, false, 5);
+    c2.inputFrom = 1;
+    c2.addFrom = -1;
+    net.layers.push_back(c2);
+    runCase("residual", net, 23);
+}
+
+TEST(GoldenVectors, RequantizationSaturates)
+{
+    // The requantization contract on its own: a 1x1 conv over a
+    // full-range input with full-range weights and shift 0 drives
+    // the accumulator past both int8 rails, so the golden vector
+    // pins the saturation and the relu clamp exactly.
+    Network net;
+    net.name = "golden-requant";
+    LayerSpec c0 = conv("sat", 64, 2, 8, 1, 1, false, 0);
+    c0.inputFrom = -1;
+    net.layers.push_back(c0);
+    LayerSpec c1 = conv("sat-relu", 8, 2, 8, 1, 1, true, 1);
+    c1.inputFrom = 0;
+    net.layers.push_back(c1);
+    runCase("requant", net, 29);
+
+    // Spot-check the helper's edge behaviour directly (documented
+    // in tensor.hh: relu clamps *before* the shift, saturation
+    // after).
+    EXPECT_EQ(requantize(127 << 5, 5, false), 127);
+    EXPECT_EQ(requantize(128 << 5, 5, false), 127);
+    EXPECT_EQ(requantize(-128 << 5, 5, false), -128);
+    EXPECT_EQ(requantize(-129 << 5, 5, false), -128);
+    EXPECT_EQ(requantize(-1000, 3, true), 0);
+    EXPECT_EQ(requantize(-1, 0, false), -1);
+}

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Acceptance suite for the request-driven serving layer
+ * (src/runtime/serving.hh):
+ *
+ *  - a fixed-seed serving run is bitwise identical at 1/2/8 host
+ *    threads (the PR 1 determinism contract lifted to serving);
+ *  - reported p99 >= p95 >= p50 >= the minimum single-request
+ *    service latency;
+ *  - completed + pending + rejected == offered, under draining,
+ *    cutoff, and admission-control configurations;
+ *  - mean latency is non-decreasing across an offered-load sweep
+ *    (the scaled-arrival coupling in generateArrivals);
+ *  - trace-file arrivals and same-model batching behave as
+ *    documented.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rand_network.hh"
+#include "nn/network.hh"
+#include "runtime/serving.hh"
+
+using namespace maicc;
+
+namespace
+{
+
+struct ModelFixture
+{
+    explicit ModelFixture(Network n, uint64_t seed)
+        : net(std::move(n)), weights(randomWeights(net, seed))
+    {
+        const LayerSpec &first = net.layer(0);
+        input = Tensor3(first.inH, first.inW, first.inC);
+        Rng rng(seed + 1);
+        input.randomize(rng);
+    }
+
+    Network net;
+    std::vector<Weights4> weights;
+    Tensor3 input;
+};
+
+/** The shared two-model mix: a camera CNN and a smaller radar CNN. */
+struct Workload
+{
+    Workload()
+        : camera(buildSmallCnn(16, 16, 64), 21),
+          radar(buildSmallCnn(8, 8, 64), 23)
+    {
+    }
+
+    ServingSimulator
+    simulator(ServingConfig cfg) const
+    {
+        ServingSimulator sim(std::move(cfg));
+        sim.addModel({"camera", &camera.net, &camera.weights,
+                      &camera.input, 3.0, 0});
+        sim.addModel({"radar", &radar.net, &radar.weights,
+                      &radar.input, 1.0, 0});
+        return sim;
+    }
+
+    ModelFixture camera;
+    ModelFixture radar;
+};
+
+ServingConfig
+baseConfig()
+{
+    ServingConfig cfg;
+    cfg.seed = 7;
+    cfg.offeredRequests = 24;
+    cfg.meanInterarrival = 200'000;
+    return cfg;
+}
+
+void
+expectIdentical(const ServingResult &a, const ServingResult &b,
+                const char *what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(a.offered, b.offered);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.pending, b.pending);
+    EXPECT_EQ(a.endCycle, b.endCycle);
+    EXPECT_EQ(a.minServiceLatency, b.minServiceLatency);
+    // Doubles compared bitwise: both runs must execute the exact
+    // same arithmetic, not merely land close.
+    EXPECT_EQ(a.p50, b.p50);
+    EXPECT_EQ(a.p95, b.p95);
+    EXPECT_EQ(a.p99, b.p99);
+    EXPECT_EQ(a.meanLatency, b.meanLatency);
+    EXPECT_EQ(a.meanQueueing, b.meanQueueing);
+    EXPECT_EQ(a.utilization, b.utilization);
+
+    ASSERT_EQ(a.requests.size(), b.requests.size());
+    for (size_t i = 0; i < a.requests.size(); ++i) {
+        const RequestRecord &x = a.requests[i];
+        const RequestRecord &y = b.requests[i];
+        EXPECT_EQ(x.model, y.model) << "request " << i;
+        EXPECT_EQ(x.arrival, y.arrival) << "request " << i;
+        EXPECT_EQ(x.start, y.start) << "request " << i;
+        EXPECT_EQ(x.finish, y.finish) << "request " << i;
+        EXPECT_EQ(x.cores, y.cores) << "request " << i;
+        EXPECT_EQ(x.batchSize, y.batchSize) << "request " << i;
+        EXPECT_EQ(x.rejected, y.rejected) << "request " << i;
+        EXPECT_EQ(x.completed, y.completed) << "request " << i;
+    }
+
+    ASSERT_EQ(a.coreTimeline.size(), b.coreTimeline.size());
+    for (size_t i = 0; i < a.coreTimeline.size(); ++i) {
+        EXPECT_EQ(a.coreTimeline[i].cycle, b.coreTimeline[i].cycle);
+        EXPECT_EQ(a.coreTimeline[i].usedCores,
+                  b.coreTimeline[i].usedCores);
+    }
+}
+
+} // namespace
+
+TEST(Serving, BitwiseIdenticalAcrossThreadCounts)
+{
+    Workload w;
+    auto run_at = [&](unsigned threads) {
+        ServingConfig cfg = baseConfig();
+        cfg.system.numThreads = threads;
+        return w.simulator(cfg).run();
+    };
+    ServingResult serial = run_at(1);
+    ASSERT_GT(serial.completed, 0u);
+    expectIdentical(serial, run_at(2), "2 threads");
+    expectIdentical(serial, run_at(8), "8 threads");
+}
+
+TEST(Serving, PercentileOrderingAndServiceFloor)
+{
+    Workload w;
+    ServingResult r = w.simulator(baseConfig()).run();
+    ASSERT_GT(r.completed, 0u);
+    EXPECT_GT(r.minServiceLatency, 0u);
+    EXPECT_GE(r.p95, r.p50);
+    EXPECT_GE(r.p99, r.p95);
+    // Every latency includes a full service time, so even the
+    // median cannot undercut the fastest isolated inference.
+    EXPECT_GE(r.p50, double(r.minServiceLatency));
+    for (const auto &req : r.requests) {
+        if (req.completed)
+            EXPECT_GE(req.latency(), r.minServiceLatency);
+    }
+}
+
+TEST(Serving, RequestAccountingBalances)
+{
+    Workload w;
+
+    // Draining run: everything offered completes.
+    ServingResult drained = w.simulator(baseConfig()).run();
+    EXPECT_EQ(drained.completed + drained.pending
+                  + drained.rejected,
+              drained.offered);
+    EXPECT_EQ(drained.pending, 0u);
+    EXPECT_EQ(drained.rejected, 0u);
+
+    // Tight admission control forces rejections.
+    ServingConfig tight = baseConfig();
+    tight.queueCapacity = 1;
+    tight.meanInterarrival = 20'000;
+    ServingResult rejected = w.simulator(tight).run();
+    EXPECT_EQ(rejected.completed + rejected.pending
+                  + rejected.rejected,
+              rejected.offered);
+    EXPECT_GT(rejected.rejected, 0u);
+
+    // A cutoff strands late work as pending.
+    ServingConfig cut = baseConfig();
+    cut.cutoff = 400'000;
+    ServingResult pending = w.simulator(cut).run();
+    EXPECT_EQ(pending.completed + pending.pending
+                  + pending.rejected,
+              pending.offered);
+    EXPECT_GT(pending.pending, 0u);
+    EXPECT_EQ(pending.endCycle, 400'000u);
+}
+
+TEST(Serving, MeanLatencyNonDecreasingAcrossLoadSweep)
+{
+    Workload w;
+    // Sweep from light to heavy offered load. The arrival process
+    // scales one fixed uniform stream by the mean gap, so heavier
+    // load moves every arrival earlier and FIFO service order is
+    // preserved — queueing (and hence mean latency) can only grow.
+    const Cycles gaps[] = {2'000'000, 500'000, 120'000, 30'000,
+                           8'000};
+    double prev_mean = 0.0;
+    uint64_t offered = 0;
+    for (Cycles gap : gaps) {
+        SCOPED_TRACE(gap);
+        ServingConfig cfg = baseConfig();
+        cfg.meanInterarrival = gap;
+        cfg.queueCapacity = 1'000'000; // no rejections in the sweep
+        ServingResult r = w.simulator(cfg).run();
+        EXPECT_EQ(r.completed, r.offered);
+        if (offered == 0)
+            offered = r.offered;
+        EXPECT_EQ(r.offered, offered); // same requests, shifted
+        EXPECT_GE(r.meanLatency, prev_mean);
+        prev_mean = r.meanLatency;
+    }
+    // The sweep must actually create contention, or the
+    // monotonicity above is vacuous.
+    EXPECT_GT(prev_mean, 0.0);
+}
+
+TEST(Serving, UtilizationWithinBoundsAndTimelineMonotone)
+{
+    Workload w;
+    ServingConfig cfg = baseConfig();
+    cfg.meanInterarrival = 50'000;
+    ServingResult r = w.simulator(cfg).run();
+    EXPECT_GT(r.utilization, 0.0);
+    EXPECT_LE(r.utilization, 1.0);
+    ASSERT_FALSE(r.coreTimeline.empty());
+    for (size_t i = 1; i < r.coreTimeline.size(); ++i) {
+        EXPECT_LE(r.coreTimeline[i - 1].cycle,
+                  r.coreTimeline[i].cycle);
+        EXPECT_LE(r.coreTimeline[i].usedCores,
+                  cfg.system.coreBudget);
+    }
+}
+
+TEST(Serving, TraceArrivalsAreServedAsGiven)
+{
+    Workload w;
+    ServingConfig cfg = baseConfig();
+    cfg.arrivals = ArrivalProcess::Trace;
+    ServingSimulator sim = w.simulator(cfg);
+    std::istringstream trace(
+        "# cycle model\n"
+        "1000 camera\n"
+        "2000 radar\n"
+        "2000 radar\n"
+        "900000 camera\n");
+    ASSERT_TRUE(sim.loadTrace(trace));
+    ServingResult r = sim.run();
+    EXPECT_EQ(r.offered, 4u);
+    EXPECT_EQ(r.completed, 4u);
+    EXPECT_EQ(r.requests[0].model, 0u);
+    EXPECT_EQ(r.requests[0].arrival, 1000u);
+    EXPECT_EQ(r.requests[1].model, 1u);
+    EXPECT_EQ(r.requests[3].arrival, 900000u);
+}
+
+TEST(Serving, TraceRejectsMalformedInput)
+{
+    Workload w;
+    ServingConfig cfg = baseConfig();
+    cfg.arrivals = ArrivalProcess::Trace;
+    ServingSimulator sim = w.simulator(cfg);
+    std::istringstream unknown("1000 lidar\n");
+    EXPECT_FALSE(sim.loadTrace(unknown));
+    std::istringstream unsorted("2000 camera\n1000 radar\n");
+    EXPECT_FALSE(sim.loadTrace(unsorted));
+}
+
+TEST(Serving, BatchingGroupsSameModelQueuedRequests)
+{
+    Workload w;
+    // A burst of simultaneous same-model arrivals while the array
+    // is narrow enough that they must queue: with batching on,
+    // queued companions ride along in one region.
+    ServingConfig cfg = baseConfig();
+    cfg.arrivals = ArrivalProcess::Trace;
+    cfg.maxBatch = 4;
+    cfg.system.coreBudget = 20; // one camera region at a time
+    ServingSimulator sim = w.simulator(cfg);
+    std::istringstream trace("0 camera\n"
+                             "1 camera\n"
+                             "2 camera\n"
+                             "3 camera\n"
+                             "4 camera\n");
+    ASSERT_TRUE(sim.loadTrace(trace));
+    ServingResult r = sim.run();
+    EXPECT_EQ(r.completed, 5u);
+    // Request 0 is admitted alone (nothing else queued yet); the
+    // burst behind it coalesces into one batch of up to 4.
+    EXPECT_EQ(r.requests[0].batchSize, 1u);
+    EXPECT_EQ(r.requests[1].batchSize, 4u);
+    EXPECT_EQ(r.requests[1].start, r.requests[4].start);
+    // Batch members finish one pipelined interval apart, in order.
+    EXPECT_LT(r.requests[1].finish, r.requests[2].finish);
+    EXPECT_LT(r.requests[2].finish, r.requests[3].finish);
+
+    // The same trace without batching serializes into five
+    // single-request regions and can only finish later.
+    ServingConfig serial_cfg = cfg;
+    serial_cfg.maxBatch = 1;
+    ServingSimulator serial = w.simulator(serial_cfg);
+    std::istringstream trace2("0 camera\n"
+                              "1 camera\n"
+                              "2 camera\n"
+                              "3 camera\n"
+                              "4 camera\n");
+    ASSERT_TRUE(serial.loadTrace(trace2));
+    ServingResult rs = serial.run();
+    EXPECT_EQ(rs.completed, 5u);
+    EXPECT_GE(rs.endCycle, r.endCycle);
+}
+
+TEST(Serving, GeneratedNetworkMixIsServable)
+{
+    // The shared generator (tests/common/rand_network.hh, the same
+    // one the mapping property suite sweeps) plugs straight into
+    // the serving layer: generated models fit the array and a short
+    // request stream over them drains completely.
+    Rng rng(31);
+    testgen::RandNetworkOptions opt;
+    opt.maxLayers = 3; // keep the one-off profile simulation cheap
+    ModelFixture a(testgen::randomNetwork(rng, opt), 33);
+    ModelFixture b(testgen::randomNetwork(rng, opt), 35);
+
+    ServingConfig cfg = baseConfig();
+    cfg.offeredRequests = 8;
+    ServingSimulator sim(cfg);
+    sim.addModel({"gen-a", &a.net, &a.weights, &a.input, 1.0, 0});
+    sim.addModel({"gen-b", &b.net, &b.weights, &b.input, 1.0, 0});
+    ServingResult r = sim.run();
+    EXPECT_EQ(r.completed, r.offered);
+    EXPECT_EQ(r.rejected, 0u);
+    EXPECT_GT(r.minServiceLatency, 0u);
+}
+
+TEST(Serving, DumpStatsRecordsCountsAndPercentiles)
+{
+    Workload w;
+    ServingResult r = w.simulator(baseConfig()).run();
+    StatGroup stats;
+    r.dumpStats(stats);
+    EXPECT_EQ(stats.get("serving.offered"), r.offered);
+    EXPECT_EQ(stats.get("serving.completed"), r.completed);
+    EXPECT_EQ(stats.histogram("serving.latencyCycles").count(),
+              r.completed);
+    EXPECT_EQ(
+        stats.histogram("serving.latencyCycles").percentile(99),
+        r.p99);
+    std::ostringstream os;
+    stats.dump(os);
+    EXPECT_NE(os.str().find("serving.latencyCycles"),
+              std::string::npos);
+}
