@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "runtime/host.hh"
 #include "runtime/system.hh"
@@ -24,15 +25,21 @@ using namespace maicc;
 int
 main(int argc, char **argv)
 {
-    SystemConfig scfg;
-    scfg.numThreads = parseThreadsFlag(argc, argv);
+    cli::Options opt("bench_ablation_precision", argc, argv);
+    if (!opt.finish())
+        return opt.exitCode();
+    if (opt.dumpConfigOnly())
+        return 0;
+    const SystemConfig &scfg = opt.config.system;
+    const unsigned budget = scfg.coreBudget;
 
     Tensor3 input(56, 56, 64);
     Rng rng(55);
     input.randomize(rng);
 
     std::printf("== Ablation: fixed-point precision (ResNet18, "
-                "heuristic, 210 cores) ==\n\n");
+                "heuristic, %u cores) ==\n\n",
+                budget);
     TextTable t({"Precision", "Q (slots/slice)", "Min cores",
                  "Latency (ms)", "Throughput (/s)", "Power (W)"});
     for (unsigned n : {2u, 4u, 8u, 16u}) {
@@ -40,11 +47,11 @@ main(int argc, char **argv)
         setPrecision(net, n);
         unsigned min_cores = HostScheduler::minCores(net);
         std::string lat = "-", tput = "-", watts = "-";
-        if (min_cores <= 210) {
+        if (min_cores <= budget) {
             auto weights = randomWeights(net, 5);
             MaiccSystem sys(net, weights, scfg);
             MappingPlan plan =
-                planMapping(net, Strategy::Heuristic, 210);
+                planMapping(net, Strategy::Heuristic, budget);
             RunResult r = sys.run(plan, input);
             EnergyBreakdown e = computeEnergy(r.activity);
             lat = TextTable::num(r.latencyMs(), 3);
@@ -64,5 +71,8 @@ main(int argc, char **argv)
                 "n^2 and each node holds more filters, so layers "
                 "need fewer cores (more room for multi-DNN "
                 "co-tenancy).\n");
-    return 0;
+    // No long-lived components here (one system per precision
+    // point); dump the empty registry for tooling uniformity.
+    SimContext ctx;
+    return opt.writeStats(ctx) ? 0 : 1;
 }

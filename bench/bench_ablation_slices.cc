@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "core/conv_kernel.hh"
 #include "neuralcache/neural_cache.hh"
@@ -48,8 +49,14 @@ iterCycles(unsigned slices)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    cli::Options opt("bench_ablation_slices", argc, argv);
+    if (!opt.finish())
+        return opt.exitCode();
+    if (opt.dumpConfigOnly())
+        return 0;
+
     std::printf("== Ablation 1: CMem slice count (16 KB total, "
                 "Table 4 workload) ==\n\n");
     TextTable t({"Slices", "Rows/slice", "Compute slices",
@@ -88,5 +95,7 @@ main()
     std::printf("\nPaper: the reduction step costs ~23%% of Neural "
                 "Cache's computation cycles; the MAC primitive "
                 "eliminates it and frees the result rows.\n");
-    return 0;
+    // Analytic bench, no components; keep --stats-json uniform.
+    SimContext ctx;
+    return opt.writeStats(ctx) ? 0 : 1;
 }

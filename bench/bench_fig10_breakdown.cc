@@ -9,9 +9,9 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "energy/energy.hh"
-#include "runtime/parallel.hh"
 #include "runtime/system.hh"
 
 using namespace maicc;
@@ -34,11 +34,15 @@ pie(const char *name, double value, double total)
 int
 main(int argc, char **argv)
 {
-    SystemConfig scfg;
-    scfg.numThreads = parseThreadsFlag(argc, argv);
+    cli::Options opt("bench_fig10_breakdown", argc, argv);
+    if (!opt.finish())
+        return opt.exitCode();
+    if (opt.dumpConfigOnly())
+        return 0;
+    const SystemConfig &scfg = opt.config.system;
 
     // Area (independent of workload).
-    AreaBreakdown a = computeArea(210);
+    AreaBreakdown a = computeArea(scfg.coreBudget);
     std::printf("== Figure 10 (left): area breakdown, mm^2 ==\n");
     pie("CMem cells", a.cmemCells, a.total());
     pie("CMem adder trees", a.cmemLogic, a.total());
@@ -55,10 +59,16 @@ main(int argc, char **argv)
     Tensor3 input(56, 56, 64);
     Rng rng(4);
     input.randomize(rng);
+    SimContext ctx;
     MaiccSystem sys(net, weights, scfg);
-    RunResult r =
-        sys.run(planMapping(net, Strategy::Heuristic, 210), input);
+    sys.attachTo(ctx);
+    RunResult r = sys.run(
+        planMapping(net, Strategy::Heuristic, scfg.coreBudget),
+        input);
     EnergyBreakdown e = computeEnergy(r.activity);
+    // Publish the derived energy numbers next to the activity
+    // counters they come from ("system.energy.*").
+    e.dumpStats(sys.stats());
 
     std::printf("== Figure 10 (right): energy breakdown of one "
                 "ResNet18 inference, mJ ==\n");
@@ -74,7 +84,8 @@ main(int argc, char **argv)
                 e.total(), r.latencyMs(),
                 e.averagePowerW(r.totalCycles));
 
-    bool ok = e.dram > e.cmem && e.dram > e.noc
+    bool ok = opt.writeStats(ctx) && e.dram > e.cmem
+        && e.dram > e.noc
         && e.dram / e.total() > 0.5
         && a.cmem() / a.total() > 0.55;
     std::printf("\nShape check (DRAM-dominant energy, "

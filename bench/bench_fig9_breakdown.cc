@@ -11,8 +11,8 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common/cli.hh"
 #include "common/table.hh"
-#include "runtime/parallel.hh"
 #include "runtime/system.hh"
 
 using namespace maicc;
@@ -20,8 +20,12 @@ using namespace maicc;
 int
 main(int argc, char **argv)
 {
-    SystemConfig scfg;
-    scfg.numThreads = parseThreadsFlag(argc, argv);
+    cli::Options opt("bench_fig9_breakdown", argc, argv);
+    if (!opt.finish())
+        return opt.exitCode();
+    if (opt.dumpConfigOnly())
+        return 0;
+    const SystemConfig &scfg = opt.config.system;
 
     Network net = buildResNet18();
     auto weights = randomWeights(net, 99);
@@ -36,7 +40,7 @@ main(int argc, char **argv)
 
     for (Strategy s : {Strategy::SingleLayer, Strategy::Greedy,
                        Strategy::Heuristic}) {
-        MappingPlan plan = planMapping(net, s, 210);
+        MappingPlan plan = planMapping(net, s, scfg.coreBudget);
         MaiccSystem sys(net, weights, scfg);
         RunResult r = sys.run(plan, input);
         for (const auto &seg : r.segments) {
@@ -59,7 +63,7 @@ main(int argc, char **argv)
     std::printf("\nASCII rendering (each # ~ 100 cycles):\n");
     for (Strategy s : {Strategy::SingleLayer, Strategy::Greedy,
                        Strategy::Heuristic}) {
-        MappingPlan plan = planMapping(net, s, 210);
+        MappingPlan plan = planMapping(net, s, scfg.coreBudget);
         MaiccSystem sys(net, weights, scfg);
         RunResult r = sys.run(plan, input);
         for (const auto &seg : r.segments) {
@@ -84,5 +88,16 @@ main(int argc, char **argv)
                 ". wait-ifmap.\nPaper shape: waiting dominates "
                 "single-layer/greedy; heuristic shrinks the total "
                 "and raises the compute share.\n");
-    return 0;
+    // One more heuristic run, attached, for --stats-json.
+    bool stats_ok = true;
+    if (!opt.statsPath().empty()) {
+        MappingPlan plan =
+            planMapping(net, Strategy::Heuristic, scfg.coreBudget);
+        MaiccSystem sys(net, weights, scfg);
+        SimContext ctx;
+        sys.attachTo(ctx);
+        sys.run(plan, input);
+        stats_ok = opt.writeStats(ctx);
+    }
+    return stats_ok ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "cmem/cmem.hh"
+#include "common/cli.hh"
 #include "common/random.hh"
 #include "core/conv_kernel.hh"
 #include "core/timing.hh"
@@ -111,4 +112,23 @@ BENCHMARK(BM_DramChannel);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main: strip the common MAICC flags (--config /
+// --dump-config / --stats-json, accepted for tooling uniformity)
+// before google-benchmark sees argv; its own --benchmark_* flags
+// pass through untouched (finish(true)).
+int
+main(int argc, char **argv)
+{
+    cli::Options opt("bench_micro", argc, argv);
+    if (!opt.finish(/*allow_extra=*/true))
+        return opt.exitCode();
+    if (opt.dumpConfigOnly())
+        return 0;
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    SimContext ctx;
+    return opt.writeStats(ctx) ? 0 : 1;
+}

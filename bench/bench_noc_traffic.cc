@@ -13,6 +13,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/cli.hh"
 #include "common/random.hh"
 #include "common/table.hh"
 #include "common/trace.hh"
@@ -22,9 +23,6 @@ using namespace maicc;
 
 namespace
 {
-
-/** JSONL dump path from --trace=FILE / MAICC_TRACE ("" = off). */
-std::string tracePath;
 
 /** Run uniform-random traffic at @p rate pkts/node/100-cycles. */
 double
@@ -54,7 +52,12 @@ uniformRandom(double rate, Cycles horizon = 20'000)
 int
 main(int argc, char **argv)
 {
-    tracePath = trace::parseTraceFlag(argc, argv);
+    cli::Options opt("bench_noc_traffic", argc, argv);
+    if (!opt.finish())
+        return opt.exitCode();
+    if (opt.dumpConfigOnly())
+        return 0;
+    const std::string &tracePath = opt.tracePath();
 
     std::printf("== Mesh NoC: uniform-random latency vs load "
                 "(5-flit packets) ==\n\n");
@@ -77,7 +80,9 @@ main(int argc, char **argv)
     // This phase is the one dumped by --trace=FILE (the uniform
     // sweep above would produce hundreds of MB of flit records).
     std::printf("== Chain traffic (MAICC node groups) ==\n");
-    MeshNoc noc;
+    SimContext ctx;
+    MeshNoc noc(opt.config.system.noc);
+    noc.attachTo(ctx);
     trace::TraceSink sink;
     if (!tracePath.empty())
         noc.setTrace(&sink);
@@ -118,5 +123,5 @@ main(int argc, char **argv)
             return 1;
         }
     }
-    return 0;
+    return opt.writeStats(ctx) ? 0 : 1;
 }

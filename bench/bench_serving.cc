@@ -4,43 +4,29 @@
  * Poisson arrival rate over a two-model mix (two SmallCnn sizes)
  * and prints the latency percentiles, queueing delay, utilization,
  * and throughput at every operating point — the latency-vs-load
- * curve in EXPERIMENTS.md. With `--trace=FILE` the sweep is
+ * curve in EXPERIMENTS.md. With `--arrivals=FILE` the sweep is
  * replaced by one run over explicit `<cycle> <model>` arrivals.
  *
- * Flags: --threads=N --seed=S --requests=R --batch=B --trace=FILE
+ * Flags: the common set (common/cli.hh: --config --dump-config
+ * --stats-json --threads --seed --trace) plus --requests=R
+ * --batch=B --arrivals=FILE. --stats-json dumps the registry of
+ * the last operating point (the saturated one in sweep mode);
+ * BENCH_serving.json in the repo root is the checked-in baseline.
  */
 
 #include <cstdio>
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/cli.hh"
 #include "common/table.hh"
-#include "runtime/parallel.hh"
 #include "runtime/serving.hh"
 
 using namespace maicc;
 
 namespace
 {
-
-/** Parse and strip one `--name=value` flag; empty when absent. */
-std::string
-parseFlag(int &argc, char **argv, const char *name)
-{
-    std::string prefix = std::string("--") + name + "=";
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()))
-            continue;
-        std::string value = argv[i] + prefix.size();
-        for (int j = i; j + 1 < argc; ++j)
-            argv[j] = argv[j + 1];
-        --argc;
-        return value;
-    }
-    return "";
-}
 
 void
 addRow(TextTable &t, const char *point, const ServingResult &r,
@@ -63,19 +49,25 @@ addRow(TextTable &t, const char *point, const ServingResult &r,
 int
 main(int argc, char **argv)
 {
-    ServingConfig cfg;
-    cfg.system.numThreads = parseThreadsFlag(argc, argv);
+    cli::Options opt("bench_serving", argc, argv);
+    std::string arrivals = opt.flag("arrivals");
+    uint64_t requests = opt.flagUint("requests", 0);
+    uint64_t batch = opt.flagUint("batch", 0);
+    if (!opt.finish())
+        return opt.exitCode();
+    if (opt.dumpConfigOnly())
+        return 0;
 
-    std::string seed_s = parseFlag(argc, argv, "seed");
-    std::string requests_s = parseFlag(argc, argv, "requests");
-    std::string batch_s = parseFlag(argc, argv, "batch");
-    std::string trace = parseFlag(argc, argv, "trace");
-    cfg.seed = seed_s.empty() ? 42 : std::stoull(seed_s);
-    cfg.offeredRequests =
-        requests_s.empty() ? 48u : unsigned(std::stoul(requests_s));
-    cfg.maxBatch =
-        batch_s.empty() ? 1u : unsigned(std::stoul(batch_s));
-    cfg.queueCapacity = 1u << 20; // sweep without admission control
+    ServingConfig cfg = opt.config.serving;
+    cfg.seed = opt.seed(42);
+    if (requests)
+        cfg.offeredRequests = unsigned(requests);
+    else if (!opt.hasConfigFile())
+        cfg.offeredRequests = 48;
+    if (batch)
+        cfg.maxBatch = unsigned(batch);
+    if (!opt.hasConfigFile())
+        cfg.queueCapacity = 1u << 20; // sweep w/o admission control
 
     // The served mix: two CNN sizes, the larger twice as popular.
     Network camera = buildSmallCnn(16, 16, 64);
@@ -88,9 +80,9 @@ main(int argc, char **argv)
     radIn.randomize(rng);
 
     auto makeSim = [&](const ServingConfig &c) {
-        ServingSimulator sim(c);
-        sim.addModel({"camera", &camera, &camW, &camIn, 2.0, 0});
-        sim.addModel({"radar", &radar, &radW, &radIn, 1.0, 0});
+        auto sim = std::make_unique<ServingSimulator>(c);
+        sim->addModel({"camera", &camera, &camW, &camIn, 2.0, 0});
+        sim->addModel({"radar", &radar, &radW, &radIn, 1.0, 0});
         return sim;
     };
 
@@ -99,19 +91,22 @@ main(int argc, char **argv)
                  "p95 ms", "p99 ms", "queue ms", "util %",
                  "req/s"});
 
-    if (!trace.empty()) {
+    if (!arrivals.empty()) {
         cfg.arrivals = ArrivalProcess::Trace;
-        ServingSimulator sim = makeSim(cfg);
-        if (!sim.loadTraceFile(trace)) {
-            std::fprintf(stderr, "bad trace file: %s\n",
-                         trace.c_str());
+        SimContext ctx;
+        auto sim = makeSim(cfg);
+        sim->attachTo(ctx);
+        if (!sim->loadTraceFile(arrivals)) {
+            std::fprintf(stderr, "bad arrival trace: %s\n",
+                         arrivals.c_str());
             return 1;
         }
-        ServingResult r = sim.run();
-        std::printf("== Serving: trace %s ==\n\n", trace.c_str());
+        ServingResult r = sim->run();
+        std::printf("== Serving: trace %s ==\n\n",
+                    arrivals.c_str());
         addRow(t, "trace", r, hz);
         t.print(std::cout);
-        return 0;
+        return opt.writeStats(ctx) ? 0 : 1;
     }
 
     std::printf("== Serving: latency vs offered load "
@@ -125,15 +120,23 @@ main(int argc, char **argv)
     // the latency curve is monotone by construction.
     const Cycles gaps[] = {2'000'000, 800'000, 300'000, 100'000,
                            30'000, 8'000};
+    const size_t n_gaps = sizeof(gaps) / sizeof(gaps[0]);
     std::vector<double> means;
-    for (Cycles gap : gaps) {
+    bool stats_ok = true;
+    for (size_t gi = 0; gi < n_gaps; ++gi) {
         ServingConfig point = cfg;
-        point.meanInterarrival = gap;
-        ServingResult r = makeSim(point).run();
+        point.meanInterarrival = gaps[gi];
+        SimContext ctx;
+        auto sim = makeSim(point);
+        sim->attachTo(ctx);
+        ServingResult r = sim->run();
         char label[64];
-        std::snprintf(label, sizeof(label), "1/%.3f ms", gap / 1e6);
+        std::snprintf(label, sizeof(label), "1/%.3f ms",
+                      gaps[gi] / 1e6);
         addRow(t, label, r, hz);
         means.push_back(r.meanLatency);
+        if (gi + 1 == n_gaps)
+            stats_ok = opt.writeStats(ctx);
     }
     t.print(std::cout);
 
@@ -142,5 +145,5 @@ main(int argc, char **argv)
         monotone = monotone && means[i] >= means[i - 1];
     std::printf("\nMean latency non-decreasing with load: %s\n",
                 monotone ? "PASS" : "FAIL");
-    return monotone ? 0 : 1;
+    return monotone && stats_ok ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "cmem/cmem.hh"
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "core/timing.hh"
 #include "mem/node_memory.hh"
@@ -20,6 +21,9 @@ using namespace maicc::rv32;
 
 namespace
 {
+
+/** Core config from --config, shared by every measurement. */
+CoreConfig coreCfg;
 
 /** Cycles a lone CMem instruction adds over an empty program. */
 Cycles
@@ -37,7 +41,7 @@ measure(void (*emit)(Assembler &, unsigned), unsigned n)
         FlatMemory ext;
         RowStore rows;
         NodeMemory mem(cmem, &ext);
-        CoreTimingModel m(p, mem, &cmem, &rows, CoreConfig{});
+        CoreTimingModel m(p, mem, &cmem, &rows, coreCfg);
         return m.run().cycles;
     };
     return run(true) - run(false);
@@ -46,8 +50,15 @@ measure(void (*emit)(Assembler &, unsigned), unsigned n)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    cli::Options opt("bench_table2_isa", argc, argv);
+    if (!opt.finish())
+        return opt.exitCode();
+    if (opt.dumpConfigOnly())
+        return 0;
+    coreCfg = opt.config.core;
+
     std::printf("== Table 2: ISA extensions of computing memory "
                 "==\n\n");
     TextTable t({"Operation", "Model cycles (n=8)", "Formula",
@@ -93,5 +104,8 @@ main()
     std::printf("\nNote: the end-to-end measurement includes the "
                 "issue/write-back pipeline overhead of the core "
                 "(a few cycles) on top of the CMem occupancy.\n");
-    return 0;
+    // Single-instruction probes leave no components running;
+    // --stats-json still answers with the (empty) registry.
+    SimContext ctx;
+    return opt.writeStats(ctx) ? 0 : 1;
 }

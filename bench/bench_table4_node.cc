@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "baseline/scalar_conv.hh"
+#include "common/cli.hh"
 #include "common/random.hh"
 #include "common/table.hh"
 #include "core/conv_kernel.hh"
@@ -38,8 +39,14 @@ randomBytes(size_t n, uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    cli::Options opt("bench_table4_node", argc, argv);
+    if (!opt.finish())
+        return opt.exitCode();
+    if (opt.dumpConfigOnly())
+        return 0;
+
     ConvNodeWorkload w; // the Table 4 workload
     auto ifmap = randomBytes(size_t(w.H) * w.W * w.C, 42);
     auto filters =
@@ -66,7 +73,11 @@ main()
     RowStore rows;
     NodeMemory mem(cmem, &ext);
     stageConvNode(w, cmem, rows, ifmap, filters);
-    CoreTimingModel model(prog, mem, &cmem, &rows, CoreConfig{});
+    SimContext ctx;
+    cmem.attachTo(ctx);
+    CoreTimingModel model(prog, mem, &cmem, &rows,
+                          opt.config.core);
+    model.attachTo(ctx);
     CoreRunStats mstats = model.run();
     std::vector<int8_t> mout;
     for (unsigned f = 0; f < w.numFilters; ++f) {
@@ -126,5 +137,6 @@ main()
                 "over Neural Cache: %.2fx (paper 2.3x)\n",
                 double(scalar.stats.cycles) / mstats.cycles,
                 double(nc.cycles) / mstats.cycles);
-    return (scalar_ok && maicc_ok) ? 0 : 1;
+    return (scalar_ok && maicc_ok && opt.writeStats(ctx)) ? 0
+                                                           : 1;
 }

@@ -11,6 +11,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/cli.hh"
 #include "common/random.hh"
 #include "common/table.hh"
 #include "common/trace.hh"
@@ -25,11 +26,13 @@ namespace
 {
 
 Cycles
-runConfig(const ConvNodeWorkload &w,
+runConfig(const ConvNodeWorkload &w, const CoreConfig &base,
           const std::vector<int8_t> &ifmap,
           const std::vector<int8_t> &filters, unsigned queue,
           unsigned ports, bool with_static,
-          trace::TraceSink *sink = nullptr)
+          trace::TraceSink *sink = nullptr,
+          const cli::Options *stats_opt = nullptr,
+          bool *stats_ok = nullptr)
 {
     rv32::Program prog = buildConvNodeProgram(w);
     if (with_static)
@@ -39,12 +42,21 @@ runConfig(const ConvNodeWorkload &w,
     RowStore rows;
     NodeMemory mem(cmem, &ext);
     stageConvNode(w, cmem, rows, ifmap, filters);
-    CoreConfig cfg;
+    CoreConfig cfg = base;
     cfg.cmemQueueSize = queue;
     cfg.wbPorts = ports;
     CoreTimingModel model(prog, mem, &cmem, &rows, cfg);
     model.setTrace(sink);
-    return model.run().cycles;
+    Cycles cycles = model.run().cycles;
+    if (stats_opt) {
+        // The components live in this frame, so the --stats-json
+        // dump has to happen before they go out of scope.
+        SimContext ctx;
+        cmem.attachTo(ctx);
+        model.attachTo(ctx);
+        *stats_ok = stats_opt->writeStats(ctx);
+    }
+    return cycles;
 }
 
 } // namespace
@@ -52,7 +64,12 @@ runConfig(const ConvNodeWorkload &w,
 int
 main(int argc, char **argv)
 {
-    std::string trace_path = trace::parseTraceFlag(argc, argv);
+    cli::Options opt("bench_table5_sched", argc, argv);
+    if (!opt.finish())
+        return opt.exitCode();
+    if (opt.dumpConfigOnly())
+        return 0;
+    const std::string &trace_path = opt.tracePath();
     ConvNodeWorkload w;
     Rng rng(7);
     std::vector<int8_t> ifmap(size_t(w.H) * w.W * w.C);
@@ -82,7 +99,7 @@ main(int argc, char **argv)
         std::vector<std::string> row{rs.name};
         for (unsigned q : {0u, 1u, 2u, 4u}) {
             Cycles c =
-                runConfig(w, ifmap, filters, q, rs.ports, rs.stat);
+                runConfig(w, opt.config.core, ifmap, filters, q, rs.ports, rs.stat);
             if (base == 0)
                 base = c;
             row.push_back(TextTable::num(c));
@@ -91,8 +108,13 @@ main(int argc, char **argv)
     }
     t.print(std::cout);
 
-    Cycles dyn = runConfig(w, ifmap, filters, 2, 1, false);
-    Cycles stat = runConfig(w, ifmap, filters, 2, 1, true);
+    // Paper-default operating point (q=2, 1 WB port): also the
+    // run whose registry --stats-json dumps.
+    bool stats_ok = true;
+    Cycles dyn =
+        runConfig(w, opt.config.core, ifmap, filters, 2, 1, false, nullptr, &opt,
+                  &stats_ok);
+    Cycles stat = runConfig(w, opt.config.core, ifmap, filters, 2, 1, true);
     std::printf("\nStatic-scheduling gain at q=2, 1 port: %.1f%% "
                 "(paper ~15%%)\n",
                 100.0 * (1.0 - double(stat) / dyn));
@@ -105,7 +127,7 @@ main(int argc, char **argv)
         // (q=2, 1 WB port, dynamic only), for offline re-checking
         // with check_trace.
         trace::TraceSink sink;
-        Cycles c = runConfig(w, ifmap, filters, 2, 1, false, &sink);
+        Cycles c = runConfig(w, opt.config.core, ifmap, filters, 2, 1, false, &sink);
         if (!sink.writeJsonlFile(trace_path)) {
             std::fprintf(stderr, "cannot write trace to %s\n",
                          trace_path.c_str());
@@ -117,5 +139,5 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(c),
                     trace_path.c_str());
     }
-    return 0;
+    return stats_ok ? 0 : 1;
 }

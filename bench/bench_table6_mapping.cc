@@ -10,9 +10,9 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "nn/reference.hh"
-#include "runtime/parallel.hh"
 #include "runtime/system.hh"
 
 using namespace maicc;
@@ -20,8 +20,12 @@ using namespace maicc;
 int
 main(int argc, char **argv)
 {
-    SystemConfig scfg;
-    scfg.numThreads = parseThreadsFlag(argc, argv);
+    cli::Options opt("bench_table6_mapping", argc, argv);
+    if (!opt.finish())
+        return opt.exitCode();
+    if (opt.dumpConfigOnly())
+        return 0;
+    const SystemConfig &scfg = opt.config.system;
 
     Network net = buildResNet18();
     auto weights = randomWeights(net, 2023);
@@ -40,9 +44,18 @@ main(int argc, char **argv)
     std::vector<Col> cols;
     for (Strategy s : {Strategy::SingleLayer, Strategy::Greedy,
                        Strategy::Heuristic}) {
-        Col c{s, planMapping(net, s, 210), RunResult{}, true};
+        Col c{s, planMapping(net, s, scfg.coreBudget),
+              RunResult{}, true};
         MaiccSystem sys(net, weights, scfg);
         c.result = sys.run(c.plan, input);
+        if (s == Strategy::Heuristic) {
+            // Dump the winning strategy's registry for
+            // --stats-json before the system goes out of scope.
+            SimContext ctx;
+            sys.attachTo(ctx);
+            if (!opt.writeStats(ctx))
+                c.functional_ok = false;
+        }
         for (size_t i = 0; i < net.size(); ++i) {
             if (c.result.layerOutputs[i].data
                 != ref.outputs[i].data)

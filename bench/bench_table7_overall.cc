@@ -12,9 +12,9 @@
 #include <iostream>
 
 #include "baseline/platforms.hh"
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "energy/energy.hh"
-#include "runtime/parallel.hh"
 #include "runtime/system.hh"
 
 using namespace maicc;
@@ -26,14 +26,20 @@ namespace
 double
 timedRun(const Network &net, const std::vector<Weights4> &weights,
          const MappingPlan &plan, const Tensor3 &input,
-         unsigned threads, RunResult &out)
+         SystemConfig scfg, unsigned threads, RunResult &out,
+         const cli::Options *stats_opt = nullptr,
+         bool *stats_ok = nullptr)
 {
-    SystemConfig scfg;
     scfg.numThreads = threads;
     MaiccSystem sys(net, weights, scfg);
     auto t0 = std::chrono::steady_clock::now();
     out = sys.run(plan, input);
     auto t1 = std::chrono::steady_clock::now();
+    if (stats_opt) {
+        SimContext ctx;
+        sys.attachTo(ctx);
+        *stats_ok = stats_opt->writeStats(ctx);
+    }
     return std::chrono::duration<double, std::milli>(t1 - t0)
         .count();
 }
@@ -43,7 +49,12 @@ timedRun(const Network &net, const std::vector<Weights4> &weights,
 int
 main(int argc, char **argv)
 {
-    unsigned threads = parseThreadsFlag(argc, argv);
+    cli::Options opt("bench_table7_overall", argc, argv);
+    if (!opt.finish())
+        return opt.exitCode();
+    if (opt.dumpConfigOnly())
+        return 0;
+    unsigned threads = opt.threads();
 
     Network net = buildResNet18();
     auto weights = randomWeights(net, 7);
@@ -52,9 +63,13 @@ main(int argc, char **argv)
     input.randomize(rng);
 
     // MAICC: heuristic mapping on the 210-core array.
-    MappingPlan plan = planMapping(net, Strategy::Heuristic, 210);
+    MappingPlan plan = planMapping(
+        net, Strategy::Heuristic, opt.config.system.coreBudget);
     RunResult r;
-    double wall_ms = timedRun(net, weights, plan, input, threads, r);
+    bool stats_ok = true;
+    double wall_ms = timedRun(net, weights, plan, input,
+                              opt.config.system, threads, r, &opt,
+                              &stats_ok);
     EnergyBreakdown e = computeEnergy(r.activity);
     double maicc_ms = r.latencyMs();
     double maicc_tput = 1e3 / maicc_ms;
@@ -124,8 +139,8 @@ main(int argc, char **argv)
                 wall_ms, threads);
     if (threads > 1) {
         RunResult serial;
-        double serial_ms =
-            timedRun(net, weights, plan, input, 1, serial);
+        double serial_ms = timedRun(net, weights, plan, input,
+                                    opt.config.system, 1, serial);
         bool identical = serial.totalCycles == r.totalCycles
             && serial.output().data == r.output().data
             && serial.activity.macActivations
@@ -143,7 +158,7 @@ main(int argc, char **argv)
                 "DESIGN.md substitutions); the MAICC column is "
                 "simulated.\n");
 
-    bool ok = maicc_tput > cpu.throughput
+    bool ok = stats_ok && maicc_tput > cpu.throughput
         && maicc_tpw > cpu.throughputPerWatt
         && maicc_tpw > gpu.throughputPerWatt
         && gpu.throughput > maicc_tput;

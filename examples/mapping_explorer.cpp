@@ -7,6 +7,7 @@
  * running the full simulation.
  *
  * Usage: mapping_explorer [single|greedy|heuristic] [budget]
+ * (plus the common flags of common/cli.hh)
  */
 
 #include <cstdio>
@@ -14,6 +15,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "mapping/placement.hh"
 #include "mapping/segmentation.hh"
@@ -24,8 +26,14 @@ using namespace maicc;
 int
 main(int argc, char **argv)
 {
+    cli::Options opt("mapping_explorer", argc, argv);
+    if (!opt.finish())
+        return opt.exitCode();
+    if (opt.dumpConfigOnly())
+        return 0;
+
     Strategy strategy = Strategy::Heuristic;
-    unsigned budget = 210;
+    unsigned budget = opt.config.system.coreBudget;
     if (argc > 1) {
         if (!std::strcmp(argv[1], "single"))
             strategy = Strategy::SingleLayer;
@@ -84,5 +92,8 @@ main(int argc, char **argv)
     std::printf("Modelled end-to-end latency: %.3f ms (run "
                 "bench_table6_mapping for the simulated value)\n",
                 modelPlanLatency(net, plan) / 1e6);
-    return 0;
+    // No stateful components here; --stats-json gets the empty
+    // registry for tooling uniformity.
+    SimContext ctx;
+    return opt.writeStats(ctx) ? 0 : 1;
 }

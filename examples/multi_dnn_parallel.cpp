@@ -7,12 +7,15 @@
  * stack). Per-model latency and aggregate throughput are compared
  * against time-multiplexing the whole array.
  *
- * Build & run:  ./build/examples/multi_dnn_parallel [--threads=N]
+ * Build & run:  ./build/examples/multi_dnn_parallel
+ * Flags: the common set (common/cli.hh), e.g. --threads=N,
+ * --config=FILE, --stats-json=FILE.
  */
 
 #include <cstdio>
 #include <iostream>
 
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "nn/reference.hh"
 #include "runtime/host.hh"
@@ -23,7 +26,7 @@ using namespace maicc;
 namespace
 {
 
-unsigned g_threads = 1; ///< host threads (--threads=N)
+SystemConfig g_scfg; ///< effective config (common/cli.hh)
 
 struct Model
 {
@@ -36,9 +39,7 @@ struct Model
 double
 runOn(Model &m, unsigned budget, RunResult *out = nullptr)
 {
-    SystemConfig scfg;
-    scfg.numThreads = g_threads;
-    MaiccSystem sys(m.net, m.weights, scfg);
+    MaiccSystem sys(m.net, m.weights, g_scfg);
     MappingPlan plan =
         planMapping(m.net, Strategy::Heuristic, budget);
     RunResult r = sys.run(plan, m.input);
@@ -55,7 +56,12 @@ runOn(Model &m, unsigned budget, RunResult *out = nullptr)
 int
 main(int argc, char **argv)
 {
-    g_threads = parseThreadsFlag(argc, argv);
+    cli::Options opt("multi_dnn_parallel", argc, argv);
+    if (!opt.finish())
+        return opt.exitCode();
+    if (opt.dumpConfigOnly())
+        return 0;
+    g_scfg = opt.config.system;
 
     // Two perception-stack CNNs of different shapes. (A full
     // ResNet18 cannot spatially share the array: its stage-4
@@ -113,7 +119,7 @@ main(int argc, char **argv)
     // admit both models, let the host size the regions.
     // The host steps per-model region shards in parallel; results
     // are identical at any --threads=N (DESIGN.md).
-    HostScheduler host(210, g_threads);
+    HostScheduler host(210, g_scfg.numThreads);
     host.addTask({"camera", &detector.net, &detector.weights,
                   &detector.input, 3.0}); // camera is hotter
     host.addTask({"radar", &policy.net, &policy.weights,

@@ -10,12 +10,17 @@
  *
  * Build & run:  ./build/examples/quickstart
  * Dump a commit trace:  ./build/examples/quickstart --trace=q.jsonl
+ * Dump / replay the effective config (round-trips bit-exactly):
+ *   ./build/examples/quickstart --dump-config > cfg.json
+ *   ./build/examples/quickstart --config=cfg.json
+ * Machine-readable stats: --stats-json=FILE ("-" = stdout).
  */
 
 #include <cstdio>
 #include <string>
 
 #include "cmem/cmem.hh"
+#include "common/cli.hh"
 #include "common/trace.hh"
 #include "core/timing.hh"
 #include "mem/node_memory.hh"
@@ -28,7 +33,12 @@ using namespace maicc::rv32;
 int
 main(int argc, char **argv)
 {
-    std::string trace_path = trace::parseTraceFlag(argc, argv);
+    cli::Options opt("quickstart", argc, argv);
+    if (!opt.finish())
+        return opt.exitCode();
+    if (opt.dumpConfigOnly())
+        return 0;
+    const std::string &trace_path = opt.tracePath();
 
     // A node: computing memory + local memory + the core model.
     CMem cmem;
@@ -62,9 +72,13 @@ main(int argc, char **argv)
     for (const auto &inst : program.insts)
         std::printf("  %s\n", inst.toString().c_str());
 
-    // Timing + functional execution together.
+    // Timing + functional execution together, registered under a
+    // context so --stats-json sees both components.
+    SimContext ctx;
+    cmem.attachTo(ctx);
     CoreTimingModel core(program, memory, &cmem, &rows,
-                         CoreConfig{});
+                         opt.config.core);
+    core.attachTo(ctx);
     trace::TraceSink sink;
     if (!trace_path.empty())
         core.setTrace(&sink);
@@ -89,5 +103,5 @@ main(int argc, char **argv)
         std::printf("trace: %zu inst records -> %s\n",
                     sink.insts.size(), trace_path.c_str());
     }
-    return 0;
+    return opt.writeStats(ctx) ? 0 : 1;
 }

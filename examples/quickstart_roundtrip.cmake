@@ -1,0 +1,49 @@
+# Test script for the config round-trip acceptance check (run via
+# `cmake -DQUICKSTART=<bin> -P quickstart_roundtrip.cmake` from
+# ctest, see examples/CMakeLists.txt):
+#
+#   1. `quickstart --dump-config | quickstart --config=-` must
+#      reproduce the default run byte-for-byte, and
+#   2. re-dumping the loaded config must reproduce the dump
+#      byte-for-byte (load -> dump is lossless).
+
+if(NOT DEFINED QUICKSTART)
+    message(FATAL_ERROR "pass -DQUICKSTART=<path to quickstart>")
+endif()
+
+execute_process(COMMAND ${QUICKSTART}
+    OUTPUT_VARIABLE default_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "default run failed (rc=${rc})")
+endif()
+
+execute_process(COMMAND ${QUICKSTART} --dump-config
+    OUTPUT_VARIABLE config_json RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "--dump-config failed (rc=${rc})")
+endif()
+
+set(cfg ${CMAKE_CURRENT_BINARY_DIR}/quickstart_roundtrip_cfg.json)
+file(WRITE ${cfg} "${config_json}")
+
+execute_process(COMMAND ${QUICKSTART} --config=${cfg}
+    OUTPUT_VARIABLE replay_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "--config replay failed (rc=${rc})")
+endif()
+if(NOT replay_out STREQUAL default_out)
+    message(FATAL_ERROR "replay of the dumped config does not "
+        "reproduce the default run")
+endif()
+
+execute_process(COMMAND ${QUICKSTART} --config=${cfg} --dump-config
+    OUTPUT_VARIABLE redump RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "--config --dump-config failed (rc=${rc})")
+endif()
+if(NOT redump STREQUAL config_json)
+    message(FATAL_ERROR "config load -> dump is not byte-stable")
+endif()
+
+file(REMOVE ${cfg})
+message(STATUS "config round-trip reproduces the default run")

@@ -5,16 +5,18 @@
  * outputs bit-exactly against the int8 reference executor, and
  * report latency, per-segment timing, energy, and power.
  *
- * Build & run:  ./build/examples/resnet18_inference [--threads=N]
+ * Build & run:  ./build/examples/resnet18_inference
+ * Flags: the common set (common/cli.hh), e.g. --threads=N,
+ * --config=FILE, --stats-json=FILE.
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
 
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "nn/reference.hh"
-#include "runtime/parallel.hh"
 #include "runtime/system.hh"
 
 using namespace maicc;
@@ -22,8 +24,12 @@ using namespace maicc;
 int
 main(int argc, char **argv)
 {
-    SystemConfig scfg;
-    scfg.numThreads = parseThreadsFlag(argc, argv);
+    cli::Options opt("resnet18_inference", argc, argv);
+    if (!opt.finish())
+        return opt.exitCode();
+    if (opt.dumpConfigOnly())
+        return 0;
+    SystemConfig scfg = opt.config.system;
 
     // Model + deterministic synthetic weights/input (stand-in for
     // ImageNet data; see DESIGN.md substitutions).
@@ -39,7 +45,9 @@ main(int argc, char **argv)
                 plan.segments.size(), plan.coreBudget);
 
     // Simulate.
+    SimContext ctx;
     MaiccSystem system(net, weights, scfg);
+    system.attachTo(ctx);
     RunResult run = system.run(plan, input);
 
     TextTable t({"Segment", "Layers", "Cores", "Start (Mcyc)",
@@ -97,5 +105,5 @@ main(int argc, char **argv)
     for (int i = 0; i < 5; ++i)
         std::printf("%d(%d) ", scores[i].second, scores[i].first);
     std::printf("\n");
-    return exact ? 0 : 1;
+    return exact && opt.writeStats(ctx) ? 0 : 1;
 }

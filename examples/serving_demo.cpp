@@ -5,14 +5,14 @@
  * every request plus the aggregate serving metrics. Exits with
  * "[ok]" so the build can smoke-test it (see examples/CMakeLists).
  *
- * Usage: serving_demo [--threads=N]
+ * Usage: serving_demo [common flags, see common/cli.hh]
  */
 
 #include <cstdio>
 #include <iostream>
 
+#include "common/cli.hh"
 #include "common/table.hh"
-#include "runtime/parallel.hh"
 #include "runtime/serving.hh"
 
 using namespace maicc;
@@ -20,12 +20,19 @@ using namespace maicc;
 int
 main(int argc, char **argv)
 {
-    ServingConfig cfg;
-    cfg.system.numThreads = parseThreadsFlag(argc, argv);
-    cfg.seed = 7;
-    cfg.offeredRequests = 12;
-    cfg.meanInterarrival = 150'000; // moderately loaded
-    cfg.maxBatch = 2;
+    cli::Options opt("serving_demo", argc, argv);
+    if (!opt.finish())
+        return opt.exitCode();
+    if (opt.dumpConfigOnly())
+        return 0;
+
+    ServingConfig cfg = opt.config.serving;
+    cfg.seed = opt.seed(7);
+    if (!opt.hasConfigFile()) {
+        cfg.offeredRequests = 12;
+        cfg.meanInterarrival = 150'000; // moderately loaded
+        cfg.maxBatch = 2;
+    }
 
     Network camera = buildSmallCnn(16, 16, 64);
     Network radar = buildSmallCnn(8, 8, 64);
@@ -36,7 +43,9 @@ main(int argc, char **argv)
     camIn.randomize(rng);
     radIn.randomize(rng);
 
+    SimContext ctx;
     ServingSimulator sim(cfg);
+    sim.attachTo(ctx);
     sim.addModel({"camera", &camera, &camW, &camIn, 2.0, 0});
     sim.addModel({"radar", &radar, &radW, &radIn, 1.0, 0});
 
@@ -67,11 +76,12 @@ main(int argc, char **argv)
                 r.meanQueueing, r.utilization * 100,
                 r.throughput(cfg.system.clockHz));
 
-    StatGroup stats; // dumpStats names everything "serving.*"
-    r.dumpStats(stats);
-    stats.dump(std::cout);
+    // The simulator published the same numbers into its own
+    // StatGroup (SimComponent::stats) at the end of run().
+    sim.stats().dump(std::cout);
 
     bool ok = r.completed == r.offered && r.rejected == 0;
+    ok = opt.writeStats(ctx) && ok;
     std::printf("%s\n", ok ? "[ok]" : "[FAIL]");
     return ok ? 0 : 1;
 }

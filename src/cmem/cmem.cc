@@ -103,12 +103,41 @@ CMemSlice::writeRow(unsigned row, const Row256 &value)
     sram.writeRow(row, value);
 }
 
-CMem::CMem(const CMemConfig &config) : cfg(config)
+CMem::CMem(const CMemConfig &config) : SimComponent("cmem"), cfg(config)
 {
     maicc_assert(cfg.numSlices >= 1);
     slices.reserve(cfg.numSlices);
     for (unsigned i = 0; i < cfg.numSlices; ++i)
         slices.emplace_back(cfg);
+}
+
+void
+CMem::reset()
+{
+    slices.clear();
+    for (unsigned i = 0; i < cfg.numSlices; ++i)
+        slices.emplace_back(cfg);
+    ev = CMemEvents{};
+    SimComponent::reset();
+}
+
+void
+CMem::recordStats()
+{
+    auto publish = [this](const char *name, uint64_t v) {
+        auto &c = stats().counter(name);
+        c.reset();
+        c.inc(v);
+    };
+    publish("verticalWrites", ev.verticalWrites);
+    publish("verticalReads", ev.verticalReads);
+    publish("macOps", ev.macOps);
+    publish("macActivations", ev.macActivations);
+    publish("moveRows", ev.moveRows);
+    publish("setRows", ev.setRows);
+    publish("shiftRows", ev.shiftRows);
+    publish("rowLoads", ev.rowLoads);
+    publish("rowStores", ev.rowStores);
 }
 
 unsigned

@@ -25,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "common/sim_component.hh"
 #include "common/types.hh"
 #include "sram/sram_array.hh"
 
@@ -113,7 +114,7 @@ class CMemSlice
  * A full CMem: slice 0 (transpose/cache) + compute slices, with the
  * instruction-level operations of Table 2 and their cycle costs.
  */
-class CMem
+class CMem : public SimComponent
 {
   public:
     explicit CMem(const CMemConfig &cfg = CMemConfig{});
@@ -179,6 +180,12 @@ class CMem
 
     const CMemEvents &events() const { return ev; }
     void resetEvents() { ev = CMemEvents{}; }
+
+    /** Zero every slice's storage, masks, and the event counts. */
+    void reset() override;
+
+    /** Publish the CMemEvents counts into stats(). */
+    void recordStats() override;
 
     // ------------------------------------------------------------
     // Test/convenience helpers (not architectural).

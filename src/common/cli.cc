@@ -1,0 +1,188 @@
+#include "common/cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <thread>
+
+#include "common/sim_component.hh"
+
+namespace maicc
+{
+namespace cli
+{
+
+namespace
+{
+
+bool
+parseUint(const std::string &s, uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace
+
+std::string
+Options::take(int &argc, char **argv, const char *name)
+{
+    std::string prefix = std::string("--") + name + "=";
+    std::string bare = std::string("--") + name;
+    std::string value;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strncmp(argv[i], prefix.c_str(),
+                          prefix.size())) {
+            value = argv[i] + prefix.size();
+        } else if (bare == argv[i]) {
+            value = "1"; // flag form: --dump-config
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    return value;
+}
+
+Options::Options(std::string tool_name, int &argc, char **argv)
+    : tool(std::move(tool_name)), argcp(&argc), argv(argv)
+{
+    // Environment first (lowest precedence above the defaults).
+    if (const char *env = std::getenv("MAICC_TRACE"))
+        trace = env;
+    uint64_t env_threads = 0;
+    bool env_threads_set = false;
+    if (const char *env = std::getenv("MAICC_THREADS"))
+        env_threads_set = parseUint(env, env_threads);
+    if (env_threads_set)
+        config.system.numThreads = unsigned(env_threads);
+
+    // Config file overlays the defaults (and the env threads).
+    configPath = take(argc, argv, "config");
+    if (!configPath.empty()) {
+        std::string err;
+        if (!loadConfigFile(configPath, config, &err))
+            error = err;
+    }
+
+    // Explicit flags win over everything.
+    std::string threads_s = take(argc, argv, "threads");
+    if (!threads_s.empty()) {
+        uint64_t v = 0;
+        if (parseUint(threads_s, v))
+            config.system.numThreads = unsigned(v);
+        else if (error.empty())
+            error = "--threads: expected an unsigned integer";
+    }
+    std::string seed_s = take(argc, argv, "seed");
+    if (!seed_s.empty()) {
+        if (parseUint(seed_s, seedVal))
+            seedSet = true;
+        else if (error.empty())
+            error = "--seed: expected an unsigned integer";
+    }
+    std::string trace_s = take(argc, argv, "trace");
+    if (!trace_s.empty())
+        trace = trace_s;
+    statsJson = take(argc, argv, "stats-json");
+    dumpConfig = !take(argc, argv, "dump-config").empty();
+
+    // Keep the one system tree consistent (serving runs under it).
+    config.serving.system = config.system;
+    if (seedSet)
+        config.serving.seed = seedVal;
+}
+
+uint64_t
+Options::seed(uint64_t def) const
+{
+    if (seedSet)
+        return seedVal;
+    // A config file's serving.seed overrides the binary default.
+    if (!configPath.empty())
+        return config.serving.seed;
+    return def;
+}
+
+std::string
+Options::flag(const char *name, const std::string &def)
+{
+    std::string v = take(*argcp, argv, name);
+    return v.empty() ? def : v;
+}
+
+uint64_t
+Options::flagUint(const char *name, uint64_t def)
+{
+    std::string v = take(*argcp, argv, name);
+    if (v.empty())
+        return def;
+    uint64_t out = 0;
+    if (!parseUint(v, out)) {
+        if (error.empty())
+            error = std::string("--") + name
+                + ": expected an unsigned integer";
+        return def;
+    }
+    return out;
+}
+
+bool
+Options::finish(bool allow_extra)
+{
+    if (error.empty() && !allow_extra) {
+        for (int i = 1; i < *argcp; ++i) {
+            if (!std::strncmp(argv[i], "--", 2)) {
+                error = std::string("unrecognized option: ")
+                    + argv[i];
+                break;
+            }
+        }
+    }
+    if (!error.empty()) {
+        std::fprintf(stderr, "%s: %s\n", tool.c_str(),
+                     error.c_str());
+        std::fprintf(
+            stderr,
+            "common flags: --config=FILE --dump-config "
+            "--stats-json=FILE --threads=N --seed=S "
+            "--trace=FILE\n");
+        return false;
+    }
+    return true;
+}
+
+bool
+Options::dumpConfigOnly()
+{
+    if (!dumpConfig)
+        return false;
+    dumpConfig = false; // print once
+    maicc::dumpConfig(std::cout, config);
+    return true;
+}
+
+bool
+Options::writeStats(SimContext &ctx) const
+{
+    if (statsJson.empty())
+        return true;
+    if (!ctx.writeStatsJsonFile(statsJson)) {
+        std::fprintf(stderr, "%s: cannot write stats to %s\n",
+                     tool.c_str(), statsJson.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace cli
+} // namespace maicc

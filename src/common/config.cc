@@ -1,0 +1,423 @@
+#include "common/config.hh"
+
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+
+#include "common/json.hh"
+
+namespace maicc
+{
+
+namespace
+{
+
+/**
+ * Strict object reader: typed field extraction with "<path>.<key>"
+ * error messages, plus an unknown-key check in finish() so typos
+ * in a hand-written config file fail loudly instead of silently
+ * keeping the default.
+ */
+class ObjectReader
+{
+  public:
+    ObjectReader(const Json &j, std::string path, std::string *err)
+        : j(j), path(std::move(path)), err(err)
+    {
+        if (!j.isObject())
+            fail("", "expected an object");
+    }
+
+    bool ok() const { return good; }
+
+    template <typename T>
+    void
+    integer(const char *key, T &out)
+    {
+        const Json *v = get(key);
+        if (!v)
+            return;
+        if (!v->isInt()) {
+            fail(key, "expected an integer");
+            return;
+        }
+        out = static_cast<T>(v->asInt());
+    }
+
+    void
+    number(const char *key, double &out)
+    {
+        const Json *v = get(key);
+        if (!v)
+            return;
+        if (!v->isNumber()) {
+            fail(key, "expected a number");
+            return;
+        }
+        out = v->asDouble();
+    }
+
+    void
+    string(const char *key, std::string &out)
+    {
+        const Json *v = get(key);
+        if (!v)
+            return;
+        if (!v->isString()) {
+            fail(key, "expected a string");
+            return;
+        }
+        out = v->asString();
+    }
+
+    template <typename T>
+    void
+    nested(const char *key, T &out)
+    {
+        const Json *v = get(key);
+        if (!v)
+            return;
+        std::string sub =
+            path.empty() ? key : path + "." + key;
+        if (!fromJson(*v, out, err, sub))
+            good = false;
+    }
+
+    /** Error on any member no accessor consumed. */
+    bool
+    finish()
+    {
+        if (good && j.isObject()) {
+            for (const auto &m : j.members()) {
+                if (!consumed.count(m.first)) {
+                    fail(m.first.c_str(), "unknown key");
+                    break;
+                }
+            }
+        }
+        return good;
+    }
+
+    void
+    fail(const char *key, const char *what)
+    {
+        if (!good)
+            return;
+        good = false;
+        if (err) {
+            std::string where = path;
+            if (key && *key)
+                where += where.empty() ? key
+                                       : "." + std::string(key);
+            *err = where + ": " + what;
+        }
+    }
+
+    /** Mark failed, keeping an error message already in *err. */
+    void
+    invalidate()
+    {
+        good = false;
+    }
+
+    /** Consume @p key and return it raw (nullptr when absent). */
+    const Json *
+    take(const char *key)
+    {
+        return get(key);
+    }
+
+  private:
+    const Json *
+    get(const char *key)
+    {
+        if (!good)
+            return nullptr;
+        consumed.insert(key);
+        return j.find(key);
+    }
+
+    const Json &j;
+    std::string path;
+    std::string *err;
+    std::set<std::string> consumed;
+    bool good = true;
+};
+
+} // namespace
+
+Json
+toJson(const ArrayGeometry &g)
+{
+    Json j = Json::object();
+    j.set("meshW", g.meshW);
+    j.set("meshH", g.meshH);
+    j.set("computeX0", g.computeX0);
+    j.set("computeY0", g.computeY0);
+    j.set("computeW", g.computeW);
+    j.set("computeH", g.computeH);
+    return j;
+}
+
+bool
+fromJson(const Json &j, ArrayGeometry &out, std::string *err,
+         const std::string &path)
+{
+    ObjectReader r(j, path, err);
+    r.integer("meshW", out.meshW);
+    r.integer("meshH", out.meshH);
+    r.integer("computeX0", out.computeX0);
+    r.integer("computeY0", out.computeY0);
+    r.integer("computeW", out.computeW);
+    r.integer("computeH", out.computeH);
+    return r.finish();
+}
+
+Json
+toJson(const NocConfig &c)
+{
+    Json j = Json::object();
+    j.set("width", c.width);
+    j.set("height", c.height);
+    j.set("routerLatency", c.routerLatency);
+    j.set("queueDepth", c.queueDepth);
+    return j;
+}
+
+bool
+fromJson(const Json &j, NocConfig &out, std::string *err,
+         const std::string &path)
+{
+    ObjectReader r(j, path, err);
+    r.integer("width", out.width);
+    r.integer("height", out.height);
+    r.integer("routerLatency", out.routerLatency);
+    r.integer("queueDepth", out.queueDepth);
+    return r.finish();
+}
+
+Json
+toJson(const DramConfig &c)
+{
+    Json j = Json::object();
+    j.set("numBanks", c.numBanks);
+    j.set("rowBytes", c.rowBytes);
+    j.set("accessBytes", c.accessBytes);
+    j.set("tRCD", c.tRCD);
+    j.set("tCAS", c.tCAS);
+    j.set("tRP", c.tRP);
+    j.set("tRAS", c.tRAS);
+    j.set("burst", c.burst);
+    return j;
+}
+
+bool
+fromJson(const Json &j, DramConfig &out, std::string *err,
+         const std::string &path)
+{
+    ObjectReader r(j, path, err);
+    r.integer("numBanks", out.numBanks);
+    r.integer("rowBytes", out.rowBytes);
+    r.integer("accessBytes", out.accessBytes);
+    r.integer("tRCD", out.tRCD);
+    r.integer("tCAS", out.tCAS);
+    r.integer("tRP", out.tRP);
+    r.integer("tRAS", out.tRAS);
+    r.integer("burst", out.burst);
+    return r.finish();
+}
+
+Json
+toJson(const CacheConfig &c)
+{
+    Json j = Json::object();
+    j.set("sizeBytes", c.sizeBytes);
+    j.set("lineBytes", c.lineBytes);
+    j.set("ways", c.ways);
+    j.set("hitLatency", c.hitLatency);
+    return j;
+}
+
+bool
+fromJson(const Json &j, CacheConfig &out, std::string *err,
+         const std::string &path)
+{
+    ObjectReader r(j, path, err);
+    r.integer("sizeBytes", out.sizeBytes);
+    r.integer("lineBytes", out.lineBytes);
+    r.integer("ways", out.ways);
+    r.integer("hitLatency", out.hitLatency);
+    return r.finish();
+}
+
+Json
+toJson(const CoreConfig &c)
+{
+    Json j = Json::object();
+    j.set("cmemQueueSize", c.cmemQueueSize);
+    j.set("wbPorts", c.wbPorts);
+    j.set("mulLatency", c.mulLatency);
+    j.set("divLatency", c.divLatency);
+    j.set("loadLatency", c.loadLatency);
+    j.set("remoteLatency", c.remoteLatency);
+    j.set("branchPenalty", c.branchPenalty);
+    return j;
+}
+
+bool
+fromJson(const Json &j, CoreConfig &out, std::string *err,
+         const std::string &path)
+{
+    ObjectReader r(j, path, err);
+    r.integer("cmemQueueSize", out.cmemQueueSize);
+    r.integer("wbPorts", out.wbPorts);
+    r.integer("mulLatency", out.mulLatency);
+    r.integer("divLatency", out.divLatency);
+    r.integer("loadLatency", out.loadLatency);
+    r.integer("remoteLatency", out.remoteLatency);
+    r.integer("branchPenalty", out.branchPenalty);
+    return r.finish();
+}
+
+Json
+toJson(const SystemConfig &c)
+{
+    Json j = Json::object();
+    j.set("coreBudget", c.coreBudget);
+    j.set("dramChannels", c.dramChannels);
+    j.set("clockHz", c.clockHz);
+    j.set("numThreads", c.numThreads);
+    j.set("geometry", toJson(c.geometry));
+    j.set("noc", toJson(c.noc));
+    j.set("dram", toJson(c.dram));
+    j.set("llc", toJson(c.llc));
+    return j;
+}
+
+bool
+fromJson(const Json &j, SystemConfig &out, std::string *err,
+         const std::string &path)
+{
+    ObjectReader r(j, path, err);
+    r.integer("coreBudget", out.coreBudget);
+    r.integer("dramChannels", out.dramChannels);
+    r.number("clockHz", out.clockHz);
+    r.integer("numThreads", out.numThreads);
+    r.nested("geometry", out.geometry);
+    r.nested("noc", out.noc);
+    r.nested("dram", out.dram);
+    r.nested("llc", out.llc);
+    return r.finish();
+}
+
+namespace
+{
+
+const char *
+arrivalsName(ArrivalProcess p)
+{
+    return p == ArrivalProcess::Trace ? "trace" : "poisson";
+}
+
+Json
+servingToJson(const ServingConfig &c)
+{
+    Json j = Json::object();
+    j.set("arrivals", arrivalsName(c.arrivals));
+    j.set("seed", c.seed);
+    j.set("meanInterarrival", c.meanInterarrival);
+    j.set("offeredRequests", c.offeredRequests);
+    j.set("horizon", c.horizon);
+    j.set("queueCapacity", c.queueCapacity);
+    j.set("maxBatch", c.maxBatch);
+    j.set("cutoff", c.cutoff);
+    return j;
+}
+
+bool
+servingFromJson(const Json &j, ServingConfig &out,
+                std::string *err)
+{
+    ObjectReader r(j, "serving", err);
+    std::string arrivals = arrivalsName(out.arrivals);
+    r.string("arrivals", arrivals);
+    if (arrivals == "poisson") {
+        out.arrivals = ArrivalProcess::Poisson;
+    } else if (arrivals == "trace") {
+        out.arrivals = ArrivalProcess::Trace;
+    } else {
+        r.fail("arrivals", "expected \"poisson\" or \"trace\"");
+    }
+    r.integer("seed", out.seed);
+    r.integer("meanInterarrival", out.meanInterarrival);
+    r.integer("offeredRequests", out.offeredRequests);
+    r.integer("horizon", out.horizon);
+    r.integer("queueCapacity", out.queueCapacity);
+    r.integer("maxBatch", out.maxBatch);
+    r.integer("cutoff", out.cutoff);
+    return r.finish();
+}
+
+} // namespace
+
+Json
+toJson(const SimConfig &c)
+{
+    Json j = Json::object();
+    j.set("system", toJson(c.system));
+    j.set("core", toJson(c.core));
+    j.set("serving", servingToJson(c.serving));
+    return j;
+}
+
+bool
+fromJson(const Json &j, SimConfig &out, std::string *err)
+{
+    ObjectReader r(j, "", err);
+    r.nested("system", out.system);
+    r.nested("core", out.core);
+    if (const Json *s = r.take("serving")) {
+        if (!servingFromJson(*s, out.serving, err))
+            r.invalidate();
+    }
+    bool ok = r.finish();
+    // One system tree: the serving layer always runs under the
+    // top-level system config.
+    out.serving.system = out.system;
+    return ok;
+}
+
+bool
+loadConfig(std::istream &in, SimConfig &out, std::string *err)
+{
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    Json j;
+    if (!Json::parse(buf.str(), j, err))
+        return false;
+    return fromJson(j, out, err);
+}
+
+bool
+loadConfigFile(const std::string &path, SimConfig &out,
+               std::string *err)
+{
+    if (path == "-")
+        return loadConfig(std::cin, out, err);
+    std::ifstream in(path);
+    if (!in) {
+        if (err)
+            *err = "cannot open config file: " + path;
+        return false;
+    }
+    return loadConfig(in, out, err);
+}
+
+void
+dumpConfig(std::ostream &os, const SimConfig &cfg)
+{
+    toJson(cfg).write(os);
+}
+
+} // namespace maicc

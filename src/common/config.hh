@@ -1,0 +1,91 @@
+/**
+ * @file
+ * JSON binding for the whole configuration tree: one SimConfig
+ * holds everything a binary can be configured with — the
+ * system-level SystemConfig (with its nested ArrayGeometry /
+ * NocConfig / DramConfig / CacheConfig), the single-node
+ * CoreConfig, and the serving-layer knobs — and round-trips
+ * through JSON losslessly: load → dump → load is identical, and
+ * dumping the defaults produces the documented schema
+ * (DESIGN.md §12).
+ *
+ * Deserialization is *strict about keys* (an unknown key is an
+ * error, catching config-file typos) and *lenient about
+ * presence* (a missing key keeps its default), so a config file
+ * can state only what it overrides.
+ *
+ * This lives in common/ next to json/cli: the bound structs are
+ * all header-only aggregates, so the binding needs their headers
+ * but links against nothing outside maicc_common.
+ */
+
+#ifndef MAICC_COMMON_CONFIG_HH
+#define MAICC_COMMON_CONFIG_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/core_config.hh"
+#include "runtime/serving.hh"
+#include "runtime/system.hh"
+
+namespace maicc
+{
+
+class Json;
+
+/** Everything configurable, as one tree. */
+struct SimConfig
+{
+    SystemConfig system;
+    CoreConfig core;
+
+    /**
+     * Serving knobs; serving.system is kept identical to
+     * `system` (it is not serialized separately).
+     */
+    ServingConfig serving;
+};
+
+// Per-struct binding. fromJson overlays @p j onto @p out (missing
+// keys keep their current values) and returns false with a
+// "<path>: <what>" message in @p err on a type mismatch or an
+// unknown key.
+Json toJson(const ArrayGeometry &g);
+Json toJson(const NocConfig &c);
+Json toJson(const DramConfig &c);
+Json toJson(const CacheConfig &c);
+Json toJson(const CoreConfig &c);
+Json toJson(const SystemConfig &c);
+Json toJson(const SimConfig &c);
+
+bool fromJson(const Json &j, ArrayGeometry &out, std::string *err,
+              const std::string &path = "geometry");
+bool fromJson(const Json &j, NocConfig &out, std::string *err,
+              const std::string &path = "noc");
+bool fromJson(const Json &j, DramConfig &out, std::string *err,
+              const std::string &path = "dram");
+bool fromJson(const Json &j, CacheConfig &out, std::string *err,
+              const std::string &path = "llc");
+bool fromJson(const Json &j, CoreConfig &out, std::string *err,
+              const std::string &path = "core");
+bool fromJson(const Json &j, SystemConfig &out, std::string *err,
+              const std::string &path = "system");
+bool fromJson(const Json &j, SimConfig &out, std::string *err);
+
+/**
+ * Parse a config document from @p in and overlay it onto @p out.
+ * @return false with a message in @p err on failure.
+ */
+bool loadConfig(std::istream &in, SimConfig &out, std::string *err);
+
+/** loadConfig from @p path; "-" reads stdin. */
+bool loadConfigFile(const std::string &path, SimConfig &out,
+                    std::string *err);
+
+/** Pretty-print the full tree (the --dump-config output). */
+void dumpConfig(std::ostream &os, const SimConfig &cfg);
+
+} // namespace maicc
+
+#endif // MAICC_COMMON_CONFIG_HH

@@ -1,0 +1,473 @@
+#include "common/json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace maicc
+{
+
+namespace
+{
+
+/** Shortest round-trip decimal representation of @p v. */
+std::string
+formatDouble(double v)
+{
+    char buf[40];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+void
+writeEscaped(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\r': os << "\\r"; break;
+        case '\t': os << "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+/** Recursive-descent parser over a flat character buffer. */
+class Parser
+{
+  public:
+    Parser(const std::string &text) : text(text) {}
+
+    bool
+    parseDocument(Json &out, std::string *err)
+    {
+        bool ok = parseValue(out) && (skipWs(), pos == text.size());
+        if (!ok && err) {
+            if (errorMsg.empty())
+                errorMsg = pos == text.size()
+                    ? "unexpected end of input"
+                    : "unexpected trailing characters";
+            *err = errorMsg + " at line "
+                + std::to_string(line()) + ", column "
+                + std::to_string(column());
+        }
+        return ok;
+    }
+
+  private:
+    size_t
+    line() const
+    {
+        size_t n = 1;
+        for (size_t i = 0; i < pos && i < text.size(); ++i)
+            n += text[i] == '\n';
+        return n;
+    }
+
+    size_t
+    column() const
+    {
+        size_t col = 1;
+        for (size_t i = 0; i < pos && i < text.size(); ++i)
+            col = text[i] == '\n' ? 1 : col + 1;
+        return col;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size()
+               && (text[pos] == ' ' || text[pos] == '\t'
+                   || text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    fail(const char *msg)
+    {
+        if (errorMsg.empty())
+            errorMsg = msg;
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = std::string(word).size();
+        if (text.compare(pos, n, word) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    bool
+    parseValue(Json &out)
+    {
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        char c = text[pos];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"') {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Json(std::move(s));
+            return true;
+        }
+        if (c == 't') {
+            if (!literal("true"))
+                return fail("bad literal");
+            out = Json(true);
+            return true;
+        }
+        if (c == 'f') {
+            if (!literal("false"))
+                return fail("bad literal");
+            out = Json(false);
+            return true;
+        }
+        if (c == 'n') {
+            if (!literal("null"))
+                return fail("bad literal");
+            out = Json();
+            return true;
+        }
+        return parseNumber(out);
+    }
+
+    bool
+    parseNumber(Json &out)
+    {
+        size_t start = pos;
+        bool floating = false;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        while (pos < text.size()) {
+            char c = text[pos];
+            if (c >= '0' && c <= '9') {
+                ++pos;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+'
+                       || c == '-') {
+                floating = true;
+                ++pos;
+            } else {
+                break;
+            }
+        }
+        if (pos == start)
+            return fail("expected a value");
+        if (!floating) {
+            int64_t v = 0;
+            auto res = std::from_chars(text.data() + start,
+                                       text.data() + pos, v);
+            if (res.ec != std::errc()
+                || res.ptr != text.data() + pos)
+                return fail("bad integer");
+            out = Json(v);
+            return true;
+        }
+        double v = 0.0;
+        auto res = std::from_chars(text.data() + start,
+                                   text.data() + pos, v);
+        if (res.ec != std::errc() || res.ptr != text.data() + pos)
+            return fail("bad number");
+        out = Json(v);
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (text[pos] != '"')
+            return fail("expected '\"'");
+        ++pos;
+        out.clear();
+        while (pos < text.size()) {
+            char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                break;
+            char esc = text[pos++];
+            switch (esc) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                if (pos + 4 > text.size())
+                    return fail("bad \\u escape");
+                unsigned code = 0;
+                auto res = std::from_chars(
+                    text.data() + pos, text.data() + pos + 4, code,
+                    16);
+                if (res.ec != std::errc()
+                    || res.ptr != text.data() + pos + 4)
+                    return fail("bad \\u escape");
+                pos += 4;
+                // UTF-8 encode (BMP only; enough for configs).
+                if (code < 0x80) {
+                    out += char(code);
+                } else if (code < 0x800) {
+                    out += char(0xC0 | (code >> 6));
+                    out += char(0x80 | (code & 0x3F));
+                } else {
+                    out += char(0xE0 | (code >> 12));
+                    out += char(0x80 | ((code >> 6) & 0x3F));
+                    out += char(0x80 | (code & 0x3F));
+                }
+                break;
+            }
+            default:
+                return fail("bad escape character");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseArray(Json &out)
+    {
+        ++pos; // '['
+        out = Json::array();
+        skipWs();
+        if (pos < text.size() && text[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            Json v;
+            if (!parseValue(v))
+                return false;
+            out.push(std::move(v));
+            skipWs();
+            if (pos >= text.size())
+                return fail("unterminated array");
+            if (text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (text[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseObject(Json &out)
+    {
+        ++pos; // '{'
+        out = Json::object();
+        skipWs();
+        if (pos < text.size() && text[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (pos >= text.size() || text[pos] != '"')
+                return fail("expected a string key");
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos >= text.size() || text[pos] != ':')
+                return fail("expected ':'");
+            ++pos;
+            Json v;
+            if (!parseValue(v))
+                return false;
+            out.set(key, std::move(v));
+            skipWs();
+            if (pos >= text.size())
+                return fail("unterminated object");
+            if (text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (text[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    const std::string &text;
+    size_t pos = 0;
+    std::string errorMsg;
+};
+
+} // namespace
+
+Json::Json(double v)
+{
+    // Canonicalize: integral doubles become Int so a value that
+    // was written as "2" parses and re-dumps as "2" regardless of
+    // whether the C++ side holds an int or a double.
+    if (std::isfinite(v) && v == std::floor(v)
+        && std::abs(v) < 9.007199254740992e15) {
+        ty = Type::Int;
+        intVal = int64_t(v);
+    } else {
+        ty = Type::Double;
+        dblVal = v;
+    }
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.ty = Type::Array;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.ty = Type::Object;
+    return j;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    for (const Member &m : obj) {
+        if (m.first == key)
+            return &m.second;
+    }
+    return nullptr;
+}
+
+void
+Json::set(const std::string &key, Json v)
+{
+    for (Member &m : obj) {
+        if (m.first == key) {
+            m.second = std::move(v);
+            return;
+        }
+    }
+    obj.emplace_back(key, std::move(v));
+}
+
+bool
+Json::operator==(const Json &o) const
+{
+    // Int and Double compare numerically so canonicalization never
+    // changes equality.
+    if (isNumber() && o.isNumber()) {
+        if (ty == Type::Int && o.ty == Type::Int)
+            return intVal == o.intVal;
+        return asDouble() == o.asDouble();
+    }
+    if (ty != o.ty)
+        return false;
+    switch (ty) {
+    case Type::Null: return true;
+    case Type::Bool: return boolVal == o.boolVal;
+    case Type::String: return strVal == o.strVal;
+    case Type::Array: return arr == o.arr;
+    case Type::Object: return obj == o.obj;
+    default: return false; // unreachable (numbers handled above)
+    }
+}
+
+void
+Json::writeIndented(std::ostream &os, int depth) const
+{
+    auto indent = [&os](int d) {
+        for (int i = 0; i < d; ++i)
+            os << "  ";
+    };
+    switch (ty) {
+    case Type::Null: os << "null"; break;
+    case Type::Bool: os << (boolVal ? "true" : "false"); break;
+    case Type::Int: os << intVal; break;
+    case Type::Double: os << formatDouble(dblVal); break;
+    case Type::String: writeEscaped(os, strVal); break;
+    case Type::Array:
+        if (arr.empty()) {
+            os << "[]";
+            break;
+        }
+        os << "[\n";
+        for (size_t i = 0; i < arr.size(); ++i) {
+            indent(depth + 1);
+            arr[i].writeIndented(os, depth + 1);
+            os << (i + 1 < arr.size() ? ",\n" : "\n");
+        }
+        indent(depth);
+        os << ']';
+        break;
+    case Type::Object:
+        if (obj.empty()) {
+            os << "{}";
+            break;
+        }
+        os << "{\n";
+        for (size_t i = 0; i < obj.size(); ++i) {
+            indent(depth + 1);
+            writeEscaped(os, obj[i].first);
+            os << ": ";
+            obj[i].second.writeIndented(os, depth + 1);
+            os << (i + 1 < obj.size() ? ",\n" : "\n");
+        }
+        indent(depth);
+        os << '}';
+        break;
+    }
+}
+
+void
+Json::write(std::ostream &os) const
+{
+    writeIndented(os, 0);
+    os << "\n";
+}
+
+std::string
+Json::dump() const
+{
+    std::ostringstream os;
+    write(os);
+    return os.str();
+}
+
+bool
+Json::parse(const std::string &text, Json &out, std::string *err)
+{
+    Parser p(text);
+    return p.parseDocument(out, err);
+}
+
+} // namespace maicc

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * A minimal JSON document model for configuration files and stats
+ * dumps (no external dependency). Two properties matter more than
+ * generality:
+ *
+ *  - objects preserve insertion order, and numbers are written in
+ *    a canonical form (integral values as integers, other doubles
+ *    in shortest round-trip notation), so
+ *    `dump(parse(dump(x))) == dump(x)` byte-for-byte — the config
+ *    round-trip guarantee the --config / --dump-config plumbing
+ *    and its tests rely on;
+ *  - parse errors carry a line/column so a hand-edited config file
+ *    fails with a usable message instead of silently defaulting.
+ */
+
+#ifndef MAICC_COMMON_JSON_HH
+#define MAICC_COMMON_JSON_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace maicc
+{
+
+class Json
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Int,
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    /** One object member; order is preserved. */
+    using Member = std::pair<std::string, Json>;
+
+    Json() = default; ///< null
+    Json(bool b) : ty(Type::Bool), boolVal(b) {}
+    Json(int v) : ty(Type::Int), intVal(v) {}
+    Json(unsigned v) : ty(Type::Int), intVal(int64_t(v)) {}
+    Json(int64_t v) : ty(Type::Int), intVal(v) {}
+    Json(uint64_t v) : ty(Type::Int), intVal(int64_t(v)) {}
+    Json(double v); ///< integral doubles canonicalize to Int
+    Json(std::string s) : ty(Type::String), strVal(std::move(s)) {}
+    Json(const char *s) : ty(Type::String), strVal(s) {}
+
+    static Json array();
+    static Json object();
+
+    Type type() const { return ty; }
+    bool isNull() const { return ty == Type::Null; }
+    bool isBool() const { return ty == Type::Bool; }
+    bool isInt() const { return ty == Type::Int; }
+    bool isNumber() const
+    {
+        return ty == Type::Int || ty == Type::Double;
+    }
+    bool isString() const { return ty == Type::String; }
+    bool isArray() const { return ty == Type::Array; }
+    bool isObject() const { return ty == Type::Object; }
+
+    bool asBool() const { return boolVal; }
+    int64_t asInt() const
+    {
+        return ty == Type::Double ? int64_t(dblVal) : intVal;
+    }
+    double asDouble() const
+    {
+        return ty == Type::Int ? double(intVal) : dblVal;
+    }
+    const std::string &asString() const { return strVal; }
+
+    // Array access.
+    size_t size() const { return arr.size(); }
+    const Json &at(size_t i) const { return arr[i]; }
+    void push(Json v) { arr.push_back(std::move(v)); }
+
+    // Object access.
+    const std::vector<Member> &members() const { return obj; }
+    /** @return the member value, or nullptr when absent. */
+    const Json *find(const std::string &key) const;
+    /** Append (or replace) a member. */
+    void set(const std::string &key, Json v);
+
+    bool operator==(const Json &o) const;
+    bool operator!=(const Json &o) const { return !(*this == o); }
+
+    /**
+     * Serialize, pretty-printed with 2-space indentation and a
+     * trailing newline at top level. Deterministic: the same value
+     * always produces the same bytes.
+     */
+    void write(std::ostream &os) const;
+    std::string dump() const;
+
+    /**
+     * Parse one JSON document (trailing garbage is an error).
+     * @return false and set @p err (with line:column) on failure.
+     */
+    static bool parse(const std::string &text, Json &out,
+                      std::string *err = nullptr);
+
+  private:
+    void writeIndented(std::ostream &os, int depth) const;
+
+    Type ty = Type::Null;
+    bool boolVal = false;
+    int64_t intVal = 0;
+    double dblVal = 0.0;
+    std::string strVal;
+    std::vector<Json> arr;
+    std::vector<Member> obj;
+};
+
+} // namespace maicc
+
+#endif // MAICC_COMMON_JSON_HH

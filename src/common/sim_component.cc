@@ -1,0 +1,197 @@
+#include "common/sim_component.hh"
+
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace maicc
+{
+
+namespace
+{
+
+Json
+summaryToJson(const StatSummary &s)
+{
+    Json j = Json::object();
+    j.set("count", s.count());
+    j.set("mean", s.mean());
+    j.set("min", s.min());
+    j.set("max", s.max());
+    j.set("sum", s.sum());
+    return j;
+}
+
+Json
+histogramToJson(const StatHistogram &h)
+{
+    Json j = Json::object();
+    j.set("count", h.count());
+    j.set("mean", h.mean());
+    j.set("min", h.min());
+    j.set("max", h.max());
+    j.set("p50", h.percentile(50));
+    j.set("p95", h.percentile(95));
+    j.set("p99", h.percentile(99));
+    return j;
+}
+
+} // namespace
+
+SimComponent::SimComponent(std::string local_name)
+    : local(std::move(local_name)), fullName(local),
+      statGroup(fullName)
+{
+    maicc_assert(!local.empty());
+}
+
+SimComponent::~SimComponent()
+{
+    detach();
+}
+
+void
+SimComponent::attachTo(SimContext &context, const std::string &name)
+{
+    maicc_assert(!ctx); // detach() first to re-attach
+    fullName = name.empty() ? local : name;
+    statGroup = StatGroup(fullName);
+    // Register before taking the context pointer: a name-collision
+    // throw must leave this component fully detached.
+    context.registerComponent(*this);
+    ctx = &context;
+    onAttach();
+}
+
+void
+SimComponent::attachTo(SimComponent &parent)
+{
+    maicc_assert(parent.attached());
+    attachTo(*parent.context(), parent.name() + "." + local);
+}
+
+void
+SimComponent::detach()
+{
+    if (!ctx)
+        return;
+    ctx->unregisterComponent(*this);
+    ctx = nullptr;
+}
+
+void
+SimComponent::reset()
+{
+    statGroup.resetAll();
+}
+
+SimContext::~SimContext()
+{
+    // Components outliving the context must not call back into it
+    // from their destructors.
+    for (auto &kv : registry)
+        kv.second->ctx = nullptr;
+}
+
+void
+SimContext::registerComponent(SimComponent &c)
+{
+    auto [it, inserted] = registry.emplace(c.name(), &c);
+    if (!inserted) {
+        throw std::runtime_error(
+            "SimContext: duplicate component name \"" + c.name()
+            + "\"");
+    }
+}
+
+void
+SimContext::unregisterComponent(SimComponent &c)
+{
+    auto it = registry.find(c.name());
+    if (it != registry.end() && it->second == &c)
+        registry.erase(it);
+}
+
+SimComponent *
+SimContext::find(const std::string &name) const
+{
+    auto it = registry.find(name);
+    return it == registry.end() ? nullptr : it->second;
+}
+
+std::vector<SimComponent *>
+SimContext::components() const
+{
+    std::vector<SimComponent *> out;
+    out.reserve(registry.size());
+    for (const auto &kv : registry)
+        out.push_back(kv.second);
+    return out;
+}
+
+void
+SimContext::resetAll()
+{
+    for (auto &kv : registry)
+        kv.second->reset();
+}
+
+void
+SimContext::recordAll()
+{
+    for (auto &kv : registry)
+        kv.second->recordStats();
+}
+
+Json
+SimContext::statsToJson()
+{
+    recordAll();
+    Json root = Json::object();
+    for (const auto &kv : registry) {
+        const StatGroup &g = kv.second->stats();
+        Json comp = Json::object();
+        Json counters = Json::object();
+        for (const auto &c : g.counters())
+            counters.set(c.first, c.second.value());
+        if (!counters.members().empty())
+            comp.set("counters", std::move(counters));
+        Json summaries = Json::object();
+        for (const auto &s : g.summaries())
+            summaries.set(s.first, summaryToJson(s.second));
+        if (!summaries.members().empty())
+            comp.set("summaries", std::move(summaries));
+        Json histograms = Json::object();
+        for (const auto &h : g.histograms())
+            histograms.set(h.first, histogramToJson(h.second));
+        if (!histograms.members().empty())
+            comp.set("histograms", std::move(histograms));
+        root.set(kv.first, std::move(comp));
+    }
+    return root;
+}
+
+void
+SimContext::writeStatsJson(std::ostream &os)
+{
+    statsToJson().write(os);
+}
+
+bool
+SimContext::writeStatsJsonFile(const std::string &path)
+{
+    if (path == "-") {
+        writeStatsJson(std::cout);
+        return bool(std::cout);
+    }
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeStatsJson(os);
+    return bool(os);
+}
+
+} // namespace maicc

@@ -159,6 +159,16 @@ class StatGroup
         return _counters;
     }
 
+    const std::map<std::string, StatSummary> &summaries() const
+    {
+        return _summaries;
+    }
+
+    const std::map<std::string, StatHistogram> &histograms() const
+    {
+        return _histograms;
+    }
+
   private:
     std::string qualify(const std::string &name) const;
 

@@ -177,22 +177,5 @@ TraceSink::readJsonlFile(const std::string &path)
     return readJsonl(is);
 }
 
-std::string
-parseTraceFlag(int &argc, char **argv)
-{
-    std::string path;
-    if (const char *env = std::getenv("MAICC_TRACE"))
-        path = env;
-    int out = 1;
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strncmp(argv[i], "--trace=", 8))
-            path = argv[i] + 8;
-        else
-            argv[out++] = argv[i];
-    }
-    argc = out;
-    return path;
-}
-
 } // namespace trace
 } // namespace maicc

@@ -183,13 +183,6 @@ class TraceSink
     bool readJsonlFile(const std::string &path);
 };
 
-/**
- * Parse and strip a `--trace=FILE` argument (mirrors
- * parseThreadsFlag for `--threads=N`). Falls back to the
- * MAICC_TRACE environment variable, then to "" (tracing off).
- */
-std::string parseTraceFlag(int &argc, char **argv);
-
 } // namespace trace
 } // namespace maicc
 

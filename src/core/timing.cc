@@ -17,12 +17,51 @@ CoreTimingModel::CoreTimingModel(const rv32::Program &program,
                                  rv32::MemIf &mem, CMem *cm,
                                  rv32::RowPortIf *rows,
                                  const CoreConfig &config)
-    : cfg(config), exec(program, mem, cm, rows), cmem(cm),
-      regReady(32, 0), regWbDone(32, 0),
+    : SimComponent("core"), cfg(config), exec(program, mem, cm, rows),
+      cmem(cm), regReady(32, 0), regWbDone(32, 0),
       sliceFree(cm ? cm->config().numSlices : 0, 0),
       sliceDataReady(cm ? cm->config().numSlices : 0, 0)
 {
     maicc_assert(config.wbPorts >= 1);
+}
+
+void
+CoreTimingModel::reset()
+{
+    std::fill(regReady.begin(), regReady.end(), Cycles(0));
+    std::fill(regWbDone.begin(), regWbDone.end(), Cycles(0));
+    std::fill(sliceFree.begin(), sliceFree.end(), Cycles(0));
+    std::fill(sliceDataReady.begin(), sliceDataReady.end(),
+              Cycles(0));
+    wbBookings.clear();
+    cmemDispatch.clear();
+    lastCMemDispatch = 0;
+    divFree = 0;
+    memPortFree = 0;
+    fetchReady = 0;
+    runStats = CoreRunStats{};
+    SimComponent::reset();
+}
+
+void
+CoreTimingModel::recordStats()
+{
+    auto publish = [this](const char *name, uint64_t v) {
+        auto &c = stats().counter(name);
+        c.reset();
+        c.inc(v);
+    };
+    publish("cycles", runStats.cycles);
+    publish("insts", runStats.insts);
+    publish("cmemInsts", runStats.cmemInsts);
+    publish("localMemOps", runStats.localMemOps);
+    publish("remoteOps", runStats.remoteOps);
+    publish("stallRaw", runStats.stallRaw);
+    publish("stallWaw", runStats.stallWaw);
+    publish("stallStructural", runStats.stallStructural);
+    publish("stallQueueFull", runStats.stallQueueFull);
+    publish("cmemBusyCycles", runStats.cmemBusyCycles);
+    publish("branchPenaltyCycles", runStats.branchPenaltyCycles);
 }
 
 Cycles
@@ -46,11 +85,11 @@ CoreTimingModel::bookWbPort(Cycles ready)
 CoreRunStats
 CoreTimingModel::run(uint64_t max_insts)
 {
-    stats = CoreRunStats{};
+    runStats = CoreRunStats{};
     Cycles end_time = 0;
 
     while (!exec.halted()) {
-        if (stats.insts >= max_insts)
+        if (runStats.insts >= max_insts)
             maicc_fatal("timing run exceeded %llu instructions",
                         (unsigned long long)max_insts);
 
@@ -81,7 +120,7 @@ CoreTimingModel::run(uint64_t max_insts)
         if (in.readsRs2())
             raw = std::max(raw, regReady[in.rs2]);
         Cycles stall_raw = raw - issue;
-        stats.stallRaw += stall_raw;
+        runStats.stallRaw += stall_raw;
         issue = raw;
 
         // WAW: destination must have retired its previous write.
@@ -89,7 +128,7 @@ CoreTimingModel::run(uint64_t max_insts)
         if (in.writesRd()) {
             Cycles waw = std::max(issue, regWbDone[in.rd]);
             stall_waw = waw - issue;
-            stats.stallWaw += stall_waw;
+            runStats.stallWaw += stall_waw;
             issue = waw;
         }
 
@@ -174,7 +213,7 @@ CoreTimingModel::run(uint64_t max_insts)
                 // until the CMem can start it.
                 Cycles d = std::max(issue, slice_ready);
                 stall_queue = d - issue;
-                stats.stallQueueFull += stall_queue;
+                runStats.stallQueueFull += stall_queue;
                 issue = d;
                 dispatch = d;
             } else {
@@ -188,7 +227,7 @@ CoreTimingModel::run(uint64_t max_insts)
                         cmemDispatch[cmemDispatch.size()
                                      - cfg.cmemQueueSize]);
                     stall_queue = q - issue;
-                    stats.stallQueueFull += stall_queue;
+                    runStats.stallQueueFull += stall_queue;
                     issue = q;
                 }
                 dispatch = std::max(issue, slice_ready);
@@ -203,10 +242,10 @@ CoreTimingModel::run(uint64_t max_insts)
                 sliceFree[slice_a] = dispatch + busy;
                 if (uses_slice_b)
                     sliceFree[slice_b] = dispatch + busy;
-                stats.cmemBusyCycles += busy;
+                runStats.cmemBusyCycles += busy;
                 array_busy = busy;
             }
-            ++stats.cmemInsts;
+            ++runStats.cmemInsts;
 
             Cycles done = dispatch + busy;
             if (in.op == Op::LOADROW_RC) {
@@ -237,7 +276,7 @@ CoreTimingModel::run(uint64_t max_insts)
                    || rv32::isAmoOp(in.op)) {
             Cycles s = std::max(issue, memPortFree);
             stall_struct = s - issue;
-            stats.stallStructural += stall_struct;
+            runStats.stallStructural += stall_struct;
             issue = s;
             memPortFree = issue + 1;
             dispatch = issue;
@@ -251,9 +290,9 @@ CoreTimingModel::run(uint64_t max_insts)
                 || amap::isLocalSlice0(ea);
             Cycles lat = local ? cfg.loadLatency : cfg.remoteLatency;
             if (local)
-                ++stats.localMemOps;
+                ++runStats.localMemOps;
             else
-                ++stats.remoteOps;
+                ++runStats.remoteOps;
 
             if (in.writesRd()) {
                 Cycles done = issue + lat;
@@ -274,7 +313,7 @@ CoreTimingModel::run(uint64_t max_insts)
                    || in.op == Op::REM || in.op == Op::REMU) {
             Cycles s = std::max(issue, divFree);
             stall_struct = s - issue;
-            stats.stallStructural += stall_struct;
+            runStats.stallStructural += stall_struct;
             issue = s;
             dispatch = issue;
             Cycles done = issue + cfg.divLatency;
@@ -322,13 +361,13 @@ CoreTimingModel::run(uint64_t max_insts)
         fetchReady = issue + 1;
         if (taken) {
             fetchReady += cfg.branchPenalty;
-            stats.branchPenaltyCycles += cfg.branchPenalty;
+            runStats.branchPenaltyCycles += cfg.branchPenalty;
         }
         end_time = std::max(end_time, fetchReady);
 
         if (tracing) {
             trace::InstRecord rec;
-            rec.seq = stats.insts;
+            rec.seq = runStats.insts;
             rec.pc = pc_before;
             rec.op = static_cast<uint16_t>(in.op);
             rec.rd = in.rd;
@@ -356,7 +395,7 @@ CoreTimingModel::run(uint64_t max_insts)
             sink->insts.push_back(rec);
         }
 
-        ++stats.insts;
+        ++runStats.insts;
     }
 
     // The program has drained from the pipeline; in-flight CMem
@@ -366,8 +405,8 @@ CoreTimingModel::run(uint64_t max_insts)
         end_time = std::max(end_time, t);
     for (Cycles t : sliceDataReady)
         end_time = std::max(end_time, t);
-    stats.cycles = end_time;
-    return stats;
+    runStats.cycles = end_time;
+    return runStats;
 }
 
 } // namespace maicc

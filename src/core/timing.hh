@@ -39,22 +39,18 @@
 #include <map>
 #include <vector>
 
+#include "common/sim_component.hh"
 #include "core/core_config.hh"
 #include "rv32/executor.hh"
 
 namespace maicc
 {
 
-namespace trace
-{
-class TraceSink;
-}
-
 /**
  * Timing simulation of one node program. Construct with the same
  * collaborators as rv32::Executor plus a CoreConfig, then run().
  */
-class CoreTimingModel
+class CoreTimingModel : public SimComponent
 {
   public:
     CoreTimingModel(const rv32::Program &program, rv32::MemIf &mem,
@@ -67,12 +63,19 @@ class CoreTimingModel
     /** Architectural state after (or during) the run. */
     const rv32::Executor &executor() const { return exec; }
 
+    // The commit-trace sink is inherited: SimComponent::setTrace;
+    // run() emits one InstRecord per retired instruction when set.
+
     /**
-     * Attach a commit-trace sink (common/trace.hh); run() then
-     * emits one InstRecord per retired instruction. Pass nullptr
-     * to detach. The sink is borrowed, not owned.
+     * Clear the scoreboard / resource-availability state so the
+     * next run() sees a cold pipeline (the executor's
+     * architectural state is NOT touched — rebuild or reload the
+     * program for a fully fresh run).
      */
-    void setTrace(trace::TraceSink *s) { sink = s; }
+    void reset() override;
+
+    /** Publish the last run's CoreRunStats into stats(). */
+    void recordStats() override;
 
   private:
     /** Book a write-back port at or after @p ready; @return slot. */
@@ -105,9 +108,7 @@ class CoreTimingModel
     Cycles memPortFree = 0;
     Cycles fetchReady = 0;
 
-    trace::TraceSink *sink = nullptr; ///< optional commit trace
-
-    CoreRunStats stats;
+    CoreRunStats runStats;
 };
 
 } // namespace maicc

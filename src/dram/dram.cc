@@ -9,7 +9,7 @@ namespace maicc
 {
 
 DramChannel::DramChannel(const DramConfig &config)
-    : cfg(config), banks(config.numBanks)
+    : SimComponent("dram_channel"), cfg(config), banks(config.numBanks)
 {
     maicc_assert(cfg.numBanks >= 1);
 }
@@ -141,40 +141,68 @@ DramChannel::nextEventAt() const
     return t;
 }
 
+void
+DramChannel::reset()
+{
+    banks.assign(cfg.numBanks, Bank{});
+    queue.clear();
+    done.clear();
+    busFreeAt = 0;
+    lastTick = 0;
+    st = DramStats{};
+    SimComponent::reset();
+}
+
+void
+DramChannel::recordStats()
+{
+    auto publish = [this](const char *name, uint64_t v) {
+        auto &c = stats().counter(name);
+        c.reset();
+        c.inc(v);
+    };
+    publish("reads", st.reads);
+    publish("writes", st.writes);
+    publish("activates", st.activates);
+    publish("rowHits", st.rowHits);
+    publish("busyCycles", st.busyCycles);
+}
+
 ManyCoreDram::ManyCoreDram(unsigned channels, const DramConfig &cfg)
+    : SimComponent("dram")
 {
     maicc_assert(channels >= 1);
     chans.reserve(channels);
     for (unsigned i = 0; i < channels; ++i)
-        chans.emplace_back(cfg);
+        chans.push_back(std::make_unique<DramChannel>(cfg));
 }
 
 DramChannel &
 ManyCoreDram::channel(unsigned idx)
 {
     maicc_assert(idx < chans.size());
-    return chans[idx];
+    return *chans[idx];
 }
 
 void
 ManyCoreDram::enqueue(Addr addr, bool write, uint64_t tag, Cycles now)
 {
-    chans[amap::dramChannel(addr, chans.size())].enqueue(addr, write,
-                                                         tag, now);
+    chans[amap::dramChannel(addr, chans.size())]->enqueue(addr, write,
+                                                          tag, now);
 }
 
 void
 ManyCoreDram::tick(Cycles now)
 {
     for (auto &c : chans)
-        c.tick(now);
+        c->tick(now);
 }
 
 bool
 ManyCoreDram::idle() const
 {
     for (const auto &c : chans) {
-        if (!c.idle())
+        if (!c->idle())
             return false;
     }
     return true;
@@ -185,13 +213,46 @@ ManyCoreDram::totalStats() const
 {
     DramStats t;
     for (const auto &c : chans) {
-        t.reads += c.stats().reads;
-        t.writes += c.stats().writes;
-        t.activates += c.stats().activates;
-        t.rowHits += c.stats().rowHits;
-        t.busyCycles += c.stats().busyCycles;
+        t.reads += c->dramStats().reads;
+        t.writes += c->dramStats().writes;
+        t.activates += c->dramStats().activates;
+        t.rowHits += c->dramStats().rowHits;
+        t.busyCycles += c->dramStats().busyCycles;
     }
     return t;
+}
+
+void
+ManyCoreDram::reset()
+{
+    for (auto &c : chans)
+        c->reset();
+    SimComponent::reset();
+}
+
+void
+ManyCoreDram::recordStats()
+{
+    DramStats t = totalStats();
+    auto publish = [this](const char *name, uint64_t v) {
+        auto &c = stats().counter(name);
+        c.reset();
+        c.inc(v);
+    };
+    publish("reads", t.reads);
+    publish("writes", t.writes);
+    publish("activates", t.activates);
+    publish("rowHits", t.rowHits);
+    publish("busyCycles", t.busyCycles);
+}
+
+void
+ManyCoreDram::onAttach()
+{
+    for (size_t i = 0; i < chans.size(); ++i) {
+        chans[i]->attachTo(*context(),
+                           name() + ".ch" + std::to_string(i));
+    }
 }
 
 } // namespace maicc

@@ -18,8 +18,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
+#include "common/sim_component.hh"
 #include "common/types.hh"
 
 namespace maicc
@@ -57,7 +59,7 @@ struct DramCompletion
 };
 
 /** One DRAM channel with FR-FCFS scheduling. */
-class DramChannel
+class DramChannel : public SimComponent
 {
   public:
     explicit DramChannel(const DramConfig &cfg = DramConfig{});
@@ -80,7 +82,13 @@ class DramChannel
     /** Earliest cycle at which new work could complete. */
     Cycles nextEventAt() const;
 
-    const DramStats &stats() const { return st; }
+    /** Close every row, drop queued work, zero the stats. */
+    void reset() override;
+
+    /** Publish reads/writes/activates/... into stats(). */
+    void recordStats() override;
+
+    const DramStats &dramStats() const { return st; }
     const DramConfig &config() const { return cfg; }
 
   private:
@@ -119,7 +127,7 @@ class DramChannel
  * The many-core DRAM: 32 channels striped by 64-byte blocks
  * (Table 1), each behind one LLC node.
  */
-class ManyCoreDram
+class ManyCoreDram : public SimComponent
 {
   public:
     explicit ManyCoreDram(unsigned channels = 32,
@@ -137,8 +145,21 @@ class ManyCoreDram
     /** Aggregate stats across channels. */
     DramStats totalStats() const;
 
+    /** reset() every channel. */
+    void reset() override;
+
+    /** Publish the channel-aggregate stats into stats(). */
+    void recordStats() override;
+
+  protected:
+    /** Attach each channel as "<name>.chN". */
+    void onAttach() override;
+
   private:
-    std::vector<DramChannel> chans;
+    // unique_ptr because SimComponent is pinned in memory (the
+    // registry holds raw pointers), so channels cannot live in a
+    // reallocating vector by value.
+    std::vector<std::unique_ptr<DramChannel>> chans;
 };
 
 } // namespace maicc

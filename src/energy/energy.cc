@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/stats.hh"
+
 namespace maicc
 {
 
@@ -34,6 +36,23 @@ EnergyBreakdown::averagePowerW(Cycles runtime, double freq_hz) const
         return 0.0;
     double seconds = runtime / freq_hz;
     return total() * 1e-3 / seconds;
+}
+
+void
+EnergyBreakdown::dumpStats(StatGroup &stats) const
+{
+    auto publish = [&stats](const char *name, double mj) {
+        auto &s = stats.summary(name);
+        s.reset();
+        s.sample(mj);
+    };
+    publish("energy.cmemMj", cmem);
+    publish("energy.coreMj", core);
+    publish("energy.onchipMemMj", onchipMem);
+    publish("energy.nocMj", noc);
+    publish("energy.llcMj", llc);
+    publish("energy.dramMj", dram);
+    publish("energy.totalMj", total());
 }
 
 double

@@ -34,6 +34,8 @@
 namespace maicc
 {
 
+class StatGroup;
+
 /** All model constants, overridable for sensitivity studies. */
 struct EnergyParams
 {
@@ -98,6 +100,9 @@ struct EnergyBreakdown
 
     /** Average power in watts given the runtime. */
     double averagePowerW(Cycles runtime, double freq_hz = 1e9) const;
+
+    /** Publish the per-component millijoule split into @p stats. */
+    void dumpStats(StatGroup &stats) const;
 };
 
 /** Area split by component, mm^2, for @p num_cores nodes. */

@@ -7,10 +7,33 @@ namespace maicc
 {
 
 SimpleCache::SimpleCache(const CacheConfig &config)
-    : cfg(config), lines(config.numSets() * config.ways)
+    : SimComponent("llc"), cfg(config),
+      lines(config.numSets() * config.ways)
 {
     maicc_assert(isPowerOf2(cfg.lineBytes));
     maicc_assert(cfg.numSets() >= 1);
+}
+
+void
+SimpleCache::reset()
+{
+    lines.assign(cfg.numSets() * cfg.ways, Line{});
+    stamp = 0;
+    st = CacheStats{};
+    SimComponent::reset();
+}
+
+void
+SimpleCache::recordStats()
+{
+    auto publish = [this](const char *name, uint64_t v) {
+        auto &c = stats().counter(name);
+        c.reset();
+        c.inc(v);
+    };
+    publish("hits", st.hits);
+    publish("misses", st.misses);
+    publish("writebacks", st.writebacks);
 }
 
 unsigned

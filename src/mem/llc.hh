@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/sim_component.hh"
 #include "common/types.hh"
 
 namespace maicc
@@ -56,7 +57,7 @@ struct CacheAccessResult
 };
 
 /** Set-associative write-back LRU cache (tags only, no data). */
-class SimpleCache
+class SimpleCache : public SimComponent
 {
   public:
     explicit SimpleCache(const CacheConfig &cfg = CacheConfig{});
@@ -67,7 +68,13 @@ class SimpleCache
     /** True when the line is resident (no state change). */
     bool probe(Addr addr) const;
 
-    const CacheStats &stats() const { return st; }
+    /** Invalidate every line and zero the stats. */
+    void reset() override;
+
+    /** Publish hits/misses/writebacks into stats(). */
+    void recordStats() override;
+
+    const CacheStats &cacheStats() const { return st; }
     const CacheConfig &config() const { return cfg; }
 
   private:

@@ -18,7 +18,8 @@ static_assert(MeshNoc::dirNorth == trace::kDirNorth);
 static_assert(MeshNoc::numDirs == trace::kDirInject);
 
 MeshNoc::MeshNoc(const NocConfig &config)
-    : cfg(config), routers(cfg.width * cfg.height),
+    : SimComponent("noc"), cfg(config),
+      routers(cfg.width * cfg.height),
       injectQueues(cfg.width * cfg.height),
       deliverQueues(cfg.width * cfg.height),
       injProgress(cfg.width * cfg.height, 0),
@@ -32,6 +33,49 @@ MeshNoc::MeshNoc(const NocConfig &config)
             r.rrNext[d] = 0;
         }
     }
+}
+
+void
+MeshNoc::reset()
+{
+    cycle = 0;
+    for (auto &r : routers) {
+        for (int d = 0; d < numDirs; ++d) {
+            r.in[d].q.clear();
+            r.outLockedTo[d] = -1;
+            r.rrNext[d] = 0;
+        }
+    }
+    for (auto &q : injectQueues)
+        q.clear();
+    for (auto &q : deliverQueues)
+        q.clear();
+    inFlight.clear();
+    freeSlots.clear();
+    std::fill(injProgress.begin(), injProgress.end(), 0u);
+    std::fill(frontPacketIdx.begin(), frontPacketIdx.end(), 0u);
+    nextPacketId = 1;
+    flitHopCount = 0;
+    deliveredCount = 0;
+    latencySum = 0.0;
+    SimComponent::reset();
+}
+
+void
+MeshNoc::recordStats()
+{
+    auto publish = [this](const char *name, uint64_t v) {
+        auto &c = stats().counter(name);
+        c.reset();
+        c.inc(v);
+    };
+    publish("flitHops", flitHopCount);
+    publish("packetsDelivered", deliveredCount);
+    publish("cycles", cycle);
+    auto &lat = stats().summary("packetLatency");
+    lat.reset();
+    if (deliveredCount)
+        lat.sample(latencySum / double(deliveredCount));
 }
 
 unsigned

@@ -17,16 +17,12 @@
 #include <deque>
 #include <vector>
 
+#include "common/sim_component.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
 namespace maicc
 {
-
-namespace trace
-{
-class TraceSink;
-}
 
 /** Topology and router parameters. */
 struct NocConfig
@@ -60,7 +56,7 @@ struct Packet
  * a ShardedInjector, which the owner commits in shard order at the
  * barrier.
  */
-class MeshNoc
+class MeshNoc : public SimComponent
 {
   public:
     /**
@@ -130,11 +126,13 @@ class MeshNoc
     double avgPacketLatency() const;
 
     /**
-     * Attach a commit-trace sink (common/trace.hh); inject() and
-     * tick() then emit packet/flit records. Pass nullptr to
-     * detach. The sink is borrowed, not owned.
+     * Return to cycle 0 with empty queues and zeroed counters;
+     * the trace sink (SimComponent::setTrace) stays attached.
      */
-    void setTrace(trace::TraceSink *s) { sink = s; }
+    void reset() override;
+
+    /** Publish flit-hop/delivery/latency counters into stats(). */
+    void recordStats() override;
 
   private:
     struct Flit
@@ -178,7 +176,6 @@ class MeshNoc
     uint64_t flitHopCount = 0;
     uint64_t deliveredCount = 0;
     double latencySum = 0.0;
-    trace::TraceSink *sink = nullptr; ///< optional commit trace
 };
 
 /**

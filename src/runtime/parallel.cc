@@ -139,26 +139,4 @@ ThreadPool::forShards(
     });
 }
 
-unsigned
-parseThreadsFlag(int &argc, char **argv)
-{
-    unsigned threads = 1;
-    if (const char *env = std::getenv("MAICC_THREADS"))
-        threads = static_cast<unsigned>(std::atoi(env));
-
-    int out = 1;
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strncmp(argv[i], "--threads=", 10)) {
-            threads = static_cast<unsigned>(
-                std::atoi(argv[i] + 10));
-        } else {
-            argv[out++] = argv[i];
-        }
-    }
-    argc = out;
-    if (threads == 0)
-        threads = std::max(1u, std::thread::hardware_concurrency());
-    return threads;
-}
-
 } // namespace maicc

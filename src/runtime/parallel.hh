@@ -112,14 +112,6 @@ class ThreadPool
     std::exception_ptr firstError;
 };
 
-/**
- * Parse and strip a `--threads=N` argument (the knob wired through
- * every bench and example binary). Falls back to the MAICC_THREADS
- * environment variable, then to 1 (serial). N = 0 means hardware
- * concurrency.
- */
-unsigned parseThreadsFlag(int &argc, char **argv);
-
 } // namespace maicc
 
 #endif // MAICC_RUNTIME_PARALLEL_HH

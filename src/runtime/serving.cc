@@ -25,31 +25,56 @@ ServingResult::throughput(double freq_hz) const
 void
 ServingResult::dumpStats(StatGroup &stats) const
 {
-    stats.counter("serving.offered").inc(offered);
-    stats.counter("serving.completed").inc(completed);
-    stats.counter("serving.rejected").inc(rejected);
-    stats.counter("serving.pending").inc(pending);
-    stats.counter("serving.endCycle").inc(endCycle);
-    stats.counter("serving.minServiceLatency")
+    stats.counter("offered").inc(offered);
+    stats.counter("completed").inc(completed);
+    stats.counter("rejected").inc(rejected);
+    stats.counter("pending").inc(pending);
+    stats.counter("endCycle").inc(endCycle);
+    stats.counter("minServiceLatency")
         .inc(minServiceLatency);
     for (const auto &r : requests) {
         if (!r.completed)
             continue;
-        stats.histogram("serving.latencyCycles")
+        stats.histogram("latencyCycles")
             .sample(double(r.latency()));
-        stats.histogram("serving.queueingCycles")
+        stats.histogram("queueingCycles")
             .sample(double(r.queueing()));
     }
     for (const auto &u : coreTimeline)
-        stats.summary("serving.usedCores").sample(double(u.usedCores));
-    stats.summary("serving.utilization").sample(utilization);
+        stats.summary("usedCores").sample(double(u.usedCores));
+    stats.summary("utilization").sample(utilization);
 }
 
 ServingSimulator::ServingSimulator(ServingConfig config)
-    : cfg(std::move(config))
+    : SimComponent("serving"), cfg(std::move(config))
 {
     maicc_assert(cfg.system.coreBudget
                  <= cfg.system.geometry.computeNodes());
+}
+
+void
+ServingSimulator::reset()
+{
+    profiles.clear();
+    systems.clear();
+    SimComponent::reset();
+}
+
+MaiccSystem &
+ServingSimulator::systemFor(size_t model)
+{
+    auto it = systems.find(model);
+    if (it == systems.end()) {
+        const ServedModel &m = models[model];
+        auto sys = std::make_unique<MaiccSystem>(
+            *m.net, *m.weights, cfg.system);
+        if (attached()) {
+            sys->attachTo(*context(),
+                          name() + ".model" + std::to_string(model));
+        }
+        it = systems.emplace(model, std::move(sys)).first;
+    }
+    return *it->second;
 }
 
 size_t
@@ -118,11 +143,14 @@ ServingSimulator::profile(size_t model, unsigned cores)
     // of (model, cores) — the registered input is fixed — so it is
     // simulated once and replayed for every later request, which
     // keeps a many-request sweep tractable without changing any
-    // outcome.
+    // outcome. The model's cached system is reset() first, which
+    // makes the run bitwise identical to one on a fresh system
+    // while skipping per-probe construction.
     const ServedModel &m = models[model];
     MappingPlan plan =
         planMapping(*m.net, Strategy::Heuristic, cores);
-    MaiccSystem sys(*m.net, *m.weights, cfg.system);
+    MaiccSystem &sys = systemFor(model);
+    sys.reset();
     RunResult rr = sys.run(plan, *m.input);
 
     ServiceProfile sp;
@@ -357,6 +385,11 @@ ServingSimulator::run()
             / (double(res.endCycle)
                * double(cfg.system.coreBudget));
     }
+
+    // Publish this run's outcome into the component's StatGroup so
+    // a --stats-json dump sees it without extra plumbing.
+    stats().resetAll();
+    res.dumpStats(stats());
     return res;
 }
 

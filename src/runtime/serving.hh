@@ -169,7 +169,8 @@ struct ServingResult
 
     /**
      * Record counts, percentiles, utilization, and the per-request
-     * latency histogram into @p stats (under "serving.").
+     * latency histogram into @p stats under unqualified names
+     * (the group's prefix supplies the qualification).
      */
     void dumpStats(StatGroup &stats) const;
 };
@@ -178,8 +179,15 @@ struct ServingResult
  * The request-driven serving simulator. Register models, choose an
  * arrival process, run(). run() may be called repeatedly; each call
  * re-seeds from the config and starts from an empty array.
+ *
+ * Service profiling reuses one cached MaiccSystem per model across
+ * every (model, cores) probe and every run() — reset() between
+ * probes restores the just-constructed state, so the profile is
+ * bitwise identical to one from a fresh system (pinned by
+ * tests/runtime/test_reset.cc) without paying thread-pool and
+ * cache construction per probe.
  */
-class ServingSimulator
+class ServingSimulator : public SimComponent
 {
   public:
     explicit ServingSimulator(ServingConfig cfg);
@@ -198,6 +206,9 @@ class ServingSimulator
     /** Simulate the whole request stream. */
     ServingResult run();
 
+    /** Drop cached systems and service profiles; keep the models. */
+    void reset() override;
+
   private:
     /** Latency profile of one model in one region size. */
     struct ServiceProfile
@@ -215,11 +226,16 @@ class ServingSimulator
     const ServiceProfile &profile(size_t model, unsigned cores);
     std::vector<Arrival> generateArrivals() const;
 
+    /** The cached (lazily built) profiling system for @p model. */
+    MaiccSystem &systemFor(size_t model);
+
     ServingConfig cfg;
     std::vector<ServedModel> models;
     std::vector<Arrival> traceArrivals;
     std::vector<unsigned> minCoresCache;
     std::map<std::pair<size_t, unsigned>, ServiceProfile> profiles;
+    /** One profiling system per model, reset() between probes. */
+    std::map<size_t, std::unique_ptr<MaiccSystem>> systems;
 };
 
 } // namespace maicc

@@ -73,11 +73,57 @@ RunResult::dumpStats(StatGroup &stats) const
 MaiccSystem::MaiccSystem(const Network &network,
                          const std::vector<Weights4> &w,
                          SystemConfig config)
-    : net(network), weights(w), cfg(std::move(config)),
-      llcModel(cfg.llc),
+    : SimComponent("system"), net(network), weights(w),
+      cfg(std::move(config)), llcModel(cfg.llc),
       pool(std::make_unique<ThreadPool>(cfg.numThreads))
 {
     maicc_assert(weights.size() == net.size());
+}
+
+void
+MaiccSystem::onAttach()
+{
+    llcModel.attachTo(*this);
+}
+
+void
+MaiccSystem::reset()
+{
+    // The LLC filter model is the only piece that carries state
+    // from one run() into the next; everything else is rebuilt at
+    // the top of run(). Clearing it makes a reset system
+    // indistinguishable from a freshly constructed one.
+    llcModel.reset();
+    residualTimings.clear();
+    resultInput = Tensor3{};
+    runsCompleted = 0;
+    totalActivity = ActivityCounts{};
+    lastRunCycles = 0;
+    SimComponent::reset();
+}
+
+void
+MaiccSystem::recordStats()
+{
+    auto publish = [this](const char *name, uint64_t v) {
+        auto &c = stats().counter(name);
+        c.reset();
+        c.inc(v);
+    };
+    publish("runs", runsCompleted);
+    publish("lastRunCycles", lastRunCycles);
+    publish("activity.activeCoreCycles",
+            totalActivity.activeCoreCycles);
+    publish("activity.macActivations", totalActivity.macActivations);
+    publish("activity.moveRows", totalActivity.moveRows);
+    publish("activity.remoteRows", totalActivity.remoteRows);
+    publish("activity.verticalWriteBytes",
+            totalActivity.verticalWriteBytes);
+    publish("activity.dmemAccesses", totalActivity.dmemAccesses);
+    publish("activity.llcAccesses", totalActivity.llcAccesses);
+    publish("activity.nocFlitHops", totalActivity.nocFlitHops);
+    publish("activity.dramAccesses", totalActivity.dramAccesses);
+    llcModel.recordStats();
 }
 
 void
@@ -452,6 +498,9 @@ MaiccSystem::run(const MappingPlan &plan, const Tensor3 &input,
     result.activity.runtime = result.totalCycles;
     result.activity.activeCoreCycles =
         uint64_t(result.totalCycles) * cfg.coreBudget;
+    ++runsCompleted;
+    totalActivity += result.activity;
+    lastRunCycles = result.totalCycles;
     return result;
 }
 

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The JSON config binding (common/config.hh): lossless round
+ * trips, partial overlays, and strict unknown-key / type-mismatch
+ * errors with usable paths.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "common/json.hh"
+
+using namespace maicc;
+
+namespace
+{
+
+std::string
+dumpToString(const SimConfig &cfg)
+{
+    std::ostringstream os;
+    dumpConfig(os, cfg);
+    return os.str();
+}
+
+} // namespace
+
+TEST(Config, DefaultDumpRoundTripsByteForByte)
+{
+    SimConfig def;
+    std::string first = dumpToString(def);
+
+    SimConfig loaded;
+    std::istringstream in(first);
+    std::string err;
+    ASSERT_TRUE(loadConfig(in, loaded, &err)) << err;
+    EXPECT_EQ(dumpToString(loaded), first);
+}
+
+TEST(Config, DumpContainsEverySection)
+{
+    Json j = toJson(SimConfig{});
+    for (const char *key : {"system", "core", "serving"})
+        EXPECT_NE(j.find(key), nullptr) << key;
+    const Json *system = j.find("system");
+    for (const char *key :
+         {"geometry", "noc", "dram", "llc", "coreBudget",
+          "numThreads", "clockHz"})
+        EXPECT_NE(system->find(key), nullptr) << key;
+}
+
+TEST(Config, PartialOverlayKeepsOtherDefaults)
+{
+    SimConfig cfg;
+    unsigned default_budget = cfg.system.coreBudget;
+    std::istringstream in(
+        "{\"system\": {\"numThreads\": 8},"
+        " \"core\": {\"cmemQueueSize\": 4}}");
+    std::string err;
+    ASSERT_TRUE(loadConfig(in, cfg, &err)) << err;
+    EXPECT_EQ(cfg.system.numThreads, 8u);
+    EXPECT_EQ(cfg.core.cmemQueueSize, 4u);
+    EXPECT_EQ(cfg.system.coreBudget, default_budget);
+}
+
+TEST(Config, UnknownKeyIsAnErrorWithPath)
+{
+    SimConfig cfg;
+    std::istringstream in("{\"system\": {\"coreBudgte\": 100}}");
+    std::string err;
+    EXPECT_FALSE(loadConfig(in, cfg, &err));
+    EXPECT_NE(err.find("coreBudgte"), std::string::npos) << err;
+    EXPECT_NE(err.find("system"), std::string::npos) << err;
+}
+
+TEST(Config, TypeMismatchIsAnErrorWithPath)
+{
+    SimConfig cfg;
+    std::istringstream in("{\"system\": {\"coreBudget\": \"x\"}}");
+    std::string err;
+    EXPECT_FALSE(loadConfig(in, cfg, &err));
+    EXPECT_NE(err.find("coreBudget"), std::string::npos) << err;
+}
+
+TEST(Config, MalformedJsonIsAnError)
+{
+    SimConfig cfg;
+    std::istringstream in("{\"system\": ");
+    std::string err;
+    EXPECT_FALSE(loadConfig(in, cfg, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Config, NonDefaultValuesSurviveTheRoundTrip)
+{
+    SimConfig cfg;
+    cfg.system.coreBudget = 128;
+    cfg.system.dram.accessBytes = 32;
+    cfg.core.wbPorts = 2;
+    cfg.serving.maxBatch = 4;
+
+    SimConfig back;
+    std::istringstream in(dumpToString(cfg));
+    std::string err;
+    ASSERT_TRUE(loadConfig(in, back, &err)) << err;
+    EXPECT_EQ(back.system.coreBudget, 128u);
+    EXPECT_EQ(back.system.dram.accessBytes, 32u);
+    EXPECT_EQ(back.core.wbPorts, 2u);
+    EXPECT_EQ(back.serving.maxBatch, 4u);
+    EXPECT_EQ(dumpToString(back), dumpToString(cfg));
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The JSON document model under the two guarantees the config
+ * plumbing relies on: byte-stable round-trips and usable parse
+ * errors (common/json.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+
+using namespace maicc;
+
+TEST(Json, ScalarTypesAndAccessors)
+{
+    EXPECT_TRUE(Json().isNull());
+    EXPECT_TRUE(Json(true).asBool());
+    EXPECT_EQ(Json(42).asInt(), 42);
+    EXPECT_EQ(Json(uint64_t(1) << 40).asInt(), int64_t(1) << 40);
+    EXPECT_DOUBLE_EQ(Json(0.25).asDouble(), 0.25);
+    EXPECT_EQ(Json("hello").asString(), "hello");
+}
+
+TEST(Json, IntegralDoubleCanonicalizesToInt)
+{
+    // 1e9 written as "1000000000", not "1e+09": the config dump
+    // must re-parse to the same type it was dumped from.
+    Json j(1e9);
+    EXPECT_TRUE(j.isInt());
+    EXPECT_EQ(j.dump(), "1000000000\n");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder)
+{
+    Json o = Json::object();
+    o.set("zebra", 1);
+    o.set("alpha", 2);
+    o.set("mid", 3);
+    EXPECT_EQ(o.members()[0].first, "zebra");
+    EXPECT_EQ(o.members()[1].first, "alpha");
+    EXPECT_EQ(o.members()[2].first, "mid");
+    ASSERT_NE(o.find("alpha"), nullptr);
+    EXPECT_EQ(o.find("alpha")->asInt(), 2);
+    EXPECT_EQ(o.find("missing"), nullptr);
+}
+
+TEST(Json, SetReplacesExistingMemberInPlace)
+{
+    Json o = Json::object();
+    o.set("a", 1);
+    o.set("b", 2);
+    o.set("a", 9);
+    ASSERT_EQ(o.members().size(), 2u);
+    EXPECT_EQ(o.members()[0].first, "a");
+    EXPECT_EQ(o.find("a")->asInt(), 9);
+}
+
+TEST(Json, DumpParseDumpIsByteStable)
+{
+    Json o = Json::object();
+    o.set("int", 7);
+    o.set("neg", -3);
+    o.set("frac", 0.125);
+    o.set("big", int64_t(123456789012345));
+    o.set("str", "with \"quotes\" and \\ and \n tab \t");
+    o.set("flag", true);
+    o.set("nothing", Json());
+    Json arr = Json::array();
+    arr.push(1);
+    arr.push("two");
+    arr.push(3.5);
+    o.set("arr", std::move(arr));
+    Json nested = Json::object();
+    nested.set("x", 1);
+    o.set("obj", std::move(nested));
+
+    std::string first = o.dump();
+    Json back;
+    std::string err;
+    ASSERT_TRUE(Json::parse(first, back, &err)) << err;
+    EXPECT_EQ(back, o);
+    EXPECT_EQ(back.dump(), first);
+}
+
+TEST(Json, ParsesWhitespaceAndEscapes)
+{
+    Json v;
+    std::string err;
+    ASSERT_TRUE(Json::parse(
+        "  { \"a\" : [ 1 , -2.5e2 , \"x\\u0041y\" ] }\n", v, &err))
+        << err;
+    const Json *a = v.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->size(), 3u);
+    EXPECT_EQ(a->at(0).asInt(), 1);
+    EXPECT_DOUBLE_EQ(a->at(1).asDouble(), -250.0);
+    EXPECT_EQ(a->at(2).asString(), "xAy");
+}
+
+TEST(Json, ParseErrorsCarryLineAndColumn)
+{
+    Json v;
+    std::string err;
+    EXPECT_FALSE(Json::parse("{\n  \"a\": 1,\n  oops\n}", v, &err));
+    // The broken token is on line 3; the message must say so.
+    EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+}
+
+TEST(Json, TrailingGarbageIsAnError)
+{
+    Json v;
+    std::string err;
+    EXPECT_FALSE(Json::parse("{} trailing", v, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Json, EqualityIsStructural)
+{
+    Json a = Json::object();
+    a.set("k", 1);
+    Json b = Json::object();
+    b.set("k", 1);
+    EXPECT_EQ(a, b);
+    b.set("k", 2);
+    EXPECT_NE(a, b);
+    // Int 2 and double 2.0 canonicalize to the same value.
+    EXPECT_EQ(Json(2), Json(2.0));
+}

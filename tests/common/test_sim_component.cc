@@ -1,0 +1,206 @@
+/**
+ * @file
+ * The SimComponent / SimContext registry layer: hierarchical
+ * naming, collision detection, lifetime safety, resetAll, and the
+ * statsToJson dump shape (common/sim_component.hh).
+ */
+
+#include <sstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+#include "common/sim_component.hh"
+
+using namespace maicc;
+
+namespace
+{
+
+/** A component with one counter and a child it attaches itself. */
+class Child : public SimComponent
+{
+  public:
+    Child() : SimComponent("child") {}
+
+    uint64_t events = 0;
+
+    void
+    reset() override
+    {
+        events = 0;
+        SimComponent::reset();
+    }
+
+    void
+    recordStats() override
+    {
+        auto &c = stats().counter("events");
+        c.reset();
+        c.inc(events);
+    }
+};
+
+class Parent : public SimComponent
+{
+  public:
+    Parent() : SimComponent("parent") {}
+
+    Child child;
+
+  protected:
+    void
+    onAttach() override
+    {
+        child.attachTo(*this);
+    }
+};
+
+} // namespace
+
+TEST(SimComponent, DetachedComponentIsFullyUsable)
+{
+    Child c;
+    EXPECT_FALSE(c.attached());
+    EXPECT_EQ(c.name(), "child");
+    c.events = 3;
+    c.recordStats();
+    EXPECT_EQ(c.stats().get("events"), 3u);
+}
+
+TEST(SimComponent, AttachSetsHierarchicalNames)
+{
+    SimContext ctx;
+    Parent p;
+    p.attachTo(ctx);
+    EXPECT_EQ(p.name(), "parent");
+    EXPECT_EQ(p.child.name(), "parent.child");
+    EXPECT_EQ(ctx.size(), 2u);
+    EXPECT_EQ(ctx.find("parent.child"), &p.child);
+    EXPECT_EQ(ctx.find("nope"), nullptr);
+}
+
+TEST(SimComponent, AttachUnderExplicitName)
+{
+    SimContext ctx;
+    Child a, b;
+    a.attachTo(ctx, "model0");
+    b.attachTo(ctx, "model1");
+    EXPECT_EQ(a.name(), "model0");
+    EXPECT_EQ(ctx.find("model1"), &b);
+}
+
+TEST(SimComponent, NameCollisionThrows)
+{
+    SimContext ctx;
+    Child a, b;
+    a.attachTo(ctx);
+    EXPECT_THROW(b.attachTo(ctx), std::runtime_error);
+    // The failed attach must leave b detached and the registry
+    // unchanged.
+    EXPECT_FALSE(b.attached());
+    EXPECT_EQ(ctx.size(), 1u);
+    EXPECT_EQ(ctx.find("child"), &a);
+}
+
+TEST(SimComponent, DestructorDetaches)
+{
+    SimContext ctx;
+    {
+        Child c;
+        c.attachTo(ctx);
+        EXPECT_EQ(ctx.size(), 1u);
+    }
+    EXPECT_EQ(ctx.size(), 0u);
+    // The name is free again.
+    Child again;
+    again.attachTo(ctx);
+    EXPECT_EQ(ctx.find("child"), &again);
+}
+
+TEST(SimComponent, ExplicitDetachFreesTheName)
+{
+    SimContext ctx;
+    Child c;
+    c.attachTo(ctx);
+    c.detach();
+    EXPECT_FALSE(c.attached());
+    EXPECT_EQ(ctx.size(), 0u);
+    c.detach(); // no-op when already detached
+    c.attachTo(ctx);
+    EXPECT_TRUE(c.attached());
+}
+
+TEST(SimComponent, ContextDestructionLeavesComponentsDetached)
+{
+    Child c;
+    {
+        SimContext ctx;
+        c.attachTo(ctx);
+        EXPECT_TRUE(c.attached());
+    }
+    // The context died first; the component must not dangle.
+    EXPECT_FALSE(c.attached());
+    c.recordStats(); // still usable
+}
+
+TEST(SimComponent, ResetAllResetsEveryComponentAndItsStats)
+{
+    SimContext ctx;
+    Parent p;
+    p.attachTo(ctx);
+    p.child.events = 7;
+    ctx.recordAll();
+    EXPECT_EQ(p.child.stats().get("events"), 7u);
+    ctx.resetAll();
+    EXPECT_EQ(p.child.events, 0u);
+    EXPECT_EQ(p.child.stats().get("events"), 0u);
+}
+
+TEST(SimComponent, StatsToJsonGroupsByComponentName)
+{
+    SimContext ctx;
+    Parent p;
+    p.attachTo(ctx);
+    p.child.events = 5;
+    auto &s = p.stats().summary("latency");
+    s.sample(2.0);
+    s.sample(4.0);
+
+    Json j = ctx.statsToJson();
+    ASSERT_TRUE(j.isObject());
+    ASSERT_EQ(j.members().size(), 2u);
+    // Name order: "parent" before "parent.child".
+    EXPECT_EQ(j.members()[0].first, "parent");
+    EXPECT_EQ(j.members()[1].first, "parent.child");
+
+    // statsToJson must have run recordStats() for us.
+    const Json *child = j.find("parent.child");
+    ASSERT_NE(child, nullptr);
+    const Json *counters = child->find("counters");
+    ASSERT_NE(counters, nullptr);
+    ASSERT_NE(counters->find("events"), nullptr);
+    EXPECT_EQ(counters->find("events")->asInt(), 5);
+
+    const Json *summaries = j.find("parent")->find("summaries");
+    ASSERT_NE(summaries, nullptr);
+    const Json *lat = summaries->find("latency");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->find("count")->asInt(), 2);
+    EXPECT_DOUBLE_EQ(lat->find("mean")->asDouble(), 3.0);
+}
+
+TEST(SimComponent, WriteStatsJsonIsValidJson)
+{
+    SimContext ctx;
+    Child c;
+    c.attachTo(ctx);
+    c.events = 1;
+    std::ostringstream os;
+    ctx.writeStatsJson(os);
+    Json back;
+    std::string err;
+    ASSERT_TRUE(Json::parse(os.str(), back, &err)) << err;
+    EXPECT_TRUE(back.isObject());
+}

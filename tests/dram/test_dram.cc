@@ -15,8 +15,8 @@ TEST(DramChannel, ClosedRowAccessLatency)
     EXPECT_EQ(done[0].tag, 1u);
     EXPECT_EQ(done[0].finishedAt,
               cfg.tRCD + cfg.tCAS + cfg.burst);
-    EXPECT_EQ(ch.stats().activates, 1u);
-    EXPECT_EQ(ch.stats().rowHits, 0u);
+    EXPECT_EQ(ch.dramStats().activates, 1u);
+    EXPECT_EQ(ch.dramStats().rowHits, 0u);
 }
 
 TEST(DramChannel, RowHitIsFaster)
@@ -30,7 +30,7 @@ TEST(DramChannel, RowHitIsFaster)
     Cycles first = done[0].finishedAt;
     Cycles second = done[1].finishedAt;
     EXPECT_EQ(second - first, cfg.tCAS + cfg.burst);
-    EXPECT_EQ(ch.stats().rowHits, 1u);
+    EXPECT_EQ(ch.dramStats().rowHits, 1u);
 }
 
 TEST(DramChannel, RowConflictPaysPrechargeAndRas)
@@ -46,7 +46,7 @@ TEST(DramChannel, RowConflictPaysPrechargeAndRas)
     Cycles gap = done[1].finishedAt - done[0].finishedAt;
     // Must include precharge + activate; tRAS may dominate.
     EXPECT_GE(gap, cfg.tRP + cfg.tRCD);
-    EXPECT_EQ(ch.stats().activates, 2u);
+    EXPECT_EQ(ch.dramStats().activates, 2u);
 }
 
 TEST(DramChannel, BanksOverlapButShareBus)
@@ -92,7 +92,7 @@ TEST(DramChannel, WriteStatsAndIdle)
     auto done = ch.collect(1'000);
     ASSERT_EQ(done.size(), 1u);
     EXPECT_TRUE(done[0].write);
-    EXPECT_EQ(ch.stats().writes, 1u);
+    EXPECT_EQ(ch.dramStats().writes, 1u);
     EXPECT_TRUE(ch.idle());
 }
 
@@ -104,9 +104,9 @@ TEST(ManyCoreDram, RoutesByChannelStripe)
     dram.enqueue(amap::dramBase + 1 * 64, false, 1, 0);
     dram.enqueue(amap::dramBase + 32 * 64, false, 2, 0);
     dram.tick(1'000);
-    EXPECT_EQ(dram.channel(0).stats().reads, 2u);
-    EXPECT_EQ(dram.channel(1).stats().reads, 1u);
-    EXPECT_EQ(dram.channel(2).stats().reads, 0u);
+    EXPECT_EQ(dram.channel(0).dramStats().reads, 2u);
+    EXPECT_EQ(dram.channel(1).dramStats().reads, 1u);
+    EXPECT_EQ(dram.channel(2).dramStats().reads, 0u);
 }
 
 TEST(ManyCoreDram, ChannelsServeInParallel)

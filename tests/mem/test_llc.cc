@@ -15,8 +15,8 @@ TEST(SimpleCache, ColdMissThenHit)
     EXPECT_TRUE(r3.hit);
     auto r4 = c.access(0x1040, false); // next line
     EXPECT_FALSE(r4.hit);
-    EXPECT_EQ(c.stats().hits, 2u);
-    EXPECT_EQ(c.stats().misses, 2u);
+    EXPECT_EQ(c.cacheStats().hits, 2u);
+    EXPECT_EQ(c.cacheStats().misses, 2u);
 }
 
 TEST(SimpleCache, LruEvictionOrder)
@@ -46,7 +46,7 @@ TEST(SimpleCache, DirtyVictimWritesBack)
     auto r = c.access(2 * 64, false); // evicts dirty line 0
     EXPECT_TRUE(r.writeback);
     EXPECT_EQ(r.victimAddr, 0u);
-    EXPECT_EQ(c.stats().writebacks, 1u);
+    EXPECT_EQ(c.cacheStats().writebacks, 1u);
 
     auto r2 = c.access(3 * 64, false); // evicts clean line 1
     EXPECT_FALSE(r2.writeback);
@@ -74,7 +74,7 @@ TEST(SimpleCache, HitRateAccounting)
             c.access(a, false);
     }
     // 16 cold misses, 48 hits.
-    EXPECT_EQ(c.stats().misses, 16u);
-    EXPECT_EQ(c.stats().hits, 48u);
-    EXPECT_NEAR(c.stats().hitRate(), 0.75, 1e-9);
+    EXPECT_EQ(c.cacheStats().misses, 16u);
+    EXPECT_EQ(c.cacheStats().hits, 48u);
+    EXPECT_NEAR(c.cacheStats().hitRate(), 0.75, 1e-9);
 }

@@ -53,14 +53,18 @@ struct Workload
     {
     }
 
-    ServingSimulator
+    // By pointer: a SimComponent is pinned in memory (the registry
+    // holds raw pointers), so the simulator is neither copyable nor
+    // movable.
+    std::unique_ptr<ServingSimulator>
     simulator(ServingConfig cfg) const
     {
-        ServingSimulator sim(std::move(cfg));
-        sim.addModel({"camera", &camera.net, &camera.weights,
-                      &camera.input, 3.0, 0});
-        sim.addModel({"radar", &radar.net, &radar.weights,
-                      &radar.input, 1.0, 0});
+        auto sim =
+            std::make_unique<ServingSimulator>(std::move(cfg));
+        sim->addModel({"camera", &camera.net, &camera.weights,
+                       &camera.input, 3.0, 0});
+        sim->addModel({"radar", &radar.net, &radar.weights,
+                       &radar.input, 1.0, 0});
         return sim;
     }
 
@@ -128,7 +132,7 @@ TEST(Serving, BitwiseIdenticalAcrossThreadCounts)
     auto run_at = [&](unsigned threads) {
         ServingConfig cfg = baseConfig();
         cfg.system.numThreads = threads;
-        return w.simulator(cfg).run();
+        return w.simulator(cfg)->run();
     };
     ServingResult serial = run_at(1);
     ASSERT_GT(serial.completed, 0u);
@@ -139,7 +143,7 @@ TEST(Serving, BitwiseIdenticalAcrossThreadCounts)
 TEST(Serving, PercentileOrderingAndServiceFloor)
 {
     Workload w;
-    ServingResult r = w.simulator(baseConfig()).run();
+    ServingResult r = w.simulator(baseConfig())->run();
     ASSERT_GT(r.completed, 0u);
     EXPECT_GT(r.minServiceLatency, 0u);
     EXPECT_GE(r.p95, r.p50);
@@ -158,7 +162,7 @@ TEST(Serving, RequestAccountingBalances)
     Workload w;
 
     // Draining run: everything offered completes.
-    ServingResult drained = w.simulator(baseConfig()).run();
+    ServingResult drained = w.simulator(baseConfig())->run();
     EXPECT_EQ(drained.completed + drained.pending
                   + drained.rejected,
               drained.offered);
@@ -169,7 +173,7 @@ TEST(Serving, RequestAccountingBalances)
     ServingConfig tight = baseConfig();
     tight.queueCapacity = 1;
     tight.meanInterarrival = 20'000;
-    ServingResult rejected = w.simulator(tight).run();
+    ServingResult rejected = w.simulator(tight)->run();
     EXPECT_EQ(rejected.completed + rejected.pending
                   + rejected.rejected,
               rejected.offered);
@@ -178,7 +182,7 @@ TEST(Serving, RequestAccountingBalances)
     // A cutoff strands late work as pending.
     ServingConfig cut = baseConfig();
     cut.cutoff = 400'000;
-    ServingResult pending = w.simulator(cut).run();
+    ServingResult pending = w.simulator(cut)->run();
     EXPECT_EQ(pending.completed + pending.pending
                   + pending.rejected,
               pending.offered);
@@ -202,7 +206,7 @@ TEST(Serving, MeanLatencyNonDecreasingAcrossLoadSweep)
         ServingConfig cfg = baseConfig();
         cfg.meanInterarrival = gap;
         cfg.queueCapacity = 1'000'000; // no rejections in the sweep
-        ServingResult r = w.simulator(cfg).run();
+        ServingResult r = w.simulator(cfg)->run();
         EXPECT_EQ(r.completed, r.offered);
         if (offered == 0)
             offered = r.offered;
@@ -220,7 +224,7 @@ TEST(Serving, UtilizationWithinBoundsAndTimelineMonotone)
     Workload w;
     ServingConfig cfg = baseConfig();
     cfg.meanInterarrival = 50'000;
-    ServingResult r = w.simulator(cfg).run();
+    ServingResult r = w.simulator(cfg)->run();
     EXPECT_GT(r.utilization, 0.0);
     EXPECT_LE(r.utilization, 1.0);
     ASSERT_FALSE(r.coreTimeline.empty());
@@ -237,15 +241,15 @@ TEST(Serving, TraceArrivalsAreServedAsGiven)
     Workload w;
     ServingConfig cfg = baseConfig();
     cfg.arrivals = ArrivalProcess::Trace;
-    ServingSimulator sim = w.simulator(cfg);
+    auto sim = w.simulator(cfg);
     std::istringstream trace(
         "# cycle model\n"
         "1000 camera\n"
         "2000 radar\n"
         "2000 radar\n"
         "900000 camera\n");
-    ASSERT_TRUE(sim.loadTrace(trace));
-    ServingResult r = sim.run();
+    ASSERT_TRUE(sim->loadTrace(trace));
+    ServingResult r = sim->run();
     EXPECT_EQ(r.offered, 4u);
     EXPECT_EQ(r.completed, 4u);
     EXPECT_EQ(r.requests[0].model, 0u);
@@ -259,11 +263,11 @@ TEST(Serving, TraceRejectsMalformedInput)
     Workload w;
     ServingConfig cfg = baseConfig();
     cfg.arrivals = ArrivalProcess::Trace;
-    ServingSimulator sim = w.simulator(cfg);
+    auto sim = w.simulator(cfg);
     std::istringstream unknown("1000 lidar\n");
-    EXPECT_FALSE(sim.loadTrace(unknown));
+    EXPECT_FALSE(sim->loadTrace(unknown));
     std::istringstream unsorted("2000 camera\n1000 radar\n");
-    EXPECT_FALSE(sim.loadTrace(unsorted));
+    EXPECT_FALSE(sim->loadTrace(unsorted));
 }
 
 TEST(Serving, BatchingGroupsSameModelQueuedRequests)
@@ -276,14 +280,14 @@ TEST(Serving, BatchingGroupsSameModelQueuedRequests)
     cfg.arrivals = ArrivalProcess::Trace;
     cfg.maxBatch = 4;
     cfg.system.coreBudget = 20; // one camera region at a time
-    ServingSimulator sim = w.simulator(cfg);
+    auto sim = w.simulator(cfg);
     std::istringstream trace("0 camera\n"
                              "1 camera\n"
                              "2 camera\n"
                              "3 camera\n"
                              "4 camera\n");
-    ASSERT_TRUE(sim.loadTrace(trace));
-    ServingResult r = sim.run();
+    ASSERT_TRUE(sim->loadTrace(trace));
+    ServingResult r = sim->run();
     EXPECT_EQ(r.completed, 5u);
     // Request 0 is admitted alone (nothing else queued yet); the
     // burst behind it coalesces into one batch of up to 4.
@@ -298,14 +302,14 @@ TEST(Serving, BatchingGroupsSameModelQueuedRequests)
     // single-request regions and can only finish later.
     ServingConfig serial_cfg = cfg;
     serial_cfg.maxBatch = 1;
-    ServingSimulator serial = w.simulator(serial_cfg);
+    auto serial = w.simulator(serial_cfg);
     std::istringstream trace2("0 camera\n"
                               "1 camera\n"
                               "2 camera\n"
                               "3 camera\n"
                               "4 camera\n");
-    ASSERT_TRUE(serial.loadTrace(trace2));
-    ServingResult rs = serial.run();
+    ASSERT_TRUE(serial->loadTrace(trace2));
+    ServingResult rs = serial->run();
     EXPECT_EQ(rs.completed, 5u);
     EXPECT_GE(rs.endCycle, r.endCycle);
 }
@@ -336,18 +340,18 @@ TEST(Serving, GeneratedNetworkMixIsServable)
 TEST(Serving, DumpStatsRecordsCountsAndPercentiles)
 {
     Workload w;
-    ServingResult r = w.simulator(baseConfig()).run();
+    ServingResult r = w.simulator(baseConfig())->run();
     StatGroup stats;
     r.dumpStats(stats);
-    EXPECT_EQ(stats.get("serving.offered"), r.offered);
-    EXPECT_EQ(stats.get("serving.completed"), r.completed);
-    EXPECT_EQ(stats.histogram("serving.latencyCycles").count(),
+    EXPECT_EQ(stats.get("offered"), r.offered);
+    EXPECT_EQ(stats.get("completed"), r.completed);
+    EXPECT_EQ(stats.histogram("latencyCycles").count(),
               r.completed);
     EXPECT_EQ(
-        stats.histogram("serving.latencyCycles").percentile(99),
+        stats.histogram("latencyCycles").percentile(99),
         r.p99);
     std::ostringstream os;
     stats.dump(os);
-    EXPECT_NE(os.str().find("serving.latencyCycles"),
+    EXPECT_NE(os.str().find("latencyCycles"),
               std::string::npos);
 }

@@ -36,6 +36,20 @@ struct Fixture
 
 } // namespace
 
+// Pins the derated filter-load DRAM bandwidth: 32 channels x
+// 64 B accesses / burst 4 x 0.25 sustained utilization = 128 B
+// per cycle (see SystemConfig::filterLoadDramUtilization).
+TEST(SystemConfigTest, FilterLoadBandwidthDefault)
+{
+    SystemConfig cfg;
+    EXPECT_DOUBLE_EQ(cfg.filterLoadBytesPerCycle(), 128.0);
+    // The derate applies on top of the configured peak.
+    cfg.dramChannels = 16;
+    EXPECT_DOUBLE_EQ(cfg.filterLoadBytesPerCycle(), 64.0);
+    cfg.dram.accessBytes = 128;
+    EXPECT_DOUBLE_EQ(cfg.filterLoadBytesPerCycle(), 128.0);
+}
+
 TEST(System, SmallCnnMatchesReferenceAllStrategies)
 {
     Fixture f(buildSmallCnn(16, 16, 64));
