@@ -7,21 +7,34 @@
  * curve in EXPERIMENTS.md. With `--arrivals=FILE` the sweep is
  * replaced by one run over explicit `<cycle> <model>` arrivals.
  *
+ * With `--sim-cache=N` (N > 0) the sweep runs **twice** — once with
+ * the timing-result cache (runtime/sim_cache.hh) disabled and once
+ * with it enabled — times both passes, byte-compares the stats-JSON
+ * registry dump of the saturated point, and reports the wall-clock
+ * speedup plus the cache's hit/miss/insertion/eviction counters:
+ * the cached-vs-uncached table in EXPERIMENTS.md. A mismatch in the
+ * dumps (a determinism-contract violation, DESIGN.md §13) fails the
+ * run.
+ *
  * Flags: the common set (common/cli.hh: --config --dump-config
- * --stats-json --threads --seed --trace) plus --requests=R
- * --batch=B --arrivals=FILE. --stats-json dumps the registry of
- * the last operating point (the saturated one in sweep mode);
- * BENCH_serving.json in the repo root is the checked-in baseline.
+ * --stats-json --threads --seed --trace --sim-cache) plus
+ * --requests=R --batch=B --arrivals=FILE. --stats-json dumps the
+ * registry of the last operating point (the saturated one in sweep
+ * mode); BENCH_serving.json in the repo root is the checked-in
+ * baseline.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/cli.hh"
+#include "common/json.hh"
 #include "common/table.hh"
 #include "runtime/serving.hh"
+#include "runtime/sim_cache.hh"
 
 using namespace maicc;
 
@@ -29,8 +42,8 @@ namespace
 {
 
 void
-addRow(TextTable &t, const char *point, const ServingResult &r,
-       double clock_hz)
+addRow(TextTable &t, const std::string &point,
+       const ServingResult &r, double clock_hz)
 {
     double ms = 1e3 / clock_hz;
     t.addRow({point, TextTable::num(r.offered),
@@ -43,6 +56,14 @@ addRow(TextTable &t, const char *point, const ServingResult &r,
               TextTable::num(r.utilization * 100, 1),
               TextTable::num(r.throughput(clock_hz), 1)});
 }
+
+/** Outcome of one full load sweep. */
+struct SweepResult
+{
+    std::vector<double> means;  ///< mean latency per point
+    std::string lastStatsJson;  ///< saturated point's registry dump
+    double wallSeconds = 0;
+};
 
 } // namespace
 
@@ -109,41 +130,94 @@ main(int argc, char **argv)
         return opt.writeStats(ctx) ? 0 : 1;
     }
 
-    std::printf("== Serving: latency vs offered load "
-                "(camera:radar = 2:1, %u requests, seed %llu) "
-                "==\n\n",
-                cfg.offeredRequests,
-                static_cast<unsigned long long>(cfg.seed));
-
     // Mean inter-arrival gaps from idle to saturated; one seeded
     // uniform stream scaled by the gap couples the sweep points, so
     // the latency curve is monotone by construction.
     const Cycles gaps[] = {2'000'000, 800'000, 300'000, 100'000,
                            30'000, 8'000};
     const size_t n_gaps = sizeof(gaps) / sizeof(gaps[0]);
-    std::vector<double> means;
+
+    // One full sweep under @p cache_entries; rows land in @p table
+    // when non-null (the printed table comes from the authoritative
+    // pass; a verification pass runs silently).
     bool stats_ok = true;
-    for (size_t gi = 0; gi < n_gaps; ++gi) {
-        ServingConfig point = cfg;
-        point.meanInterarrival = gaps[gi];
-        SimContext ctx;
-        auto sim = makeSim(point);
-        sim->attachTo(ctx);
-        ServingResult r = sim->run();
-        char label[64];
-        std::snprintf(label, sizeof(label), "1/%.3f ms",
-                      gaps[gi] / 1e6);
-        addRow(t, label, r, hz);
-        means.push_back(r.meanLatency);
-        if (gi + 1 == n_gaps)
-            stats_ok = opt.writeStats(ctx);
-    }
+    auto sweep = [&](unsigned cache_entries, TextTable *table,
+                     bool write_stats) {
+        SweepResult sr;
+        auto t0 = std::chrono::steady_clock::now();
+        for (size_t gi = 0; gi < n_gaps; ++gi) {
+            ServingConfig point = cfg;
+            point.meanInterarrival = gaps[gi];
+            point.system.simCacheEntries = cache_entries;
+            SimContext ctx;
+            auto sim = makeSim(point);
+            sim->attachTo(ctx);
+            ServingResult r = sim->run();
+            if (table) {
+                char label[64];
+                std::snprintf(label, sizeof(label), "1/%.3f ms",
+                              gaps[gi] / 1e6);
+                addRow(*table, label, r, hz);
+            }
+            sr.means.push_back(r.meanLatency);
+            if (gi + 1 == n_gaps) {
+                sr.lastStatsJson = ctx.statsToJson().dump();
+                if (write_stats)
+                    stats_ok = opt.writeStats(ctx);
+            }
+        }
+        sr.wallSeconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+        return sr;
+    };
+
+    unsigned cache_entries = cfg.system.simCacheEntries;
+    std::printf("== Serving: latency vs offered load "
+                "(camera:radar = 2:1, %u requests, seed %llu%s) "
+                "==\n\n",
+                cfg.offeredRequests,
+                static_cast<unsigned long long>(cfg.seed),
+                cache_entries ? ", sim-cache A/B" : "");
+
+    // Uncached pass first (it seeds nothing); it is also the
+    // authoritative table and --stats-json source, so the dumped
+    // baseline is identical with or without --sim-cache.
+    TimingResultCache::global().reset();
+    SweepResult uncached = sweep(0, &t, true);
     t.print(std::cout);
 
     bool monotone = true;
-    for (size_t i = 1; i < means.size(); ++i)
-        monotone = monotone && means[i] >= means[i - 1];
+    for (size_t i = 1; i < uncached.means.size(); ++i)
+        monotone = monotone && uncached.means[i]
+                >= uncached.means[i - 1];
     std::printf("\nMean latency non-decreasing with load: %s\n",
                 monotone ? "PASS" : "FAIL");
-    return monotone && stats_ok ? 0 : 1;
+
+    bool identical = true;
+    if (cache_entries) {
+        SweepResult cached = sweep(cache_entries, nullptr, false);
+        const TimingResultCache &c = TimingResultCache::global();
+        identical = cached.lastStatsJson == uncached.lastStatsJson
+            && cached.means == uncached.means;
+        std::printf(
+            "\n== Timing-result cache A/B (--sim-cache=%u) ==\n"
+            "uncached sweep: %.3f s\n"
+            "cached sweep:   %.3f s  (speedup %.2fx)\n"
+            "cache counters: %llu hits, %llu misses, "
+            "%llu insertions, %llu evictions, %llu entries\n"
+            "stats-json byte-identical: %s\n",
+            cache_entries, uncached.wallSeconds,
+            cached.wallSeconds,
+            cached.wallSeconds > 0
+                ? uncached.wallSeconds / cached.wallSeconds
+                : 0.0,
+            static_cast<unsigned long long>(c.hits()),
+            static_cast<unsigned long long>(c.misses()),
+            static_cast<unsigned long long>(c.insertions()),
+            static_cast<unsigned long long>(c.evictions()),
+            static_cast<unsigned long long>(c.size()),
+            identical ? "PASS" : "FAIL");
+    }
+    return monotone && stats_ok && identical ? 0 : 1;
 }

@@ -93,6 +93,14 @@ Options::Options(std::string tool_name, int &argc, char **argv)
     std::string trace_s = take(argc, argv, "trace");
     if (!trace_s.empty())
         trace = trace_s;
+    std::string sim_cache_s = take(argc, argv, "sim-cache");
+    if (!sim_cache_s.empty()) {
+        uint64_t v = 0;
+        if (parseUint(sim_cache_s, v))
+            config.system.simCacheEntries = unsigned(v);
+        else if (error.empty())
+            error = "--sim-cache: expected an unsigned integer";
+    }
     statsJson = take(argc, argv, "stats-json");
     dumpConfig = !take(argc, argv, "dump-config").empty();
 
@@ -155,7 +163,7 @@ Options::finish(bool allow_extra)
             stderr,
             "common flags: --config=FILE --dump-config "
             "--stats-json=FILE --threads=N --seed=S "
-            "--trace=FILE\n");
+            "--trace=FILE --sim-cache=N\n");
         return false;
     }
     return true;

@@ -13,6 +13,8 @@
  *   --threads=N       host threads (also MAICC_THREADS; 0 = hw)
  *   --seed=S          RNG seed where the binary uses one
  *   --trace=FILE      commit-trace JSONL (also MAICC_TRACE)
+ *   --sim-cache=N     timing-result cache capacity in entries
+ *                     (runtime/sim_cache.hh; 0 = off)
  *
  * Precedence: defaults < MAICC_* environment < --config file <
  * explicit flags. Binaries fetch their own extra flags with
@@ -46,6 +48,11 @@ class SimContext;
 namespace cli
 {
 
+/**
+ * Parsed common command-line flags plus the effective SimConfig
+ * they produce. One instance per binary; see the file comment for
+ * the flag set, precedence rules, and canonical usage.
+ */
 class Options
 {
   public:

@@ -288,6 +288,7 @@ toJson(const SystemConfig &c)
     j.set("dramChannels", c.dramChannels);
     j.set("clockHz", c.clockHz);
     j.set("numThreads", c.numThreads);
+    j.set("simCacheEntries", c.simCacheEntries);
     j.set("geometry", toJson(c.geometry));
     j.set("noc", toJson(c.noc));
     j.set("dram", toJson(c.dram));
@@ -304,6 +305,7 @@ fromJson(const Json &j, SystemConfig &out, std::string *err,
     r.integer("dramChannels", out.dramChannels);
     r.number("clockHz", out.clockHz);
     r.integer("numThreads", out.numThreads);
+    r.integer("simCacheEntries", out.simCacheEntries);
     r.nested("geometry", out.geometry);
     r.nested("noc", out.noc);
     r.nested("dram", out.dram);

@@ -26,6 +26,11 @@
 namespace maicc
 {
 
+/**
+ * One JSON value (null, bool, number, string, array, or
+ * insertion-ordered object). dump() is canonical: the same value
+ * always serializes to the same bytes (see the file comment).
+ */
 class Json
 {
   public:

@@ -48,6 +48,12 @@ namespace trace
 class TraceSink;
 }
 
+/**
+ * Base of every stateful simulation model: a hierarchically named
+ * object owning a StatGroup, optionally attached to a SimContext
+ * registry, resettable to its just-constructed state. See the file
+ * comment for the registry contract.
+ */
 class SimComponent
 {
   public:

@@ -112,4 +112,28 @@ placeSegment(const Segment &seg, const ArrayGeometry &geo)
     return placement;
 }
 
+std::string
+placementSignature(const SegmentPlacement &p)
+{
+    // A readable, separator-delimited encoding rather than raw
+    // bytes: signatures end up inside timing-cache key material,
+    // where an unambiguous text form makes collisions impossible to
+    // create by field-boundary aliasing and easy to debug by eye.
+    std::string sig;
+    sig.reserve(p.nodes.size() * 16);
+    for (const auto &n : p.nodes) {
+        sig += std::to_string(n.coord.x);
+        sig += ',';
+        sig += std::to_string(n.coord.y);
+        sig += ',';
+        sig += std::to_string(n.layerIdx);
+        sig += ',';
+        sig += std::to_string(static_cast<int>(n.role));
+        sig += ',';
+        sig += std::to_string(n.chainPos);
+        sig += ';';
+    }
+    return sig;
+}
+
 } // namespace maicc

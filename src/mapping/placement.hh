@@ -11,6 +11,7 @@
 #ifndef MAICC_MAPPING_PLACEMENT_HH
 #define MAICC_MAPPING_PLACEMENT_HH
 
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -71,6 +72,18 @@ struct SegmentPlacement
 SegmentPlacement placeSegment(const Segment &seg,
                               const ArrayGeometry &geo =
                                   ArrayGeometry{});
+
+/**
+ * Canonical byte string describing a placed segment's *shape*: the
+ * layer index, role, chain position, and coordinates of every node,
+ * in placement order. Two segments with the same signature occupy
+ * congruent node patterns and therefore have identical timing (hop
+ * latency is per-edge, never per-distance), which is what lets the
+ * timing-result cache (runtime/sim_cache.hh) key service latencies
+ * on the placement shape instead of on the physical slots a
+ * RegionAllocator happened to hand out.
+ */
+std::string placementSignature(const SegmentPlacement &p);
 
 /**
  * Online occupancy tracking of the serpentine compute region for

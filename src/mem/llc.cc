@@ -36,6 +36,14 @@ SimpleCache::recordStats()
     publish("writebacks", st.writebacks);
 }
 
+void
+SimpleCache::applyCachedStats(const CacheStats &delta)
+{
+    st.hits += delta.hits;
+    st.misses += delta.misses;
+    st.writebacks += delta.writebacks;
+}
+
 unsigned
 SimpleCache::setOf(Addr addr) const
 {

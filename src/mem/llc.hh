@@ -74,6 +74,15 @@ class SimpleCache : public SimComponent
     /** Publish hits/misses/writebacks into stats(). */
     void recordStats() override;
 
+    /**
+     * Fold a memoized run's hit/miss/writeback delta into the live
+     * counters, as if the accesses had replayed — the LLC half of
+     * MaiccSystem::applyCachedRun (timing-result cache, DESIGN.md
+     * §13). Tag state is untouched: cache clients reset() before
+     * the next run, so only the stats are observable.
+     */
+    void applyCachedStats(const CacheStats &delta);
+
     const CacheStats &cacheStats() const { return st; }
     const CacheConfig &config() const { return cfg; }
 

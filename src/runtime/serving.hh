@@ -38,6 +38,8 @@
 namespace maicc
 {
 
+class TimingResultCache;
+
 /** Where request arrival times come from. */
 enum class ArrivalProcess
 {
@@ -209,6 +211,15 @@ class ServingSimulator : public SimComponent
     /** Drop cached systems and service profiles; keep the models. */
     void reset() override;
 
+    /**
+     * Memoize profiles in @p cache instead of the process-wide
+     * TimingResultCache::global(); nullptr restores the global.
+     * Either way the cache is consulted only when
+     * cfg.system.simCacheEntries > 0 (DESIGN.md §13). Meant for
+     * tests that need an isolated cache to observe counters on.
+     */
+    void setTimingCache(TimingResultCache *cache);
+
   private:
     /** Latency profile of one model in one region size. */
     struct ServiceProfile
@@ -229,7 +240,20 @@ class ServingSimulator : public SimComponent
     /** The cached (lazily built) profiling system for @p model. */
     MaiccSystem &systemFor(size_t model);
 
+    /** Derive latency/interval from a run's timing breakdown. */
+    static ServiceProfile
+    profileFrom(Cycles total,
+                const std::vector<SegmentRunStats> &segments);
+
+    /**
+     * The timing-result cache to consult, with its capacity synced
+     * to cfg.system.simCacheEntries — nullptr when memoization is
+     * disabled (simCacheEntries == 0).
+     */
+    TimingResultCache *timingCache();
+
     ServingConfig cfg;
+    TimingResultCache *injectedCache = nullptr;
     std::vector<ServedModel> models;
     std::vector<Arrival> traceArrivals;
     std::vector<unsigned> minCoresCache;

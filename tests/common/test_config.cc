@@ -47,7 +47,7 @@ TEST(Config, DumpContainsEverySection)
     const Json *system = j.find("system");
     for (const char *key :
          {"geometry", "noc", "dram", "llc", "coreBudget",
-          "numThreads", "clockHz"})
+          "numThreads", "clockHz", "simCacheEntries"})
         EXPECT_NE(system->find(key), nullptr) << key;
 }
 

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Markdown link and anchor checker for the repo's documentation.
+
+Usage: tools/check_md_links.py [FILE.md ...]
+       (no arguments: README.md DESIGN.md EXPERIMENTS.md ROADMAP.md
+        CHANGES.md PAPER.md)
+
+Checks, for every inline link [text](target) in the given files:
+
+  * relative file targets exist (resolved against the linking
+    file's directory);
+  * fragment targets (#anchor, FILE.md#anchor) match a heading in
+    the target file, using GitHub's anchor derivation (lowercase,
+    spaces to dashes, punctuation stripped, -N suffix for
+    duplicates);
+  * bare intra-repo path mentions in backticks are NOT checked —
+    only real markdown links are.
+
+External http(s)/mailto links are skipped (CI must not depend on
+the network). Exits 1 with one "file:line: message" per problem,
+0 when every link resolves — the `docs` CI job runs this.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_anchor(title: str) -> str:
+    """GitHub's heading → anchor derivation (ASCII subset)."""
+    title = re.sub(r"`([^`]*)`", r"\1", title)  # drop code spans
+    title = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", title)  # links
+    anchor = title.strip().lower()
+    anchor = re.sub(r"[^\w\- ]", "", anchor, flags=re.UNICODE)
+    anchor = anchor.replace(" ", "-")
+    return anchor
+
+
+def headings_of(path: str) -> set[str]:
+    anchors: set[str] = set()
+    seen: dict[str, int] = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            base = github_anchor(m.group(2))
+            n = seen.get(base, 0)
+            seen[base] = n + 1
+            anchors.add(base if n == 0 else f"{base}-{n}")
+    return anchors
+
+
+def check_file(path: str, errors: list[str]) -> None:
+    base_dir = os.path.dirname(os.path.abspath(path))
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                target = m.group(1)
+                if target.startswith(("http://", "https://",
+                                      "mailto:")):
+                    continue
+                file_part, _, frag = target.partition("#")
+                if file_part:
+                    dest = os.path.normpath(
+                        os.path.join(base_dir, file_part))
+                    if not os.path.exists(dest):
+                        errors.append(
+                            f"{path}:{lineno}: broken link target "
+                            f"{file_part!r}")
+                        continue
+                else:
+                    dest = path
+                if frag:
+                    if not dest.endswith(".md"):
+                        continue  # anchors into non-markdown
+                    if frag not in headings_of(dest):
+                        errors.append(
+                            f"{path}:{lineno}: no heading for "
+                            f"anchor {frag!r} in {dest}")
+
+
+def main(argv: list[str]) -> int:
+    files = argv[1:] or ["README.md", "DESIGN.md", "EXPERIMENTS.md",
+                         "ROADMAP.md", "CHANGES.md", "PAPER.md"]
+    errors: list[str] = []
+    for path in files:
+        if not os.path.exists(path):
+            errors.append(f"{path}: file not found")
+            continue
+        check_file(path, errors)
+    for e in errors:
+        print(e, file=sys.stderr)
+    if not errors:
+        print(f"checked {len(files)} files: all links resolve")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
