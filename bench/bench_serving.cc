@@ -16,12 +16,25 @@
  * dumps (a determinism-contract violation, DESIGN.md §13) fails the
  * run.
  *
+ * In sweep mode the run ends with an **admission-policy
+ * comparison**: every policy variant (fifo, fifo+backfill, sjf,
+ * priority, priority+backfill — runtime/admission.hh) serves the
+ * *same* coupled arrival stream at one moderately loaded operating
+ * point, with the radar as priority class 0 and the camera as
+ * class 1, and the table reports per-policy percentiles, queueing,
+ * and global + per-class SLO attainment (`--slo-cycles=N`; default
+ * 4x the minimum isolated service latency). Each variant is also
+ * rerun at 8 host threads and with the timing-result cache on, and
+ * the stats-JSON registry dumps must be byte-identical — the
+ * serving determinism contract, policy by policy; a mismatch fails
+ * the run.
+ *
  * Flags: the common set (common/cli.hh: --config --dump-config
- * --stats-json --threads --seed --trace --sim-cache) plus
- * --requests=R --batch=B --arrivals=FILE. --stats-json dumps the
- * registry of the last operating point (the saturated one in sweep
- * mode); BENCH_serving.json in the repo root is the checked-in
- * baseline.
+ * --stats-json --threads --seed --trace --sim-cache --policy
+ * --slo-cycles) plus --requests=R --batch=B --arrivals=FILE.
+ * --stats-json dumps the registry of the last operating point (the
+ * saturated one in sweep mode); BENCH_serving.json in the repo
+ * root is the checked-in baseline.
  */
 
 #include <chrono>
@@ -100,10 +113,14 @@ main(int argc, char **argv)
     camIn.randomize(rng);
     radIn.randomize(rng);
 
+    // The radar is the urgent class (0), the camera class 1 — the
+    // split the priority policy and the per-class SLO columns act
+    // on.
     auto makeSim = [&](const ServingConfig &c) {
         auto sim = std::make_unique<ServingSimulator>(c);
-        sim->addModel({"camera", &camera, &camW, &camIn, 2.0, 0});
-        sim->addModel({"radar", &radar, &radW, &radIn, 1.0, 0});
+        sim->addModel(
+            {"camera", &camera, &camW, &camIn, 2.0, 0, 1});
+        sim->addModel({"radar", &radar, &radW, &radIn, 1.0, 0, 0});
         return sim;
     };
 
@@ -219,5 +236,103 @@ main(int argc, char **argv)
             static_cast<unsigned long long>(c.size()),
             identical ? "PASS" : "FAIL");
     }
-    return monotone && stats_ok && identical ? 0 : 1;
+    // ---- Admission-policy comparison ----
+    // Every policy serves the same coupled arrival stream at one
+    // moderately loaded point; each variant is rerun at 8 host
+    // threads and with the timing-result cache on, and every rerun
+    // must dump a byte-identical stats registry (the determinism
+    // contract, policy by policy).
+    struct PolicyVariant
+    {
+        const char *what;
+        SchedPolicy policy;
+        bool backfill;
+    };
+    const PolicyVariant variants[] = {
+        {"fifo", SchedPolicy::Fifo, false},
+        {"fifo+backfill", SchedPolicy::Fifo, true},
+        {"sjf", SchedPolicy::Sjf, false},
+        {"priority", SchedPolicy::Priority, false},
+        {"priority+backfill", SchedPolicy::Priority, true},
+    };
+
+    // The saturated sweep point: enough queueing for the policies
+    // to actually diverge.
+    ServingConfig pcfg = cfg;
+    pcfg.meanInterarrival = gaps[n_gaps - 1];
+    pcfg.system.simCacheEntries = 0;
+
+    Cycles slo = cfg.sloCycles;
+    if (!slo) {
+        // Default SLO: 4x the minimum isolated service latency of
+        // the mix, probed from one run at the comparison point.
+        slo = 4 * makeSim(pcfg)->run().minServiceLatency;
+    }
+    pcfg.sloCycles = slo;
+
+    double ms = 1e3 / hz;
+    TextTable pt({"policy", "done", "rej", "p50 ms", "p95 ms",
+                  "p99 ms", "queue ms", "slo %", "c0 slo %",
+                  "c1 slo %", "req/s"});
+    bool policies_identical = true;
+    for (const PolicyVariant &v : variants) {
+        std::string base_dump;
+        for (unsigned threads : {1u, 8u}) {
+            for (unsigned entries : {0u, 256u}) {
+                ServingConfig rc = pcfg;
+                rc.policy = v.policy;
+                rc.backfill = v.backfill;
+                rc.system.numThreads = threads;
+                rc.system.simCacheEntries = entries;
+                SimContext ctx;
+                auto sim = makeSim(rc);
+                sim->attachTo(ctx);
+                TimingResultCache isolated(entries);
+                if (entries)
+                    sim->setTimingCache(&isolated);
+                ServingResult r = sim->run();
+                std::string dump = ctx.statsToJson().dump();
+                if (!base_dump.empty()) {
+                    policies_identical = policies_identical
+                        && dump == base_dump;
+                    continue;
+                }
+                base_dump = dump;
+                double c0 = 0, c1 = 0;
+                for (const auto &c : r.classes) {
+                    if (c.priorityClass == 0)
+                        c0 = c.sloAttainment();
+                    if (c.priorityClass == 1)
+                        c1 = c.sloAttainment();
+                }
+                uint64_t n = r.sloMet + r.sloMissed;
+                pt.addRow(
+                    {v.what, TextTable::num(r.completed),
+                     TextTable::num(r.rejected),
+                     TextTable::num(r.p50 * ms, 3),
+                     TextTable::num(r.p95 * ms, 3),
+                     TextTable::num(r.p99 * ms, 3),
+                     TextTable::num(r.meanQueueing * ms, 3),
+                     TextTable::num(
+                         n ? 100.0 * double(r.sloMet) / double(n)
+                           : 0.0,
+                         1),
+                     TextTable::num(c0 * 100, 1),
+                     TextTable::num(c1 * 100, 1),
+                     TextTable::num(r.throughput(hz), 1)});
+            }
+        }
+    }
+    std::printf("\n== Admission policies (same arrival stream, "
+                "gap 1/%.3f ms, SLO %.3f ms, radar=class 0, "
+                "camera=class 1) ==\n\n",
+                pcfg.meanInterarrival / 1e6, double(slo) * ms);
+    pt.print(std::cout);
+    std::printf("\nPer-policy determinism (1/8 threads x "
+                "sim-cache off/on): %s\n",
+                policies_identical ? "PASS" : "FAIL");
+
+    return monotone && stats_ok && identical && policies_identical
+        ? 0
+        : 1;
 }

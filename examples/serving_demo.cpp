@@ -1,8 +1,11 @@
 /**
  * @file
- * Minimal request-driven serving walk-through: register two models,
- * offer a short Poisson request stream, and print what happened to
- * every request plus the aggregate serving metrics. Exits with
+ * Minimal request-driven serving walk-through: register two models
+ * (the radar as priority class 0, the camera as class 1), offer a
+ * short Poisson request stream, and print what happened to every
+ * request plus the aggregate and per-class serving metrics. Try
+ * `--policy=sjf`, `--policy=priority`, or `--slo-cycles=900000` to
+ * watch the admission order and SLO columns change. Exits with
  * "[ok]" so the build can smoke-test it (see examples/CMakeLists).
  *
  * Usage: serving_demo [common flags, see common/cli.hh]
@@ -46,16 +49,19 @@ main(int argc, char **argv)
     SimContext ctx;
     ServingSimulator sim(cfg);
     sim.attachTo(ctx);
-    sim.addModel({"camera", &camera, &camW, &camIn, 2.0, 0});
-    sim.addModel({"radar", &radar, &radW, &radIn, 1.0, 0});
+    sim.addModel({"camera", &camera, &camW, &camIn, 2.0, 0, 1});
+    sim.addModel({"radar", &radar, &radW, &radIn, 1.0, 0, 0});
 
+    std::printf("policy %s%s\n\n", policyName(cfg.policy),
+                cfg.backfill ? " + backfill" : "");
     ServingResult r = sim.run();
 
     const char *names[] = {"camera", "radar"};
-    TextTable t({"req", "model", "arrival", "queued", "latency",
-                 "cores", "batch", "state"});
+    TextTable t({"req", "model", "class", "arrival", "queued",
+                 "latency", "cores", "batch", "state"});
     for (const RequestRecord &q : r.requests) {
         t.addRow({TextTable::num(q.id), names[q.model],
+                  TextTable::num(uint64_t(q.priorityClass)),
                   TextTable::num(q.arrival),
                   q.rejected ? "-" : TextTable::num(q.queueing()),
                   q.completed ? TextTable::num(q.latency()) : "-",
@@ -65,6 +71,18 @@ main(int argc, char **argv)
                              : (q.completed ? "done" : "pending")});
     }
     t.print(std::cout);
+
+    for (const ClassResult &c : r.classes) {
+        std::printf("\nclass %u: %llu offered, p50 %.0f, "
+                    "p99 %.0f cycles",
+                    c.priorityClass,
+                    static_cast<unsigned long long>(c.offered),
+                    c.p50, c.p99);
+        if (r.sloCycles)
+            std::printf(", SLO attainment %.1f%%",
+                        c.sloAttainment() * 100);
+    }
+    std::printf("\n");
 
     std::printf("\ncompleted %llu/%llu   p50 %.0f   p95 %.0f   "
                 "p99 %.0f cycles\n",

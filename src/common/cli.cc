@@ -101,6 +101,20 @@ Options::Options(std::string tool_name, int &argc, char **argv)
         else if (error.empty())
             error = "--sim-cache: expected an unsigned integer";
     }
+    std::string policy_s = take(argc, argv, "policy");
+    if (!policy_s.empty()
+        && !parsePolicy(policy_s, config.serving.policy)
+        && error.empty()) {
+        error = "--policy: expected fifo, sjf, or priority";
+    }
+    std::string slo_s = take(argc, argv, "slo-cycles");
+    if (!slo_s.empty()) {
+        uint64_t v = 0;
+        if (parseUint(slo_s, v))
+            config.serving.sloCycles = v;
+        else if (error.empty())
+            error = "--slo-cycles: expected an unsigned integer";
+    }
     statsJson = take(argc, argv, "stats-json");
     dumpConfig = !take(argc, argv, "dump-config").empty();
 
@@ -163,7 +177,8 @@ Options::finish(bool allow_extra)
             stderr,
             "common flags: --config=FILE --dump-config "
             "--stats-json=FILE --threads=N --seed=S "
-            "--trace=FILE --sim-cache=N\n");
+            "--trace=FILE --sim-cache=N "
+            "--policy=fifo|sjf|priority --slo-cycles=N\n");
         return false;
     }
     return true;

@@ -15,6 +15,10 @@
  *   --trace=FILE      commit-trace JSONL (also MAICC_TRACE)
  *   --sim-cache=N     timing-result cache capacity in entries
  *                     (runtime/sim_cache.hh; 0 = off)
+ *   --policy=P        serving admission policy: fifo, sjf, or
+ *                     priority (runtime/admission.hh)
+ *   --slo-cycles=N    serving per-request latency SLO in cycles
+ *                     (0 = SLO accounting off)
  *
  * Precedence: defaults < MAICC_* environment < --config file <
  * explicit flags. Binaries fetch their own extra flags with

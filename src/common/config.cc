@@ -59,6 +59,19 @@ class ObjectReader
     }
 
     void
+    boolean(const char *key, bool &out)
+    {
+        const Json *v = get(key);
+        if (!v)
+            return;
+        if (!v->isBool()) {
+            fail(key, "expected a boolean");
+            return;
+        }
+        out = v->asBool();
+    }
+
+    void
     string(const char *key, std::string &out)
     {
         const Json *v = get(key);
@@ -333,7 +346,12 @@ servingToJson(const ServingConfig &c)
     j.set("horizon", c.horizon);
     j.set("queueCapacity", c.queueCapacity);
     j.set("maxBatch", c.maxBatch);
+    j.set("batchAcrossQueue", c.batchAcrossQueue);
+    j.set("policy", policyName(c.policy));
+    j.set("backfill", c.backfill);
+    j.set("sloCycles", c.sloCycles);
     j.set("cutoff", c.cutoff);
+    j.set("selfCheck", c.selfCheck);
     return j;
 }
 
@@ -357,7 +375,16 @@ servingFromJson(const Json &j, ServingConfig &out,
     r.integer("horizon", out.horizon);
     r.integer("queueCapacity", out.queueCapacity);
     r.integer("maxBatch", out.maxBatch);
+    r.boolean("batchAcrossQueue", out.batchAcrossQueue);
+    std::string policy = policyName(out.policy);
+    r.string("policy", policy);
+    if (!parsePolicy(policy, out.policy))
+        r.fail("policy",
+               "expected \"fifo\", \"sjf\", or \"priority\"");
+    r.boolean("backfill", out.backfill);
+    r.integer("sloCycles", out.sloCycles);
     r.integer("cutoff", out.cutoff);
+    r.boolean("selfCheck", out.selfCheck);
     return r.finish();
 }
 

@@ -60,7 +60,11 @@ unsigned totalUnits(const LayerSpec &l);
  * request by reserving cores against the array budget and returns
  * them when the inference completes. Purely a budget — physical
  * slot occupancy lives in RegionAllocator (placement.hh); the
- * serving layer keeps the two in lock-step.
+ * serving layer keeps the two in lock-step (cores are reserved here
+ * only after a contiguous region was actually carved there, so a
+ * fragmented region can leave budgeted cores unusable until a
+ * completion re-coalesces it — ServingConfig::selfCheck asserts the
+ * lock-step at every event).
  */
 class CoreLedger
 {

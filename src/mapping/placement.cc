@@ -1,5 +1,7 @@
 #include "mapping/placement.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace maicc
@@ -43,31 +45,57 @@ RegionAllocator::RegionAllocator(const ArrayGeometry &geo)
 }
 
 std::vector<unsigned>
-RegionAllocator::allocate(unsigned count)
+RegionAllocator::allocateContiguous(unsigned count)
 {
     std::vector<unsigned> slots;
     if (count == 0 || count > _free)
         return slots;
-    slots.reserve(count);
 
     // First fit: the lowest contiguous serpentine run of length
-    // >= count.
+    // >= count. No fallback — under fragmentation the caller must
+    // decide (shrink the grant, or wait for a completion to
+    // re-coalesce the region).
     unsigned run = 0;
     for (unsigned i = 0; i < _used.size(); ++i) {
         run = _used[i] ? 0 : run + 1;
         if (run == count) {
+            slots.reserve(count);
             for (unsigned s = i + 1 - count; s <= i; ++s)
                 slots.push_back(s);
             break;
         }
     }
+    for (unsigned s : slots) {
+        _used[s] = true;
+        --_free;
+    }
+    return slots;
+}
+
+unsigned
+RegionAllocator::longestFreeRun() const
+{
+    unsigned best = 0, run = 0;
+    for (unsigned i = 0; i < _used.size(); ++i) {
+        run = _used[i] ? 0 : run + 1;
+        best = std::max(best, run);
+    }
+    return best;
+}
+
+std::vector<unsigned>
+RegionAllocator::allocate(unsigned count)
+{
+    std::vector<unsigned> slots = allocateContiguous(count);
+    if (!slots.empty() || count == 0 || count > _free)
+        return slots;
+    slots.reserve(count);
+
     // Fragmented: fall back to the lowest free slots.
-    if (slots.empty()) {
-        for (unsigned i = 0; i < _used.size() && slots.size() < count;
-             ++i) {
-            if (!_used[i])
-                slots.push_back(i);
-        }
+    for (unsigned i = 0; i < _used.size() && slots.size() < count;
+         ++i) {
+        if (!_used[i])
+            slots.push_back(i);
     }
     maicc_assert(slots.size() == count);
     for (unsigned s : slots) {

@@ -91,10 +91,15 @@ std::string placementSignature(const SegmentPlacement &p);
  * is admitted and reclaimed when it completes, so the region
  * fragments and re-coalesces over time. Allocation prefers the
  * lowest contiguous serpentine run (consecutive cores of a chain
- * stay physically adjacent, as in placeSegment); when fragmentation
- * leaves no run long enough, the group falls back to the lowest
- * free slots — the chain then spans a seam, which the timing model
- * tolerates (hop latency is per-edge, not per-distance).
+ * stay physically adjacent, as in placeSegment).
+ *
+ * The serving admission path uses allocateContiguous() only: its
+ * service-time profiles are keyed on (model, cores) and simulated
+ * on a contiguous serpentine placement, so a chain scattered across
+ * fragmentation seams would be served with a latency estimate that
+ * does not match its real hop count. allocate() keeps the
+ * lowest-free-slots fallback for callers that only need occupancy
+ * accounting (and for modeling a scatter-tolerant allocator).
  */
 class RegionAllocator
 {
@@ -109,9 +114,23 @@ class RegionAllocator
     /**
      * Allocate @p count serpentine slots; the returned indices are
      * sorted ascending. Empty when fewer than @p count are free
-     * (no partial allocation).
+     * (no partial allocation). Prefers the lowest contiguous run;
+     * falls back to the lowest free slots under fragmentation.
      */
     std::vector<unsigned> allocate(unsigned count);
+
+    /**
+     * Allocate the lowest *contiguous* run of @p count serpentine
+     * slots. Empty (and no change) when fragmentation leaves no
+     * run that long — even if @p count slots are free in total.
+     * This is the admission-path allocator: a contiguous run is
+     * exactly the shape the (model, cores) service profile was
+     * simulated on (see placementSignature).
+     */
+    std::vector<unsigned> allocateContiguous(unsigned count);
+
+    /** Length of the longest free contiguous serpentine run. */
+    unsigned longestFreeRun() const;
 
     /** Release previously allocated @p slots (asserts each used). */
     void release(const std::vector<unsigned> &slots);

@@ -1,0 +1,156 @@
+#include "runtime/admission.hh"
+
+#include "common/logging.hh"
+
+namespace maicc
+{
+
+namespace
+{
+
+class FifoPolicy : public AdmissionPolicy
+{
+  public:
+    explicit FifoPolicy(bool backfill) : backfill(backfill) {}
+
+    const char *
+    name() const override
+    {
+        return backfill ? "fifo+backfill" : "fifo";
+    }
+
+    size_t
+    pick(const std::vector<QueuedRequest> &queue,
+         unsigned free_cores) const override
+    {
+        if (queue.empty())
+            return npos;
+        if (queue.front().minCores <= free_cores)
+            return 0;
+        if (!backfill)
+            return npos; // strict: no skipping the head
+        for (size_t i = 1; i < queue.size(); ++i) {
+            if (queue[i].minCores <= free_cores)
+                return i;
+        }
+        return npos;
+    }
+
+  private:
+    bool backfill;
+};
+
+class SjfPolicy : public AdmissionPolicy
+{
+  public:
+    const char *
+    name() const override
+    {
+        return "sjf";
+    }
+
+    bool
+    wantsCostEstimates() const override
+    {
+        return true;
+    }
+
+    size_t
+    pick(const std::vector<QueuedRequest> &queue,
+         unsigned free_cores) const override
+    {
+        // Shortest estimated service time among the *fitting*
+        // requests; id (= arrival order) breaks ties, so equal-cost
+        // requests are still served FIFO. Work-conserving by
+        // construction: a long head never blocks a short fit.
+        size_t best = npos;
+        for (size_t i = 0; i < queue.size(); ++i) {
+            if (queue[i].minCores > free_cores)
+                continue;
+            if (best == npos
+                || queue[i].costEstimate
+                    < queue[best].costEstimate
+                || (queue[i].costEstimate
+                        == queue[best].costEstimate
+                    && queue[i].id < queue[best].id)) {
+                best = i;
+            }
+        }
+        return best;
+    }
+};
+
+class PriorityPolicy : public AdmissionPolicy
+{
+  public:
+    explicit PriorityPolicy(bool backfill) : backfill(backfill) {}
+
+    const char *
+    name() const override
+    {
+        return backfill ? "priority+backfill" : "priority";
+    }
+
+    size_t
+    pick(const std::vector<QueuedRequest> &queue,
+         unsigned free_cores) const override
+    {
+        // Order: lowest class first (class 0 is the most urgent),
+        // arrival order within a class. Strict mode blocks on the
+        // first request of that order; backfill admits the first
+        // *fitting* one instead.
+        size_t best = npos;
+        for (size_t i = 0; i < queue.size(); ++i) {
+            if (best == npos
+                || queue[i].priorityClass
+                    < queue[best].priorityClass
+                || (queue[i].priorityClass
+                        == queue[best].priorityClass
+                    && queue[i].id < queue[best].id)) {
+                best = i;
+            }
+        }
+        if (best == npos)
+            return npos;
+        if (queue[best].minCores <= free_cores)
+            return best;
+        if (!backfill)
+            return npos;
+        // Backfill: continue down the same (class, arrival) order.
+        size_t fit = npos;
+        for (size_t i = 0; i < queue.size(); ++i) {
+            if (i == best || queue[i].minCores > free_cores)
+                continue;
+            if (fit == npos
+                || queue[i].priorityClass
+                    < queue[fit].priorityClass
+                || (queue[i].priorityClass
+                        == queue[fit].priorityClass
+                    && queue[i].id < queue[fit].id)) {
+                fit = i;
+            }
+        }
+        return fit;
+    }
+
+  private:
+    bool backfill;
+};
+
+} // namespace
+
+std::unique_ptr<AdmissionPolicy>
+makePolicy(SchedPolicy kind, bool backfill)
+{
+    switch (kind) {
+      case SchedPolicy::Fifo:
+        return std::make_unique<FifoPolicy>(backfill);
+      case SchedPolicy::Sjf:
+        return std::make_unique<SjfPolicy>();
+      case SchedPolicy::Priority:
+        return std::make_unique<PriorityPolicy>(backfill);
+    }
+    maicc_fatal("unknown SchedPolicy");
+}
+
+} // namespace maicc

@@ -33,6 +33,8 @@ ServingResult::dumpStats(StatGroup &stats) const
     stats.counter("endCycle").inc(endCycle);
     stats.counter("minServiceLatency")
         .inc(minServiceLatency);
+    stats.counter("sloMet").inc(sloMet);
+    stats.counter("sloMissed").inc(sloMissed);
     for (const auto &r : requests) {
         if (!r.completed)
             continue;
@@ -40,6 +42,18 @@ ServingResult::dumpStats(StatGroup &stats) const
             .sample(double(r.latency()));
         stats.histogram("queueingCycles")
             .sample(double(r.queueing()));
+        stats
+            .histogram("class"
+                       + std::to_string(r.priorityClass)
+                       + ".latencyCycles")
+            .sample(double(r.latency()));
+    }
+    for (const auto &c : classes) {
+        std::string p = "class" + std::to_string(c.priorityClass);
+        stats.counter(p + ".offered").inc(c.offered);
+        stats.counter(p + ".completed").inc(c.completed);
+        stats.counter(p + ".sloMet").inc(c.sloMet);
+        stats.counter(p + ".sloMissed").inc(c.sloMissed);
     }
     for (const auto &u : coreTimeline)
         stats.summary("usedCores").sample(double(u.usedCores));
@@ -264,10 +278,13 @@ ServingSimulator::run()
     ServingResult res;
     std::vector<Arrival> arrivals = generateArrivals();
     res.offered = arrivals.size();
+    res.sloCycles = cfg.sloCycles;
     res.requests.resize(arrivals.size());
     for (size_t i = 0; i < arrivals.size(); ++i) {
         res.requests[i].id = i;
         res.requests[i].model = arrivals[i].model;
+        res.requests[i].priorityClass =
+            models[arrivals[i].model].priorityClass;
         res.requests[i].arrival = arrivals[i].cycle;
     }
 
@@ -298,36 +315,110 @@ ServingSimulator::run()
     res.coreTimeline.push_back({0, 0});
     res.minServiceLatency = kNever;
 
+    std::unique_ptr<AdmissionPolicy> policy =
+        makePolicy(cfg.policy, cfg.backfill);
+    unsigned cores_in_flight = 0;
+
+    // Test/debug invariants, asserted at every event when
+    // cfg.selfCheck is set: the core budget holds, and the ledger
+    // (budget) and region (physical slots) stay in lock-step with
+    // the sum of the running regions.
+    auto check_invariants = [&]() {
+        if (!cfg.selfCheck)
+            return;
+        maicc_assert(ledger.used() <= ledger.total());
+        maicc_assert(ledger.used() == cores_in_flight);
+        maicc_assert(region.totalNodes() - region.freeNodes()
+                     == cores_in_flight);
+    };
+
     auto tryAdmit = [&](Cycles now) {
         while (!queue.empty()) {
-            RequestRecord &head = res.requests[queue.front()];
+            // Snapshot the queue for the policy, in queue order.
+            // Cost estimates (SJF) reuse the memoized per-(model,
+            // minCores) service profiles, so only the first sight
+            // of a model pays for a probe simulation.
+            std::vector<QueuedRequest> view;
+            view.reserve(queue.size());
+            for (uint64_t qid : queue) {
+                const RequestRecord &q = res.requests[qid];
+                QueuedRequest v;
+                v.id = qid;
+                v.model = q.model;
+                v.arrival = q.arrival;
+                v.priorityClass = q.priorityClass;
+                v.minCores = minCoresCache[q.model];
+                if (policy->wantsCostEstimates()) {
+                    v.costEstimate =
+                        profile(q.model, v.minCores).latency;
+                }
+                view.push_back(v);
+            }
+            size_t pos = policy->pick(view, ledger.freeCores());
+            if (pos == AdmissionPolicy::npos)
+                break; // nothing admissible at this event
+            maicc_assert(pos < queue.size());
+
+            RequestRecord &head = res.requests[queue[pos]];
             unsigned min_cores = minCoresCache[head.model];
-            if (min_cores > ledger.freeCores())
-                break; // strict FIFO: no skipping the head
+            maicc_assert(min_cores <= ledger.freeCores());
             unsigned want = models[head.model].preferredCores;
             unsigned grant = std::clamp(
                 want == 0 ? min_cores : want, min_cores,
                 ledger.freeCores());
 
-            // Collect the head plus queued same-model companions
-            // (front to back) into one batch.
-            std::vector<uint64_t> batch;
-            for (auto it = queue.begin();
-                 it != queue.end()
-                 && batch.size() < std::max(1u, cfg.maxBatch);) {
-                if (res.requests[*it].model == head.model) {
-                    batch.push_back(*it);
-                    it = queue.erase(it);
-                } else {
-                    ++it;
-                }
+            // Carve a contiguous serpentine region — the shape the
+            // (model, cores) service profile was simulated on.
+            // Under fragmentation the budget can have cores free
+            // with no run long enough: degrade gracefully instead
+            // of aborting — retry at the minimum region, else
+            // leave the request queued until a completion
+            // re-coalesces the region (the region is empty
+            // whenever nothing runs, so admission cannot stall
+            // forever).
+            Running r;
+            r.slots = region.allocateContiguous(grant);
+            if (r.slots.empty() && grant > min_cores) {
+                grant = min_cores;
+                r.slots = region.allocateContiguous(grant);
             }
+            if (r.slots.empty())
+                break;
 
             bool ok = ledger.tryAllocate(grant);
             maicc_assert(ok);
-            Running r;
-            r.slots = region.allocate(grant);
-            maicc_assert(r.slots.size() == grant);
+            cores_in_flight += grant;
+
+            // Collect the admitted request plus same-model
+            // companions into one batch. Default: only the
+            // contiguous same-model run starting at the admitted
+            // position, so batching never pulls a request past a
+            // different-model one (the no-reordering contract).
+            // cfg.batchAcrossQueue restores the whole-queue scan.
+            std::vector<uint64_t> batch;
+            unsigned max_batch = std::max(1u, cfg.maxBatch);
+            if (cfg.batchAcrossQueue) {
+                for (auto it = queue.begin() + pos;
+                     it != queue.end()
+                     && batch.size() < max_batch;) {
+                    if (res.requests[*it].model == head.model) {
+                        batch.push_back(*it);
+                        it = queue.erase(it);
+                    } else {
+                        ++it;
+                    }
+                }
+            } else {
+                auto it = queue.begin() + pos;
+                while (it != queue.end()
+                       && batch.size() < max_batch
+                       && res.requests[*it].model == head.model) {
+                    batch.push_back(*it);
+                    it = queue.erase(it);
+                }
+            }
+            maicc_assert(!batch.empty());
+
             r.cores = grant;
             r.firstId = batch.front();
 
@@ -347,10 +438,12 @@ ServingSimulator::run()
             running.push(std::move(r));
             res.coreTimeline.push_back({now, ledger.used()});
         }
+        check_invariants();
     };
 
     size_t next_arrival = 0;
     Cycles now = 0;
+    bool truncated = false;
     while (next_arrival < arrivals.size() || !running.empty()) {
         Cycles t_arrive = next_arrival < arrivals.size()
             ? arrivals[next_arrival].cycle
@@ -358,8 +451,10 @@ ServingSimulator::run()
         Cycles t_finish =
             !running.empty() ? running.top().finish : kNever;
         Cycles t_next = std::min(t_arrive, t_finish);
-        if (cfg.cutoff && t_next > cfg.cutoff)
+        if (cfg.cutoff && t_next > cfg.cutoff) {
+            truncated = true;
             break;
+        }
         now = t_next;
         if (t_finish <= t_arrive) {
             // Completion first on ties: cores free up before the
@@ -369,6 +464,8 @@ ServingSimulator::run()
             running.pop();
             ledger.release(done.cores);
             region.release(done.slots);
+            maicc_assert(cores_in_flight >= done.cores);
+            cores_in_flight -= done.cores;
             res.coreTimeline.push_back({now, ledger.used()});
         } else {
             uint64_t id = next_arrival++;
@@ -382,7 +479,11 @@ ServingSimulator::run()
         tryAdmit(now);
     }
 
-    res.endCycle = cfg.cutoff ? cfg.cutoff : now;
+    // The measured window ends at the last event when the run
+    // drained; only a run actually truncated by the cutoff is
+    // measured to the cutoff. (Pinning endCycle to an unreached
+    // cutoff would deflate throughput and utilization.)
+    res.endCycle = truncated ? cfg.cutoff : now;
     if (res.minServiceLatency == kNever)
         res.minServiceLatency = 0;
 
@@ -391,18 +492,34 @@ ServingSimulator::run()
     // but unfinished (cutoff) and never-admitted requests are
     // pending.
     StatHistogram latencies;
+    std::map<unsigned, StatHistogram> class_latencies;
+    std::map<unsigned, ClassResult> class_results;
     double queue_sum = 0.0;
     for (auto &r : res.requests) {
-        if (r.rejected)
-            continue;
-        r.completed = r.cores > 0 && r.finish <= res.endCycle;
-        if (!r.completed) {
-            ++res.pending;
-            continue;
+        ClassResult &cr = class_results[r.priorityClass];
+        cr.priorityClass = r.priorityClass;
+        ++cr.offered;
+        if (!r.rejected) {
+            r.completed = r.cores > 0 && r.finish <= res.endCycle;
+            if (r.completed) {
+                ++res.completed;
+                ++cr.completed;
+                latencies.sample(double(r.latency()));
+                class_latencies[r.priorityClass].sample(
+                    double(r.latency()));
+                queue_sum += double(r.queueing());
+            } else {
+                ++res.pending;
+            }
         }
-        ++res.completed;
-        latencies.sample(double(r.latency()));
-        queue_sum += double(r.queueing());
+        // SLO attainment over *offered* requests: a reject or a
+        // request stranded at the cutoff missed its deadline just
+        // as surely as a late completion did.
+        if (cfg.sloCycles) {
+            bool met = r.completed
+                && r.latency() <= cfg.sloCycles;
+            ++(met ? cr.sloMet : cr.sloMissed);
+        }
     }
     maicc_assert(res.completed + res.pending + res.rejected
                  == res.offered);
@@ -412,6 +529,16 @@ ServingSimulator::run()
     res.meanLatency = latencies.mean();
     res.meanQueueing =
         res.completed ? queue_sum / double(res.completed) : 0.0;
+    for (auto &[cls, cr] : class_results) {
+        const StatHistogram &h = class_latencies[cls];
+        cr.p50 = h.percentile(50);
+        cr.p95 = h.percentile(95);
+        cr.p99 = h.percentile(99);
+        cr.meanLatency = h.mean();
+        res.sloMet += cr.sloMet;
+        res.sloMissed += cr.sloMissed;
+        res.classes.push_back(cr);
+    }
 
     // Time-weighted utilization over the piecewise-constant core
     // timeline.

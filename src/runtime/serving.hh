@@ -10,10 +10,14 @@
  * an *open-loop arrival process*: inference requests over a mix of
  * registered models arrive at seeded-random (Poisson) or
  * trace-file times, are admitted online while their node group
- * fits the 210-core budget, queue FIFO otherwise, and release
- * their cores on completion. Same-model requests waiting in the
- * queue can be batched into one region and pipelined through its
- * segment sequence.
+ * fits the 210-core budget — in an order chosen by a pluggable
+ * AdmissionPolicy (admission.hh: strict FIFO, shortest-job-first,
+ * or priority classes, optionally with work-conserving backfill) —
+ * and release their cores on completion. Same-model requests
+ * waiting directly behind an admitted request can be batched into
+ * its region and pipelined through the segment sequence, and
+ * per-priority-class latency percentiles and SLO attainment are
+ * reported alongside the global metrics.
  *
  * The event loop is a serial discrete-event simulation in integer
  * cycles; every per-request service time comes from the existing
@@ -33,6 +37,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "runtime/admission.hh"
 #include "runtime/system.hh"
 
 namespace maicc
@@ -64,6 +69,14 @@ struct ServedModel
      * admission time. 0 means "minimum region".
      */
     unsigned preferredCores = 0;
+
+    /**
+     * Scheduling class under SchedPolicy::Priority (0 is the most
+     * urgent) and the grouping key of the per-class latency/SLO
+     * statistics. Ignored for ordering by the other policies, but
+     * the per-class stats are always reported.
+     */
+    unsigned priorityClass = 0;
 };
 
 /** Serving-layer configuration. */
@@ -102,8 +115,38 @@ struct ServingConfig
      * maxBatch-1 further queued requests of the same model join its
      * region and pipeline through the segment sequence (one new
      * sample per bottleneck-segment interval). 1 disables batching.
+     *
+     * By default only the *contiguous* same-model run starting at
+     * the admitted request joins the batch, so batching can never
+     * reorder completions against arrival order (the FIFO
+     * contract). batchAcrossQueue restores the scan over the whole
+     * queue, which pulls same-model requests from behind
+     * different-model ones.
      */
     unsigned maxBatch = 1;
+
+    /** Batch by scanning the whole queue (reorders; see maxBatch). */
+    bool batchAcrossQueue = false;
+
+    /** Admission order (`--policy=fifo|sjf|priority`). */
+    SchedPolicy policy = SchedPolicy::Fifo;
+
+    /**
+     * Work-conserving backfill: when the policy's first choice does
+     * not fit the free cores, admit the first request in policy
+     * order that does (admission.hh). Off = strict head-of-line
+     * blocking for fifo/priority.
+     */
+    bool backfill = false;
+
+    /**
+     * Per-request latency SLO in cycles (`--slo-cycles=N`); 0
+     * disables SLO accounting. An offered request *attains* the SLO
+     * iff it completes within sloCycles of its arrival — late,
+     * rejected, and still-pending requests all count as misses, so
+     * attainment is honest about admission control and cutoffs.
+     */
+    Cycles sloCycles = 0;
 
     /**
      * Stop simulating at this cycle even if requests are still
@@ -111,6 +154,13 @@ struct ServingConfig
      * requests are reported as pending.
      */
     Cycles cutoff = 0;
+
+    /**
+     * Assert the CoreLedger/RegionAllocator lock-step and the
+     * core-budget bound at every event (test/debug aid; the
+     * randomized serving property suite runs with this on).
+     */
+    bool selfCheck = false;
 };
 
 /** Life of one request, all times in cycles. */
@@ -118,6 +168,7 @@ struct RequestRecord
 {
     uint64_t id = 0;     ///< arrival order, 0-based
     size_t model = 0;    ///< index into registered models
+    unsigned priorityClass = 0; ///< the model's scheduling class
     Cycles arrival = 0;
     Cycles start = 0;    ///< admission (cores granted)
     Cycles finish = 0;   ///< output delivered
@@ -137,6 +188,34 @@ struct UtilizationSample
     unsigned usedCores = 0;
 };
 
+/** Per-priority-class slice of a serving run's outcome. */
+struct ClassResult
+{
+    unsigned priorityClass = 0;
+    uint64_t offered = 0;
+    uint64_t completed = 0;
+
+    /** Completed-request latency percentiles, in cycles. */
+    double p50 = 0, p95 = 0, p99 = 0;
+    double meanLatency = 0;
+
+    /**
+     * SLO attainment (ServingConfig::sloCycles > 0): met counts
+     * completions within the SLO; every other offered request of
+     * the class — late, rejected, pending at cutoff — is a miss.
+     * Both stay 0 when SLO accounting is disabled.
+     */
+    uint64_t sloMet = 0;
+    uint64_t sloMissed = 0;
+
+    /** Attained fraction of offered requests ([0,1]; 0 if none). */
+    double sloAttainment() const
+    {
+        uint64_t n = sloMet + sloMissed;
+        return n ? double(sloMet) / double(n) : 0.0;
+    }
+};
+
 /** Outcome of one serving run. */
 struct ServingResult
 {
@@ -147,7 +226,28 @@ struct ServingResult
     uint64_t rejected = 0;
     uint64_t pending = 0; ///< queued or in flight at cutoff
 
-    Cycles endCycle = 0; ///< last completion (or the cutoff)
+    /**
+     * The cycle throughput and utilization are measured over: the
+     * last event (completion) cycle when the run drains, the
+     * cutoff when it is truncated by one. Never inflated to an
+     * unreached cutoff — an early-drained run reports its real
+     * makespan.
+     */
+    Cycles endCycle = 0;
+
+    /** The SLO the classes were scored against (0 = disabled). */
+    Cycles sloCycles = 0;
+
+    /** Global SLO counters (sums of the per-class ones). */
+    uint64_t sloMet = 0;
+    uint64_t sloMissed = 0;
+
+    /**
+     * Per-priority-class latency percentiles and SLO attainment,
+     * ascending by class, one entry per class with >= 1 offered
+     * request.
+     */
+    std::vector<ClassResult> classes;
 
     /**
      * Smallest isolated service latency over every (model, cores)

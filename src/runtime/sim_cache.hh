@@ -10,7 +10,12 @@
  * The TimingResultCache memoizes that function *across* simulator
  * instances: a sweep that builds a fresh ServingSimulator per load
  * point re-derives identical profiles at every point, and with the
- * cache enabled only the first point pays for the simulation.
+ * cache enabled only the first point pays for the simulation. The
+ * shortest-job-first admission policy (runtime/admission.hh) rides
+ * on the same memoization: its per-request cost estimate is the
+ * (model, minCores) profile latency, so under `--policy=sjf` a
+ * warm cache also makes the *scheduling* decision cheap, not just
+ * the service-time probe.
  *
  * Correctness contract: a cache hit replays the memoized outcome
  * via MaiccSystem::applyCachedRun, restoring the run counters,

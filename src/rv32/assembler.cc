@@ -304,7 +304,10 @@ void
 Assembler::li(Reg rd, int32_t value)
 {
     int32_t lo = (value << 20) >> 20; // low 12 bits, sign-extended
-    int32_t hi = value - lo;
+    // The split wraps modulo 2^32 by design (INT32_MAX has lo = -1,
+    // hi = INT32_MIN); subtract as uint32_t where wrapping is defined.
+    int32_t hi = static_cast<int32_t>(static_cast<uint32_t>(value) -
+                                      static_cast<uint32_t>(lo));
     if (hi != 0) {
         lui(rd, static_cast<uint32_t>(hi) >> 12);
         if (lo != 0)

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Shared fixtures for the serving test suites (test_serving,
+ * test_serving_policies, test_serving_properties): small model
+ * bundles (network + weights + input), a deterministic tiny
+ * single-conv builder whose core footprint is tunable through the
+ * filter count (for fragmentation / backfill scenarios that need
+ * models with *different* minimum node groups), and a bitwise
+ * ServingResult comparison. Include as
+ * "common/serving_fixtures.hh".
+ */
+
+#ifndef MAICC_TESTS_COMMON_SERVING_FIXTURES_HH
+#define MAICC_TESTS_COMMON_SERVING_FIXTURES_HH
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "nn/network.hh"
+#include "runtime/serving.hh"
+
+namespace maicc
+{
+namespace testserv
+{
+
+/**
+ * A single 3x3 same-padding conv over an 8x8x64 input with
+ * @p out_c filters. The minimum node group grows with out_c (one
+ * data-collection core plus ceil(out_c / units-per-node) compute
+ * cores), which lets a test pick models with deliberately
+ * different core footprints — the fragmentation and backfill
+ * scenarios depend on that.
+ */
+inline Network
+tinyConvNet(const std::string &name, int out_c, int hw = 8)
+{
+    Network net;
+    net.name = name;
+    LayerSpec l;
+    l.name = "c0";
+    l.kind = LayerKind::Conv;
+    l.inputFrom = -1;
+    l.inC = 64;
+    l.inH = hw;
+    l.inW = hw;
+    l.outC = out_c;
+    l.R = l.S = 3;
+    l.stride = 1;
+    l.pad = 1;
+    l.relu = true;
+    net.layers.push_back(l);
+    return net;
+}
+
+/** One servable model: network, seeded weights, seeded input. */
+struct ModelFixture
+{
+    explicit ModelFixture(Network n, uint64_t seed)
+        : net(std::move(n)), weights(randomWeights(net, seed))
+    {
+        const LayerSpec &first = net.layer(0);
+        input = Tensor3(first.inH, first.inW, first.inC);
+        Rng rng(seed + 1);
+        input.randomize(rng);
+    }
+
+    /** ServedModel view of this fixture. */
+    ServedModel
+    served(const std::string &name, double mix_weight = 1.0,
+           unsigned preferred_cores = 0,
+           unsigned priority_class = 0) const
+    {
+        ServedModel m;
+        m.name = name;
+        m.net = &net;
+        m.weights = &weights;
+        m.input = &input;
+        m.mixWeight = mix_weight;
+        m.preferredCores = preferred_cores;
+        m.priorityClass = priority_class;
+        return m;
+    }
+
+    Network net;
+    std::vector<Weights4> weights;
+    Tensor3 input;
+};
+
+/** The shared two-model mix: a camera CNN and a smaller radar CNN. */
+struct Workload
+{
+    Workload()
+        : camera(buildSmallCnn(16, 16, 64), 21),
+          radar(buildSmallCnn(8, 8, 64), 23)
+    {
+    }
+
+    // By pointer: a SimComponent is pinned in memory (the registry
+    // holds raw pointers), so the simulator is neither copyable nor
+    // movable.
+    std::unique_ptr<ServingSimulator>
+    simulator(ServingConfig cfg, unsigned camera_class = 0,
+              unsigned radar_class = 0) const
+    {
+        auto sim =
+            std::make_unique<ServingSimulator>(std::move(cfg));
+        sim->addModel(
+            camera.served("camera", 3.0, 0, camera_class));
+        sim->addModel(radar.served("radar", 1.0, 0, radar_class));
+        return sim;
+    }
+
+    ModelFixture camera;
+    ModelFixture radar;
+};
+
+/** Bitwise field-for-field comparison of two serving outcomes. */
+inline void
+expectIdenticalResults(const ServingResult &a,
+                       const ServingResult &b, const char *what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(a.offered, b.offered);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.pending, b.pending);
+    EXPECT_EQ(a.endCycle, b.endCycle);
+    EXPECT_EQ(a.minServiceLatency, b.minServiceLatency);
+    EXPECT_EQ(a.sloMet, b.sloMet);
+    EXPECT_EQ(a.sloMissed, b.sloMissed);
+    // Doubles compared bitwise: both runs must execute the exact
+    // same arithmetic, not merely land close.
+    EXPECT_EQ(a.p50, b.p50);
+    EXPECT_EQ(a.p95, b.p95);
+    EXPECT_EQ(a.p99, b.p99);
+    EXPECT_EQ(a.meanLatency, b.meanLatency);
+    EXPECT_EQ(a.meanQueueing, b.meanQueueing);
+    EXPECT_EQ(a.utilization, b.utilization);
+
+    ASSERT_EQ(a.requests.size(), b.requests.size());
+    for (size_t i = 0; i < a.requests.size(); ++i) {
+        const RequestRecord &x = a.requests[i];
+        const RequestRecord &y = b.requests[i];
+        EXPECT_EQ(x.model, y.model) << "request " << i;
+        EXPECT_EQ(x.priorityClass, y.priorityClass)
+            << "request " << i;
+        EXPECT_EQ(x.arrival, y.arrival) << "request " << i;
+        EXPECT_EQ(x.start, y.start) << "request " << i;
+        EXPECT_EQ(x.finish, y.finish) << "request " << i;
+        EXPECT_EQ(x.cores, y.cores) << "request " << i;
+        EXPECT_EQ(x.batchSize, y.batchSize) << "request " << i;
+        EXPECT_EQ(x.rejected, y.rejected) << "request " << i;
+        EXPECT_EQ(x.completed, y.completed) << "request " << i;
+    }
+
+    ASSERT_EQ(a.classes.size(), b.classes.size());
+    for (size_t i = 0; i < a.classes.size(); ++i) {
+        const ClassResult &x = a.classes[i];
+        const ClassResult &y = b.classes[i];
+        EXPECT_EQ(x.priorityClass, y.priorityClass);
+        EXPECT_EQ(x.offered, y.offered);
+        EXPECT_EQ(x.completed, y.completed);
+        EXPECT_EQ(x.p50, y.p50);
+        EXPECT_EQ(x.p95, y.p95);
+        EXPECT_EQ(x.p99, y.p99);
+        EXPECT_EQ(x.meanLatency, y.meanLatency);
+        EXPECT_EQ(x.sloMet, y.sloMet);
+        EXPECT_EQ(x.sloMissed, y.sloMissed);
+    }
+
+    ASSERT_EQ(a.coreTimeline.size(), b.coreTimeline.size());
+    for (size_t i = 0; i < a.coreTimeline.size(); ++i) {
+        EXPECT_EQ(a.coreTimeline[i].cycle, b.coreTimeline[i].cycle);
+        EXPECT_EQ(a.coreTimeline[i].usedCores,
+                  b.coreTimeline[i].usedCores);
+    }
+}
+
+} // namespace testserv
+} // namespace maicc
+
+#endif // MAICC_TESTS_COMMON_SERVING_FIXTURES_HH

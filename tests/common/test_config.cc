@@ -100,6 +100,11 @@ TEST(Config, NonDefaultValuesSurviveTheRoundTrip)
     cfg.system.dram.accessBytes = 32;
     cfg.core.wbPorts = 2;
     cfg.serving.maxBatch = 4;
+    cfg.serving.batchAcrossQueue = true;
+    cfg.serving.policy = SchedPolicy::Priority;
+    cfg.serving.backfill = true;
+    cfg.serving.sloCycles = 750'000;
+    cfg.serving.selfCheck = true;
 
     SimConfig back;
     std::istringstream in(dumpToString(cfg));
@@ -109,5 +114,31 @@ TEST(Config, NonDefaultValuesSurviveTheRoundTrip)
     EXPECT_EQ(back.system.dram.accessBytes, 32u);
     EXPECT_EQ(back.core.wbPorts, 2u);
     EXPECT_EQ(back.serving.maxBatch, 4u);
+    EXPECT_TRUE(back.serving.batchAcrossQueue);
+    EXPECT_EQ(back.serving.policy, SchedPolicy::Priority);
+    EXPECT_TRUE(back.serving.backfill);
+    EXPECT_EQ(back.serving.sloCycles, 750'000u);
+    EXPECT_TRUE(back.serving.selfCheck);
     EXPECT_EQ(dumpToString(back), dumpToString(cfg));
+}
+
+TEST(Config, BadPolicySpellingIsAnErrorWithPath)
+{
+    SimConfig cfg;
+    std::istringstream in(
+        "{\"serving\": {\"policy\": \"lifo\"}}");
+    std::string err;
+    EXPECT_FALSE(loadConfig(in, cfg, &err));
+    EXPECT_NE(err.find("policy"), std::string::npos) << err;
+}
+
+TEST(Config, SjfPolicySurvivesTheRoundTrip)
+{
+    SimConfig cfg;
+    cfg.serving.policy = SchedPolicy::Sjf;
+    SimConfig back;
+    std::istringstream in(dumpToString(cfg));
+    std::string err;
+    ASSERT_TRUE(loadConfig(in, back, &err)) << err;
+    EXPECT_EQ(back.serving.policy, SchedPolicy::Sjf);
 }

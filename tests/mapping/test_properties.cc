@@ -244,3 +244,50 @@ TEST(MappingProperties, RegionAllocatorPrefersContiguousRuns)
               region.totalNodes());
     EXPECT_EQ(region.freeNodes(), 0u);
 }
+
+TEST(MappingProperties, AllocateContiguousRefusesFragmentedFits)
+{
+    // The serving admission path's allocator: when the free count
+    // fits but no contiguous run does, allocateContiguous must
+    // refuse and leave the region untouched — this is exactly the
+    // case where scattering a node-group chain across seams would
+    // invalidate its contiguously-profiled service time.
+    RegionAllocator region;
+    auto a = region.allocate(4);                 // [0..3]
+    auto b = region.allocate(4);                 // [4..7]
+    auto c = region.allocate(4);                 // [8..11]
+    region.allocate(region.freeNodes());
+    ASSERT_EQ(region.freeNodes(), 0u);
+    region.release(a);
+    region.release(c); // two free runs of 4, 8 free in total
+    EXPECT_EQ(region.freeNodes(), 8u);
+    EXPECT_EQ(region.longestFreeRun(), 4u);
+
+    // Fits by count, not by shape: refused, nothing consumed.
+    EXPECT_TRUE(region.allocateContiguous(6).empty());
+    EXPECT_EQ(region.freeNodes(), 8u);
+    EXPECT_EQ(region.longestFreeRun(), 4u);
+
+    // The scatter-tolerant allocate() still succeeds on the same
+    // region (occupancy-only callers keep the old behavior).
+    auto scattered = region.allocate(6);
+    EXPECT_EQ(scattered.size(), 6u);
+    region.release(scattered);
+
+    // A fitting run is carved at the lowest position...
+    auto low = region.allocateContiguous(4);
+    ASSERT_EQ(low.size(), 4u);
+    EXPECT_EQ(low.front(), 0u);
+    for (size_t i = 1; i < low.size(); ++i)
+        EXPECT_EQ(low[i], low[i - 1] + 1);
+    region.release(low);
+
+    // ...and releasing the separator coalesces the runs.
+    region.release(b);
+    EXPECT_EQ(region.longestFreeRun(), 12u);
+    auto wide = region.allocateContiguous(10);
+    ASSERT_EQ(wide.size(), 10u);
+    EXPECT_EQ(wide.front(), 0u);
+    for (size_t i = 1; i < wide.size(); ++i)
+        EXPECT_EQ(wide[i], wide[i - 1] + 1);
+}
