@@ -29,12 +29,27 @@
  * serving determinism contract, policy by policy; a mismatch fails
  * the run.
  *
+ * Sweep mode then closes with the **cluster scaling table**
+ * (runtime/cluster.hh): the saturated operating point's coupled
+ * arrival stream served by 1, 2, and 4 chip shards under every
+ * cross-chip dispatch policy, reporting aggregate percentiles,
+ * utilization over the cluster-wide core pool, throughput, and the
+ * speedup over one chip. Round-robin throughput must increase
+ * monotonically 1 -> 2 -> 4 chips, and the 1-chip cluster's stats
+ * registry must be byte-identical to the single-chip sweep point
+ * (the `--chips=1` compatibility contract, DESIGN.md §14); either
+ * failing fails the run.
+ *
  * Flags: the common set (common/cli.hh: --config --dump-config
  * --stats-json --threads --seed --trace --sim-cache --policy
- * --slo-cycles) plus --requests=R --batch=B --arrivals=FILE.
- * --stats-json dumps the registry of the last operating point (the
- * saturated one in sweep mode); BENCH_serving.json in the repo
- * root is the checked-in baseline.
+ * --slo-cycles --chips --shard-policy) plus --requests=R --batch=B
+ * --arrivals=FILE. Trace mode serves the file through the cluster
+ * tier, so --chips/--shard-policy apply there too. --stats-json
+ * dumps one combined registry: the saturated single-chip point
+ * under the legacy `serving` component (byte-identical to the
+ * pre-cluster dump) plus the 2- and 4-chip scaling runs under
+ * `cluster2` / `cluster4`; BENCH_serving.json in the repo root is
+ * the checked-in baseline.
  */
 
 #include <chrono>
@@ -46,6 +61,7 @@
 #include "common/cli.hh"
 #include "common/json.hh"
 #include "common/table.hh"
+#include "runtime/cluster.hh"
 #include "runtime/serving.hh"
 #include "runtime/sim_cache.hh"
 
@@ -123,6 +139,13 @@ main(int argc, char **argv)
         sim->addModel({"radar", &radar, &radW, &radIn, 1.0, 0, 0});
         return sim;
     };
+    auto makeCluster = [&](const ServingConfig &c) {
+        auto sim = std::make_unique<ClusterSimulator>(c);
+        sim->addModel(
+            {"camera", &camera, &camW, &camIn, 2.0, 0, 1});
+        sim->addModel({"radar", &radar, &radW, &radIn, 1.0, 0, 0});
+        return sim;
+    };
 
     double hz = cfg.system.clockHz;
     TextTable t({"point", "offered", "done", "rej", "p50 ms",
@@ -130,19 +153,28 @@ main(int argc, char **argv)
                  "req/s"});
 
     if (!arrivals.empty()) {
+        // Through the cluster tier, so --chips/--shard-policy
+        // shard the trace; chips=1 is the plain single-chip path
+        // (and its stats keep the legacy `serving` layout).
         cfg.arrivals = ArrivalProcess::Trace;
         SimContext ctx;
-        auto sim = makeSim(cfg);
-        sim->attachTo(ctx);
+        auto sim = makeCluster(cfg);
+        sim->attach(ctx);
         if (!sim->loadTraceFile(arrivals)) {
             std::fprintf(stderr, "bad arrival trace: %s\n",
                          arrivals.c_str());
             return 1;
         }
-        ServingResult r = sim->run();
-        std::printf("== Serving: trace %s ==\n\n",
-                    arrivals.c_str());
-        addRow(t, "trace", r, hz);
+        ClusterResult r = sim->run();
+        std::printf("== Serving: trace %s (%u chip%s) ==\n\n",
+                    arrivals.c_str(), sim->chips(),
+                    sim->chips() > 1 ? "s" : "");
+        addRow(t, "trace", r.aggregate, hz);
+        if (sim->chips() > 1) {
+            for (size_t s = 0; s < r.shards.size(); ++s)
+                addRow(t, "chip" + std::to_string(s), r.shards[s],
+                       hz);
+        }
         t.print(std::cout);
         return opt.writeStats(ctx) ? 0 : 1;
     }
@@ -156,10 +188,10 @@ main(int argc, char **argv)
 
     // One full sweep under @p cache_entries; rows land in @p table
     // when non-null (the printed table comes from the authoritative
-    // pass; a verification pass runs silently).
-    bool stats_ok = true;
-    auto sweep = [&](unsigned cache_entries, TextTable *table,
-                     bool write_stats) {
+    // pass; a verification pass runs silently). The --stats-json
+    // write happens after the cluster scaling section, off one
+    // combined registry.
+    auto sweep = [&](unsigned cache_entries, TextTable *table) {
         SweepResult sr;
         auto t0 = std::chrono::steady_clock::now();
         for (size_t gi = 0; gi < n_gaps; ++gi) {
@@ -177,11 +209,8 @@ main(int argc, char **argv)
                 addRow(*table, label, r, hz);
             }
             sr.means.push_back(r.meanLatency);
-            if (gi + 1 == n_gaps) {
+            if (gi + 1 == n_gaps)
                 sr.lastStatsJson = ctx.statsToJson().dump();
-                if (write_stats)
-                    stats_ok = opt.writeStats(ctx);
-            }
         }
         sr.wallSeconds = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - t0)
@@ -201,7 +230,7 @@ main(int argc, char **argv)
     // authoritative table and --stats-json source, so the dumped
     // baseline is identical with or without --sim-cache.
     TimingResultCache::global().reset();
-    SweepResult uncached = sweep(0, &t, true);
+    SweepResult uncached = sweep(0, &t);
     t.print(std::cout);
 
     bool monotone = true;
@@ -213,7 +242,7 @@ main(int argc, char **argv)
 
     bool identical = true;
     if (cache_entries) {
-        SweepResult cached = sweep(cache_entries, nullptr, false);
+        SweepResult cached = sweep(cache_entries, nullptr);
         const TimingResultCache &c = TimingResultCache::global();
         identical = cached.lastStatsJson == uncached.lastStatsJson
             && cached.means == uncached.means;
@@ -332,7 +361,87 @@ main(int argc, char **argv)
                 "sim-cache off/on): %s\n",
                 policies_identical ? "PASS" : "FAIL");
 
+    // ---- Cluster scaling ----
+    // The saturated point's coupled arrival stream, served by 1, 2,
+    // and 4 chip shards under every dispatch policy. The 1-chip
+    // cluster must reproduce the single-chip sweep point byte for
+    // byte, and round-robin throughput must grow with the shard
+    // count (the stream is saturated, so extra chips mean extra
+    // drained work per cycle).
+    ServingConfig scfg = cfg;
+    scfg.meanInterarrival = gaps[n_gaps - 1];
+    scfg.system.simCacheEntries = 0;
+
+    const ShardPolicy shard_policies[] = {
+        ShardPolicy::RoundRobin, ShardPolicy::LeastLoaded,
+        ShardPolicy::ModelAffinity};
+    TextTable st({"chips", "policy", "done", "rej", "p50 ms",
+                  "p99 ms", "util %", "req/s", "speedup"});
+
+    // The combined --stats-json registry: the 1-chip run attaches
+    // first under the legacy `serving` name, and the dump is
+    // snapshotted before the 2-/4-chip components join so it can be
+    // byte-compared against the single-chip sweep point.
+    SimContext scale_ctx;
+    std::vector<std::unique_ptr<ClusterSimulator>> kept;
+    double tp1 = 0;
+    std::vector<double> rr_tp;
+    bool chips1_identical = true;
+    for (unsigned chips : {1u, 2u, 4u}) {
+        for (ShardPolicy sp : shard_policies) {
+            if (chips == 1 && sp != ShardPolicy::RoundRobin)
+                continue; // one chip has nothing to dispatch over
+            ServingConfig rc = scfg;
+            rc.chips = chips;
+            rc.shardPolicy = sp;
+            auto sim = makeCluster(rc);
+            ClusterResult r;
+            if (sp == ShardPolicy::RoundRobin) {
+                // The round-robin runs carry the stats registry.
+                sim->attach(scale_ctx, "cluster"
+                            + std::to_string(chips));
+                r = sim->run();
+                if (chips == 1) {
+                    chips1_identical =
+                        scale_ctx.statsToJson().dump()
+                        == uncached.lastStatsJson;
+                    tp1 = r.aggregate.throughput(hz);
+                }
+                rr_tp.push_back(r.aggregate.throughput(hz));
+                kept.push_back(std::move(sim));
+            } else {
+                r = sim->run();
+            }
+            const ServingResult &a = r.aggregate;
+            st.addRow({std::to_string(chips),
+                       chips == 1 ? "-" : shardPolicyName(sp),
+                       TextTable::num(a.completed),
+                       TextTable::num(a.rejected),
+                       TextTable::num(a.p50 * ms, 3),
+                       TextTable::num(a.p99 * ms, 3),
+                       TextTable::num(a.utilization * 100, 1),
+                       TextTable::num(a.throughput(hz), 1),
+                       TextTable::num(
+                           tp1 > 0 ? a.throughput(hz) / tp1 : 0.0,
+                           2)});
+        }
+    }
+    bool scaling_monotone = rr_tp.size() == 3 && rr_tp[0] < rr_tp[1]
+        && rr_tp[1] < rr_tp[2];
+    std::printf("\n== Cluster scaling (same arrival stream, gap "
+                "1/%.3f ms, %u requests) ==\n\n",
+                scfg.meanInterarrival / 1e6, scfg.offeredRequests);
+    st.print(std::cout);
+    std::printf("\nThroughput monotonically increasing "
+                "1 -> 2 -> 4 chips (round-robin): %s\n"
+                "chips=1 stats byte-identical to the single-chip "
+                "path: %s\n",
+                scaling_monotone ? "PASS" : "FAIL",
+                chips1_identical ? "PASS" : "FAIL");
+
+    bool stats_ok = opt.writeStats(scale_ctx);
     return monotone && stats_ok && identical && policies_identical
+            && scaling_monotone && chips1_identical
         ? 0
         : 1;
 }

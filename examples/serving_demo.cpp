@@ -5,8 +5,11 @@
  * short Poisson request stream, and print what happened to every
  * request plus the aggregate and per-class serving metrics. Try
  * `--policy=sjf`, `--policy=priority`, or `--slo-cycles=900000` to
- * watch the admission order and SLO columns change. Exits with
- * "[ok]" so the build can smoke-test it (see examples/CMakeLists).
+ * watch the admission order and SLO columns change, or
+ * `--chips=2 --shard-policy=least-loaded` to serve the same stream
+ * over a sharded two-chip cluster (the chip column shows where
+ * each request ran). Exits with "[ok]" so the build can smoke-test
+ * it (see examples/CMakeLists).
  *
  * Usage: serving_demo [common flags, see common/cli.hh]
  */
@@ -16,6 +19,7 @@
 
 #include "common/cli.hh"
 #include "common/table.hh"
+#include "runtime/cluster.hh"
 #include "runtime/serving.hh"
 
 using namespace maicc;
@@ -47,21 +51,28 @@ main(int argc, char **argv)
     radIn.randomize(rng);
 
     SimContext ctx;
-    ServingSimulator sim(cfg);
-    sim.attachTo(ctx);
+    ClusterSimulator sim(cfg);
+    sim.attach(ctx);
     sim.addModel({"camera", &camera, &camW, &camIn, 2.0, 0, 1});
     sim.addModel({"radar", &radar, &radW, &radIn, 1.0, 0, 0});
 
-    std::printf("policy %s%s\n\n", policyName(cfg.policy),
+    std::printf("policy %s%s", policyName(cfg.policy),
                 cfg.backfill ? " + backfill" : "");
-    ServingResult r = sim.run();
+    if (sim.chips() > 1)
+        std::printf("   %u chips, dispatch %s", sim.chips(),
+                    shardPolicyName(cfg.shardPolicy));
+    std::printf("\n\n");
+    ClusterResult cr = sim.run();
+    const ServingResult &r = cr.aggregate;
 
     const char *names[] = {"camera", "radar"};
-    TextTable t({"req", "model", "class", "arrival", "queued",
-                 "latency", "cores", "batch", "state"});
+    TextTable t({"req", "model", "class", "chip", "arrival",
+                 "queued", "latency", "cores", "batch", "state"});
     for (const RequestRecord &q : r.requests) {
         t.addRow({TextTable::num(q.id), names[q.model],
                   TextTable::num(uint64_t(q.priorityClass)),
+                  q.rejected ? "-"
+                             : TextTable::num(uint64_t(q.shard)),
                   TextTable::num(q.arrival),
                   q.rejected ? "-" : TextTable::num(q.queueing()),
                   q.completed ? TextTable::num(q.latency()) : "-",
@@ -71,6 +82,17 @@ main(int argc, char **argv)
                              : (q.completed ? "done" : "pending")});
     }
     t.print(std::cout);
+
+    if (sim.chips() > 1) {
+        for (size_t i = 0; i < cr.shards.size(); ++i) {
+            const ServingResult &sh = cr.shards[i];
+            std::printf("chip%zu: %llu served, utilization %.1f%%\n",
+                        i,
+                        static_cast<unsigned long long>(
+                            sh.completed),
+                        sh.utilization * 100);
+        }
+    }
 
     for (const ClassResult &c : r.classes) {
         std::printf("\nclass %u: %llu offered, p50 %.0f, "
@@ -95,7 +117,8 @@ main(int argc, char **argv)
                 r.throughput(cfg.system.clockHz));
 
     // The simulator published the same numbers into its own
-    // StatGroup (SimComponent::stats) at the end of run().
+    // StatGroup (SimComponent::stats) at the end of run(); with
+    // more than one chip the group also carries per-chip children.
     sim.stats().dump(std::cout);
 
     bool ok = r.completed == r.offered && r.rejected == 0;

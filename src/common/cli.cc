@@ -115,6 +115,22 @@ Options::Options(std::string tool_name, int &argc, char **argv)
         else if (error.empty())
             error = "--slo-cycles: expected an unsigned integer";
     }
+    std::string chips_s = take(argc, argv, "chips");
+    if (!chips_s.empty()) {
+        uint64_t v = 0;
+        if (parseUint(chips_s, v) && v >= 1 && v <= 64)
+            config.serving.chips = unsigned(v);
+        else if (error.empty())
+            error = "--chips: expected an integer in [1, 64]";
+    }
+    std::string shard_policy_s = take(argc, argv, "shard-policy");
+    if (!shard_policy_s.empty()
+        && !parseShardPolicy(shard_policy_s,
+                             config.serving.shardPolicy)
+        && error.empty()) {
+        error = "--shard-policy: expected round-robin, "
+                "least-loaded, or model-affinity";
+    }
     statsJson = take(argc, argv, "stats-json");
     dumpConfig = !take(argc, argv, "dump-config").empty();
 
@@ -178,7 +194,10 @@ Options::finish(bool allow_extra)
             "common flags: --config=FILE --dump-config "
             "--stats-json=FILE --threads=N --seed=S "
             "--trace=FILE --sim-cache=N "
-            "--policy=fifo|sjf|priority --slo-cycles=N\n");
+            "--policy=fifo|sjf|priority --slo-cycles=N "
+            "--chips=N "
+            "--shard-policy=round-robin|least-loaded|"
+            "model-affinity\n");
         return false;
     }
     return true;

@@ -19,6 +19,10 @@
  *                     priority (runtime/admission.hh)
  *   --slo-cycles=N    serving per-request latency SLO in cycles
  *                     (0 = SLO accounting off)
+ *   --chips=N         serving chip shards in [1, 64]
+ *                     (runtime/cluster.hh; 1 = single chip)
+ *   --shard-policy=P  cross-chip dispatch: round-robin,
+ *                     least-loaded, or model-affinity
  *
  * Precedence: defaults < MAICC_* environment < --config file <
  * explicit flags. Binaries fetch their own extra flags with

@@ -352,6 +352,8 @@ servingToJson(const ServingConfig &c)
     j.set("sloCycles", c.sloCycles);
     j.set("cutoff", c.cutoff);
     j.set("selfCheck", c.selfCheck);
+    j.set("chips", c.chips);
+    j.set("shardPolicy", shardPolicyName(c.shardPolicy));
     return j;
 }
 
@@ -385,6 +387,15 @@ servingFromJson(const Json &j, ServingConfig &out,
     r.integer("sloCycles", out.sloCycles);
     r.integer("cutoff", out.cutoff);
     r.boolean("selfCheck", out.selfCheck);
+    r.integer("chips", out.chips);
+    if (out.chips < 1)
+        r.fail("chips", "expected >= 1");
+    std::string shard_policy = shardPolicyName(out.shardPolicy);
+    r.string("shardPolicy", shard_policy);
+    if (!parseShardPolicy(shard_policy, out.shardPolicy))
+        r.fail("shardPolicy",
+               "expected \"round-robin\", \"least-loaded\", or "
+               "\"model-affinity\"");
     return r.finish();
 }
 

@@ -92,6 +92,59 @@ parsePolicy(const std::string &s, SchedPolicy &out)
 }
 
 /**
+ * Which shard-selection policy the cross-chip dispatcher runs
+ * (cluster.hh, `--shard-policy=`). Dispatch happens once, at
+ * arrival time: the dispatcher picks among the shards that have the
+ * request's model registered and waiting-room space, and the
+ * request then lives on that shard until it completes. Like
+ * AdmissionPolicy::pick, every selection rule is a pure function of
+ * deterministic dispatcher state, so sharded runs keep the bitwise
+ * determinism contract.
+ */
+enum class ShardPolicy
+{
+    RoundRobin,    ///< cyclic scan over eligible shards
+    LeastLoaded,   ///< most free cores, then shortest queue
+    ModelAffinity, ///< prefer shards that served the model before
+};
+
+/**
+ * Canonical flag spelling of @p p ("round-robin", "least-loaded",
+ * "model-affinity"). Inline for the same reason as policyName: the
+ * config/CLI binding in maicc_common uses it without linking
+ * against maicc_runtime.
+ */
+inline const char *
+shardPolicyName(ShardPolicy p)
+{
+    switch (p) {
+      case ShardPolicy::RoundRobin:
+        return "round-robin";
+      case ShardPolicy::LeastLoaded:
+        return "least-loaded";
+      case ShardPolicy::ModelAffinity:
+        return "model-affinity";
+    }
+    return "round-robin";
+}
+
+/** Parse a shardPolicyName spelling; false (out untouched) else. */
+inline bool
+parseShardPolicy(const std::string &s, ShardPolicy &out)
+{
+    if (s == "round-robin") {
+        out = ShardPolicy::RoundRobin;
+    } else if (s == "least-loaded") {
+        out = ShardPolicy::LeastLoaded;
+    } else if (s == "model-affinity") {
+        out = ShardPolicy::ModelAffinity;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/**
  * What a policy may look at about one queued request. Snapshots are
  * listed in queue (arrival) order, so an index into the snapshot is
  * also the request's queue position.

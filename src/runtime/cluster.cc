@@ -1,0 +1,330 @@
+#include "runtime/cluster.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "runtime/shard.hh"
+
+namespace maicc
+{
+
+namespace
+{
+
+/**
+ * Sum the per-shard used-core step functions into one cluster-wide
+ * timeline: a k-way walk emitting one sample per distinct event
+ * cycle. Within one shard, the last sample at a cycle wins (an
+ * admission right after a completion at the same cycle), matching
+ * how the single-chip timeline reads.
+ */
+std::vector<UtilizationSample>
+mergeTimelines(
+    const std::vector<std::vector<UtilizationSample>> &per_shard)
+{
+    std::vector<size_t> idx(per_shard.size(), 0);
+    std::vector<unsigned> cur(per_shard.size(), 0);
+    std::vector<UtilizationSample> out;
+    for (;;) {
+        Cycles next = ShardEngine::kNever;
+        for (size_t s = 0; s < per_shard.size(); ++s) {
+            if (idx[s] < per_shard[s].size())
+                next = std::min(next, per_shard[s][idx[s]].cycle);
+        }
+        if (next == ShardEngine::kNever)
+            break;
+        for (size_t s = 0; s < per_shard.size(); ++s) {
+            while (idx[s] < per_shard[s].size()
+                   && per_shard[s][idx[s]].cycle == next) {
+                cur[s] = per_shard[s][idx[s]].usedCores;
+                ++idx[s];
+            }
+        }
+        unsigned total =
+            std::accumulate(cur.begin(), cur.end(), 0u);
+        out.push_back({next, total});
+    }
+    return out;
+}
+
+} // namespace
+
+ClusterSimulator::ClusterSimulator(ServingConfig config)
+    : SimComponent("cluster"), cfg(std::move(config)),
+      nChips(std::max(1u, cfg.chips)), inner(cfg)
+{
+    maicc_assert(nChips <= 64); // shard masks are uint64_t
+    chipStats.reserve(nChips);
+    for (unsigned i = 0; i < nChips; ++i) {
+        chipStats.push_back(std::make_unique<SimComponent>(
+            "chip" + std::to_string(i)));
+    }
+}
+
+size_t
+ClusterSimulator::addModel(ServedModel m, uint64_t shard_mask)
+{
+    uint64_t all = nChips == 64 ? ~0ull : (1ull << nChips) - 1;
+    uint64_t mask = shard_mask & all;
+    maicc_assert(mask != 0); // must cover >= 1 configured shard
+    size_t idx = inner.addModel(std::move(m));
+    shardMasks.push_back(mask);
+    return idx;
+}
+
+bool
+ClusterSimulator::loadTrace(std::istream &in)
+{
+    return inner.loadTrace(in);
+}
+
+bool
+ClusterSimulator::loadTraceFile(const std::string &path)
+{
+    return inner.loadTraceFile(path);
+}
+
+void
+ClusterSimulator::setTimingCache(TimingResultCache *cache)
+{
+    inner.setTimingCache(cache);
+}
+
+void
+ClusterSimulator::reset()
+{
+    inner.reset();
+    for (auto &c : chipStats)
+        c->reset();
+    SimComponent::reset();
+}
+
+void
+ClusterSimulator::attach(SimContext &ctx, const std::string &name,
+                         const std::string &single_name)
+{
+    if (nChips == 1) {
+        // The legacy layout: one component, the single-chip
+        // simulator itself — byte-identical stats dumps to the
+        // pre-cluster path by construction.
+        inner.attachTo(ctx, single_name);
+        return;
+    }
+    attachTo(ctx, name);
+}
+
+void
+ClusterSimulator::onAttach()
+{
+    inner.attachTo(*context(), name() + ".profiler");
+    for (auto &c : chipStats)
+        c->attachTo(*this);
+}
+
+void
+ClusterSimulator::publishStats(const ClusterResult &out)
+{
+    stats().resetAll();
+    out.aggregate.dumpStats(stats());
+    stats().counter("chips").inc(nChips);
+    for (unsigned i = 0; i < nChips; ++i) {
+        chipStats[i]->stats().resetAll();
+        out.shards[i].dumpStats(chipStats[i]->stats());
+    }
+}
+
+ClusterResult
+ClusterSimulator::run()
+{
+    ClusterResult out;
+    if (nChips == 1) {
+        // Delegate outright: the single-chip path, untouched.
+        out.aggregate = inner.run();
+        out.shards.push_back(out.aggregate);
+        publishStats(out);
+        return out;
+    }
+
+    constexpr Cycles kNever = ShardEngine::kNever;
+    const std::vector<ServedModel> &models = inner.servedModels();
+    const std::vector<unsigned> &min_cores = inner.minCoresTable();
+    maicc_assert(shardMasks.size() == models.size());
+
+    ServingResult &agg = out.aggregate;
+    std::vector<ServingArrival> arrivals = inner.arrivals();
+    agg.offered = arrivals.size();
+    agg.sloCycles = cfg.sloCycles;
+    agg.requests.resize(arrivals.size());
+    for (size_t i = 0; i < arrivals.size(); ++i) {
+        agg.requests[i].id = i;
+        agg.requests[i].model = arrivals[i].model;
+        agg.requests[i].priorityClass =
+            models[arrivals[i].model].priorityClass;
+        agg.requests[i].arrival = arrivals[i].cycle;
+    }
+
+    // One independent chip per shard; all pull profiles from the
+    // shared profiler (identical hardware, so a (model, cores)
+    // profile is simulated at most once per run).
+    std::vector<std::unique_ptr<ShardEngine>> shards;
+    shards.reserve(nChips);
+    for (unsigned i = 0; i < nChips; ++i) {
+        shards.push_back(std::make_unique<ShardEngine>(
+            cfg, models, min_cores, agg.requests,
+            [this](size_t model,
+                   unsigned cores) -> const ServiceProfile & {
+                return inner.profile(model, cores);
+            },
+            i));
+    }
+
+    // Dispatcher state. Model-affinity "warmth" is which shard
+    // dispatched which model before — a pure function of the seeded
+    // stream, never of TimingResultCache occupancy, so dispatch is
+    // identical with the sim cache on or off.
+    unsigned rr_next = 0;
+    std::vector<std::vector<char>> served(
+        nChips, std::vector<char>(models.size(), 0));
+
+    auto eligible = [&](unsigned s, size_t model) {
+        return ((shardMasks[model] >> s) & 1)
+            && !shards[s]->queueFull();
+    };
+    // Least-loaded rule: most free cores, then shortest waiting
+    // queue, then lowest index — all deterministic tie-breaks.
+    auto better = [&](unsigned a, unsigned b) {
+        if (shards[a]->freeCores() != shards[b]->freeCores())
+            return shards[a]->freeCores() > shards[b]->freeCores();
+        return shards[a]->queueDepth() < shards[b]->queueDepth();
+    };
+    auto pick_shard = [&](size_t model) -> int {
+        switch (cfg.shardPolicy) {
+          case ShardPolicy::RoundRobin: {
+            for (unsigned k = 0; k < nChips; ++k) {
+                unsigned s = (rr_next + k) % nChips;
+                if (eligible(s, model)) {
+                    rr_next = (s + 1) % nChips;
+                    return int(s);
+                }
+            }
+            return -1;
+          }
+          case ShardPolicy::LeastLoaded:
+          case ShardPolicy::ModelAffinity: {
+            int best = -1, warm_best = -1;
+            for (unsigned s = 0; s < nChips; ++s) {
+                if (!eligible(s, model))
+                    continue;
+                if (best < 0 || better(s, unsigned(best)))
+                    best = int(s);
+                if (served[s][model]
+                    && (warm_best < 0
+                        || better(s, unsigned(warm_best))))
+                    warm_best = int(s);
+            }
+            if (cfg.shardPolicy == ShardPolicy::ModelAffinity
+                && warm_best >= 0)
+                return warm_best;
+            return best;
+          }
+        }
+        return -1;
+    };
+
+    // The cross-shard event loop: same skeleton as the single-chip
+    // one, with "next completion" minimized over every shard
+    // (ties: lowest shard index) and arrivals routed through the
+    // dispatcher. Completions before arrivals at equal cycles, per
+    // shard and across shards — the single-chip tie-break, kept.
+    size_t next_arrival = 0;
+    Cycles now = 0;
+    bool truncated = false;
+    auto any_running = [&]() {
+        for (const auto &s : shards)
+            if (!s->idle())
+                return true;
+        return false;
+    };
+    while (next_arrival < arrivals.size() || any_running()) {
+        Cycles t_arrive = next_arrival < arrivals.size()
+            ? arrivals[next_arrival].cycle
+            : kNever;
+        Cycles t_finish = kNever;
+        unsigned finish_shard = 0;
+        for (unsigned s = 0; s < nChips; ++s) {
+            if (shards[s]->nextFinish() < t_finish) {
+                t_finish = shards[s]->nextFinish();
+                finish_shard = s;
+            }
+        }
+        Cycles t_next = std::min(t_arrive, t_finish);
+        if (cfg.cutoff && t_next > cfg.cutoff) {
+            truncated = true;
+            break;
+        }
+        now = t_next;
+        if (t_finish <= t_arrive) {
+            shards[finish_shard]->complete(now);
+            shards[finish_shard]->tryAdmit(now);
+        } else {
+            uint64_t id = next_arrival++;
+            size_t model = arrivals[id].model;
+            int target = pick_shard(model);
+            if (target < 0) {
+                // No shard has the model registered with room to
+                // queue it: cluster-level admission control.
+                agg.requests[id].rejected = true;
+                ++agg.rejected;
+                continue;
+            }
+            served[target][model] = 1;
+            bool ok = shards[target]->enqueue(id);
+            maicc_assert(ok);
+            shards[target]->tryAdmit(now);
+        }
+    }
+
+    agg.endCycle = truncated ? cfg.cutoff : now;
+
+    // Aggregate floor: smallest profile any shard actually admitted
+    // with (shards that admitted nothing report 0 and are skipped).
+    agg.minServiceLatency = 0;
+    std::vector<std::vector<UtilizationSample>> timelines;
+    timelines.reserve(nChips);
+    for (unsigned i = 0; i < nChips; ++i) {
+        Cycles m = shards[i]->minServiceLatencySeen();
+        if (m && (agg.minServiceLatency == 0
+                  || m < agg.minServiceLatency))
+            agg.minServiceLatency = m;
+        timelines.push_back(shards[i]->takeTimeline());
+    }
+    agg.coreTimeline = mergeTimelines(timelines);
+    finalizeServingResult(agg, cfg.sloCycles,
+                          nChips * cfg.system.coreBudget);
+
+    // Per-shard slices: the shard's own dispatched requests and
+    // timeline, summarized with the same arithmetic against the
+    // shared clock. Rejections stay with the dispatcher.
+    for (unsigned i = 0; i < nChips; ++i) {
+        ServingResult slice;
+        slice.endCycle = agg.endCycle;
+        slice.sloCycles = cfg.sloCycles;
+        slice.minServiceLatency =
+            shards[i]->minServiceLatencySeen();
+        slice.coreTimeline = std::move(timelines[i]);
+        for (const RequestRecord &r : agg.requests) {
+            if (!r.rejected && r.shard == i)
+                slice.requests.push_back(r);
+        }
+        slice.offered = slice.requests.size();
+        finalizeServingResult(slice, cfg.sloCycles,
+                              cfg.system.coreBudget);
+        out.shards.push_back(std::move(slice));
+    }
+
+    publishStats(out);
+    return out;
+}
+
+} // namespace maicc

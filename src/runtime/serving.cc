@@ -2,14 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <fstream>
 #include <limits>
-#include <queue>
 #include <sstream>
 
 #include "common/logging.hh"
 #include "runtime/host.hh"
+#include "runtime/shard.hh"
 #include "runtime/sim_cache.hh"
 
 namespace maicc
@@ -106,7 +105,7 @@ ServingSimulator::addModel(ServedModel m)
 bool
 ServingSimulator::loadTrace(std::istream &in)
 {
-    std::vector<Arrival> parsed;
+    std::vector<ServingArrival> parsed;
     std::string line;
     while (std::getline(in, line)) {
         size_t hash = line.find('#');
@@ -162,7 +161,7 @@ ServingSimulator::timingCache()
     return c;
 }
 
-ServingSimulator::ServiceProfile
+ServiceProfile
 ServingSimulator::profileFrom(
     Cycles total, const std::vector<SegmentRunStats> &segments)
 {
@@ -178,7 +177,7 @@ ServingSimulator::profileFrom(
     return sp;
 }
 
-const ServingSimulator::ServiceProfile &
+const ServiceProfile &
 ServingSimulator::profile(size_t model, unsigned cores)
 {
     auto key = std::make_pair(model, cores);
@@ -226,12 +225,12 @@ ServingSimulator::profile(size_t model, unsigned cores)
     return profiles.emplace(key, sp).first->second;
 }
 
-std::vector<ServingSimulator::Arrival>
+std::vector<ServingArrival>
 ServingSimulator::generateArrivals() const
 {
-    std::vector<Arrival> out;
+    std::vector<ServingArrival> out;
     if (cfg.arrivals == ArrivalProcess::Trace) {
-        for (const Arrival &a : traceArrivals) {
+        for (const ServingArrival &a : traceArrivals) {
             if (cfg.horizon && a.cycle >= cfg.horizon)
                 break;
             out.push_back(a);
@@ -270,223 +269,10 @@ ServingSimulator::generateArrivals() const
     return out;
 }
 
-ServingResult
-ServingSimulator::run()
+void
+finalizeServingResult(ServingResult &res, Cycles slo_cycles,
+                      unsigned total_cores)
 {
-    constexpr Cycles kNever = std::numeric_limits<Cycles>::max();
-
-    ServingResult res;
-    std::vector<Arrival> arrivals = generateArrivals();
-    res.offered = arrivals.size();
-    res.sloCycles = cfg.sloCycles;
-    res.requests.resize(arrivals.size());
-    for (size_t i = 0; i < arrivals.size(); ++i) {
-        res.requests[i].id = i;
-        res.requests[i].model = arrivals[i].model;
-        res.requests[i].priorityClass =
-            models[arrivals[i].model].priorityClass;
-        res.requests[i].arrival = arrivals[i].cycle;
-    }
-
-    CoreLedger ledger(cfg.system.coreBudget);
-    RegionAllocator region(cfg.system.geometry);
-    std::deque<uint64_t> queue;
-
-    /** One admitted batch occupying a region until its last
-     * request finishes. */
-    struct Running
-    {
-        Cycles finish = 0;   ///< last batch member's finish
-        uint64_t firstId = 0;///< deterministic tie-break
-        unsigned cores = 0;
-        std::vector<unsigned> slots;
-
-        bool
-        operator>(const Running &o) const
-        {
-            return finish != o.finish ? finish > o.finish
-                                      : firstId > o.firstId;
-        }
-    };
-    std::priority_queue<Running, std::vector<Running>,
-                        std::greater<Running>>
-        running;
-
-    res.coreTimeline.push_back({0, 0});
-    res.minServiceLatency = kNever;
-
-    std::unique_ptr<AdmissionPolicy> policy =
-        makePolicy(cfg.policy, cfg.backfill);
-    unsigned cores_in_flight = 0;
-
-    // Test/debug invariants, asserted at every event when
-    // cfg.selfCheck is set: the core budget holds, and the ledger
-    // (budget) and region (physical slots) stay in lock-step with
-    // the sum of the running regions.
-    auto check_invariants = [&]() {
-        if (!cfg.selfCheck)
-            return;
-        maicc_assert(ledger.used() <= ledger.total());
-        maicc_assert(ledger.used() == cores_in_flight);
-        maicc_assert(region.totalNodes() - region.freeNodes()
-                     == cores_in_flight);
-    };
-
-    auto tryAdmit = [&](Cycles now) {
-        while (!queue.empty()) {
-            // Snapshot the queue for the policy, in queue order.
-            // Cost estimates (SJF) reuse the memoized per-(model,
-            // minCores) service profiles, so only the first sight
-            // of a model pays for a probe simulation.
-            std::vector<QueuedRequest> view;
-            view.reserve(queue.size());
-            for (uint64_t qid : queue) {
-                const RequestRecord &q = res.requests[qid];
-                QueuedRequest v;
-                v.id = qid;
-                v.model = q.model;
-                v.arrival = q.arrival;
-                v.priorityClass = q.priorityClass;
-                v.minCores = minCoresCache[q.model];
-                if (policy->wantsCostEstimates()) {
-                    v.costEstimate =
-                        profile(q.model, v.minCores).latency;
-                }
-                view.push_back(v);
-            }
-            size_t pos = policy->pick(view, ledger.freeCores());
-            if (pos == AdmissionPolicy::npos)
-                break; // nothing admissible at this event
-            maicc_assert(pos < queue.size());
-
-            RequestRecord &head = res.requests[queue[pos]];
-            unsigned min_cores = minCoresCache[head.model];
-            maicc_assert(min_cores <= ledger.freeCores());
-            unsigned want = models[head.model].preferredCores;
-            unsigned grant = std::clamp(
-                want == 0 ? min_cores : want, min_cores,
-                ledger.freeCores());
-
-            // Carve a contiguous serpentine region — the shape the
-            // (model, cores) service profile was simulated on.
-            // Under fragmentation the budget can have cores free
-            // with no run long enough: degrade gracefully instead
-            // of aborting — retry at the minimum region, else
-            // leave the request queued until a completion
-            // re-coalesces the region (the region is empty
-            // whenever nothing runs, so admission cannot stall
-            // forever).
-            Running r;
-            r.slots = region.allocateContiguous(grant);
-            if (r.slots.empty() && grant > min_cores) {
-                grant = min_cores;
-                r.slots = region.allocateContiguous(grant);
-            }
-            if (r.slots.empty())
-                break;
-
-            bool ok = ledger.tryAllocate(grant);
-            maicc_assert(ok);
-            cores_in_flight += grant;
-
-            // Collect the admitted request plus same-model
-            // companions into one batch. Default: only the
-            // contiguous same-model run starting at the admitted
-            // position, so batching never pulls a request past a
-            // different-model one (the no-reordering contract).
-            // cfg.batchAcrossQueue restores the whole-queue scan.
-            std::vector<uint64_t> batch;
-            unsigned max_batch = std::max(1u, cfg.maxBatch);
-            if (cfg.batchAcrossQueue) {
-                for (auto it = queue.begin() + pos;
-                     it != queue.end()
-                     && batch.size() < max_batch;) {
-                    if (res.requests[*it].model == head.model) {
-                        batch.push_back(*it);
-                        it = queue.erase(it);
-                    } else {
-                        ++it;
-                    }
-                }
-            } else {
-                auto it = queue.begin() + pos;
-                while (it != queue.end()
-                       && batch.size() < max_batch
-                       && res.requests[*it].model == head.model) {
-                    batch.push_back(*it);
-                    it = queue.erase(it);
-                }
-            }
-            maicc_assert(!batch.empty());
-
-            r.cores = grant;
-            r.firstId = batch.front();
-
-            const ServiceProfile &sp =
-                profile(head.model, grant);
-            res.minServiceLatency =
-                std::min(res.minServiceLatency, sp.latency);
-            for (size_t k = 0; k < batch.size(); ++k) {
-                RequestRecord &req = res.requests[batch[k]];
-                req.start = now;
-                req.cores = grant;
-                req.batchSize = unsigned(batch.size());
-                req.finish =
-                    now + sp.latency + Cycles(k) * sp.interval;
-                r.finish = req.finish;
-            }
-            running.push(std::move(r));
-            res.coreTimeline.push_back({now, ledger.used()});
-        }
-        check_invariants();
-    };
-
-    size_t next_arrival = 0;
-    Cycles now = 0;
-    bool truncated = false;
-    while (next_arrival < arrivals.size() || !running.empty()) {
-        Cycles t_arrive = next_arrival < arrivals.size()
-            ? arrivals[next_arrival].cycle
-            : kNever;
-        Cycles t_finish =
-            !running.empty() ? running.top().finish : kNever;
-        Cycles t_next = std::min(t_arrive, t_finish);
-        if (cfg.cutoff && t_next > cfg.cutoff) {
-            truncated = true;
-            break;
-        }
-        now = t_next;
-        if (t_finish <= t_arrive) {
-            // Completion first on ties: cores free up before the
-            // simultaneous arrival is considered (documented
-            // tie-break of the event loop).
-            Running done = running.top();
-            running.pop();
-            ledger.release(done.cores);
-            region.release(done.slots);
-            maicc_assert(cores_in_flight >= done.cores);
-            cores_in_flight -= done.cores;
-            res.coreTimeline.push_back({now, ledger.used()});
-        } else {
-            uint64_t id = next_arrival++;
-            if (queue.size() >= cfg.queueCapacity) {
-                res.requests[id].rejected = true;
-                ++res.rejected;
-                continue;
-            }
-            queue.push_back(id);
-        }
-        tryAdmit(now);
-    }
-
-    // The measured window ends at the last event when the run
-    // drained; only a run actually truncated by the cutoff is
-    // measured to the cutoff. (Pinning endCycle to an unreached
-    // cutoff would deflate throughput and utilization.)
-    res.endCycle = truncated ? cfg.cutoff : now;
-    if (res.minServiceLatency == kNever)
-        res.minServiceLatency = 0;
-
     // Classify and summarize. A request completed iff it was
     // admitted and finished inside the simulated window; admitted
     // but unfinished (cutoff) and never-admitted requests are
@@ -515,9 +301,9 @@ ServingSimulator::run()
         // SLO attainment over *offered* requests: a reject or a
         // request stranded at the cutoff missed its deadline just
         // as surely as a late completion did.
-        if (cfg.sloCycles) {
+        if (slo_cycles) {
             bool met = r.completed
-                && r.latency() <= cfg.sloCycles;
+                && r.latency() <= slo_cycles;
             ++(met ? cr.sloMet : cr.sloMissed);
         }
     }
@@ -556,9 +342,77 @@ ServingSimulator::run()
             }
         }
         res.utilization = busy_integral
-            / (double(res.endCycle)
-               * double(cfg.system.coreBudget));
+            / (double(res.endCycle) * double(total_cores));
     }
+}
+
+ServingResult
+ServingSimulator::run()
+{
+    constexpr Cycles kNever = ShardEngine::kNever;
+
+    ServingResult res;
+    std::vector<ServingArrival> arrivals = generateArrivals();
+    res.offered = arrivals.size();
+    res.sloCycles = cfg.sloCycles;
+    res.requests.resize(arrivals.size());
+    for (size_t i = 0; i < arrivals.size(); ++i) {
+        res.requests[i].id = i;
+        res.requests[i].model = arrivals[i].model;
+        res.requests[i].priorityClass =
+            models[arrivals[i].model].priorityClass;
+        res.requests[i].arrival = arrivals[i].cycle;
+    }
+
+    // The whole per-chip event-loop state — ledger, region, queue,
+    // running set, policy — lives in the ShardEngine (shard.hh),
+    // shared with the cluster tier. This loop owns only event
+    // ordering: next arrival vs. next completion, completion first
+    // on ties (cores free up before the simultaneous arrival is
+    // considered — the documented tie-break).
+    ShardEngine engine(
+        cfg, models, minCoresCache, res.requests,
+        [this](size_t model, unsigned cores) -> const ServiceProfile & {
+            return profile(model, cores);
+        });
+
+    size_t next_arrival = 0;
+    Cycles now = 0;
+    bool truncated = false;
+    while (next_arrival < arrivals.size() || !engine.idle()) {
+        Cycles t_arrive = next_arrival < arrivals.size()
+            ? arrivals[next_arrival].cycle
+            : kNever;
+        Cycles t_finish = engine.nextFinish();
+        Cycles t_next = std::min(t_arrive, t_finish);
+        if (cfg.cutoff && t_next > cfg.cutoff) {
+            truncated = true;
+            break;
+        }
+        now = t_next;
+        if (t_finish <= t_arrive) {
+            engine.complete(now);
+        } else {
+            uint64_t id = next_arrival++;
+            if (!engine.enqueue(id)) {
+                res.requests[id].rejected = true;
+                ++res.rejected;
+                continue;
+            }
+        }
+        engine.tryAdmit(now);
+    }
+
+    // The measured window ends at the last event when the run
+    // drained; only a run actually truncated by the cutoff is
+    // measured to the cutoff. (Pinning endCycle to an unreached
+    // cutoff would deflate throughput and utilization.)
+    res.endCycle = truncated ? cfg.cutoff : now;
+    res.minServiceLatency = engine.minServiceLatencySeen();
+    res.coreTimeline = engine.takeTimeline();
+
+    finalizeServingResult(res, cfg.sloCycles,
+                          cfg.system.coreBudget);
 
     // Publish this run's outcome into the component's StatGroup so
     // a --stats-json dump sees it without extra plumbing.

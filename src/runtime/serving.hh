@@ -161,6 +161,20 @@ struct ServingConfig
      * randomized serving property suite runs with this on).
      */
     bool selfCheck = false;
+
+    /**
+     * Chip shards in the serving tier (`--chips=N`, cluster.hh).
+     * 1 — the default — is the single-chip ServingSimulator path;
+     * N > 1 runs N independent (MaiccSystem, CoreLedger,
+     * RegionAllocator) shards behind a cross-chip dispatcher. Lives
+     * here rather than in SystemConfig so the cluster width can
+     * never fragment the TimingResultCache key (which serializes
+     * the SystemConfig subtree).
+     */
+    unsigned chips = 1;
+
+    /** Cross-chip dispatch rule (`--shard-policy=`, cluster.hh). */
+    ShardPolicy shardPolicy = ShardPolicy::RoundRobin;
 };
 
 /** Life of one request, all times in cycles. */
@@ -174,6 +188,13 @@ struct RequestRecord
     Cycles finish = 0;   ///< output delivered
     unsigned cores = 0;  ///< region size it ran in
     unsigned batchSize = 1; ///< size of the batch it was served in
+
+    /**
+     * Chip shard the request was dispatched to (cluster.hh).
+     * Always 0 on the single-chip path; meaningless for rejected
+     * requests (a cluster rejection means no shard took it).
+     */
+    unsigned shard = 0;
     bool rejected = false;
     bool completed = false;
 
@@ -186,6 +207,26 @@ struct UtilizationSample
 {
     Cycles cycle = 0;
     unsigned usedCores = 0;
+};
+
+/**
+ * Latency profile of one model in one region size: the memoized
+ * outcome of one isolated inference probe (ServingSimulator::
+ * profile), shared by the single-chip event loop, the SJF cost
+ * estimates, and every shard of a cluster (identical hardware per
+ * shard means the profile is shard-independent).
+ */
+struct ServiceProfile
+{
+    Cycles latency = 0;  ///< one isolated inference
+    Cycles interval = 0; ///< pipelined batch re-admission gap
+};
+
+/** One request arrival: when, and which registered model. */
+struct ServingArrival
+{
+    Cycles cycle = 0;
+    size_t model = 0;
 };
 
 /** Per-priority-class slice of a serving run's outcome. */
@@ -278,6 +319,21 @@ struct ServingResult
 };
 
 /**
+ * Classify and summarize a finished event loop: derive every
+ * request's completed/pending status against @p res .endCycle,
+ * accumulate the global and per-class counters, latency
+ * percentiles, SLO attainment against @p slo_cycles, and the
+ * time-weighted utilization of @p total_cores over
+ * @p res .coreTimeline. Expects @p res with requests, offered,
+ * rejected, endCycle, minServiceLatency, and coreTimeline already
+ * filled; shared verbatim by the single-chip run(), the cluster
+ * aggregate, and the per-shard result slices so every tier
+ * summarizes with identical arithmetic.
+ */
+void finalizeServingResult(ServingResult &res, Cycles slo_cycles,
+                           unsigned total_cores);
+
+/**
  * The request-driven serving simulator. Register models, choose an
  * arrival process, run(). run() may be called repeatedly; each call
  * re-seeds from the config and starts from an empty array.
@@ -320,22 +376,40 @@ class ServingSimulator : public SimComponent
      */
     void setTimingCache(TimingResultCache *cache);
 
-  private:
-    /** Latency profile of one model in one region size. */
-    struct ServiceProfile
-    {
-        Cycles latency = 0;  ///< one isolated inference
-        Cycles interval = 0; ///< pipelined batch re-admission gap
-    };
-
-    struct Arrival
-    {
-        Cycles cycle = 0;
-        size_t model = 0;
-    };
-
+    /**
+     * The (model, cores) service profile, simulating one isolated
+     * inference on first sight and memoizing it (optionally through
+     * the TimingResultCache). Public so a ClusterSimulator can
+     * drive every shard from one shared profiler — the shards are
+     * identical hardware, so the profile is shard-independent.
+     */
     const ServiceProfile &profile(size_t model, unsigned cores);
-    std::vector<Arrival> generateArrivals() const;
+
+    /** Registered models, in registration order. */
+    const std::vector<ServedModel> &servedModels() const
+    {
+        return models;
+    }
+
+    /** Minimum node group per model, parallel to servedModels(). */
+    const std::vector<unsigned> &minCoresTable() const
+    {
+        return minCoresCache;
+    }
+
+    /**
+     * The arrival stream run() would serve: the seeded Poisson
+     * draw, or the loaded trace, horizon applied. Deterministic for
+     * a fixed config, so the cluster dispatcher replays the exact
+     * stream a single chip would see.
+     */
+    std::vector<ServingArrival> arrivals() const
+    {
+        return generateArrivals();
+    }
+
+  private:
+    std::vector<ServingArrival> generateArrivals() const;
 
     /** The cached (lazily built) profiling system for @p model. */
     MaiccSystem &systemFor(size_t model);
@@ -355,7 +429,7 @@ class ServingSimulator : public SimComponent
     ServingConfig cfg;
     TimingResultCache *injectedCache = nullptr;
     std::vector<ServedModel> models;
-    std::vector<Arrival> traceArrivals;
+    std::vector<ServingArrival> traceArrivals;
     std::vector<unsigned> minCoresCache;
     std::map<std::pair<size_t, unsigned>, ServiceProfile> profiles;
     /** One profiling system per model, reset() between probes. */

@@ -1,0 +1,170 @@
+#include "runtime/shard.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace maicc
+{
+
+ShardEngine::ShardEngine(const ServingConfig &config,
+                         const std::vector<ServedModel> &models_,
+                         const std::vector<unsigned> &min_cores,
+                         std::vector<RequestRecord> &requests_,
+                         ProfileFn profile, unsigned shard_index)
+    : cfg(config), models(models_), minCores(min_cores),
+      requests(requests_), profileFn(std::move(profile)),
+      shardIndex(shard_index), ledger(cfg.system.coreBudget),
+      region(cfg.system.geometry),
+      policy(makePolicy(cfg.policy, cfg.backfill))
+{
+    timeline.push_back({0, 0});
+}
+
+// Test/debug invariants, asserted at every event when
+// cfg.selfCheck is set: the core budget holds, and the ledger
+// (budget) and region (physical slots) stay in lock-step with the
+// sum of the running regions.
+void
+ShardEngine::checkInvariants() const
+{
+    if (!cfg.selfCheck)
+        return;
+    maicc_assert(ledger.used() <= ledger.total());
+    maicc_assert(ledger.used() == coresInFlight);
+    maicc_assert(region.totalNodes() - region.freeNodes()
+                 == coresInFlight);
+}
+
+bool
+ShardEngine::enqueue(uint64_t id)
+{
+    if (queue.size() >= cfg.queueCapacity)
+        return false;
+    requests[id].shard = shardIndex;
+    queue.push_back(id);
+    return true;
+}
+
+void
+ShardEngine::complete(Cycles now)
+{
+    // Completion bookkeeping: the batch's cores and serpentine
+    // slots coalesce back before the caller considers the next
+    // event (completion-first-on-ties is the caller's contract).
+    maicc_assert(!running.empty());
+    Running done = running.top();
+    running.pop();
+    ledger.release(done.cores);
+    region.release(done.slots);
+    maicc_assert(coresInFlight >= done.cores);
+    coresInFlight -= done.cores;
+    timeline.push_back({now, ledger.used()});
+}
+
+void
+ShardEngine::tryAdmit(Cycles now)
+{
+    while (!queue.empty()) {
+        // Snapshot the queue for the policy, in queue order. Cost
+        // estimates (SJF) reuse the memoized per-(model, minCores)
+        // service profiles, so only the first sight of a model pays
+        // for a probe simulation.
+        std::vector<QueuedRequest> view;
+        view.reserve(queue.size());
+        for (uint64_t qid : queue) {
+            const RequestRecord &q = requests[qid];
+            QueuedRequest v;
+            v.id = qid;
+            v.model = q.model;
+            v.arrival = q.arrival;
+            v.priorityClass = q.priorityClass;
+            v.minCores = minCores[q.model];
+            if (policy->wantsCostEstimates()) {
+                v.costEstimate =
+                    profileFn(q.model, v.minCores).latency;
+            }
+            view.push_back(v);
+        }
+        size_t pos = policy->pick(view, ledger.freeCores());
+        if (pos == AdmissionPolicy::npos)
+            break; // nothing admissible at this event
+        maicc_assert(pos < queue.size());
+
+        RequestRecord &head = requests[queue[pos]];
+        unsigned min_cores = minCores[head.model];
+        maicc_assert(min_cores <= ledger.freeCores());
+        unsigned want = models[head.model].preferredCores;
+        unsigned grant =
+            std::clamp(want == 0 ? min_cores : want, min_cores,
+                       ledger.freeCores());
+
+        // Carve a contiguous serpentine region — the shape the
+        // (model, cores) service profile was simulated on. Under
+        // fragmentation the budget can have cores free with no run
+        // long enough: degrade gracefully instead of aborting —
+        // retry at the minimum region, else leave the request
+        // queued until a completion re-coalesces the region (the
+        // region is empty whenever nothing runs, so admission
+        // cannot stall forever).
+        Running r;
+        r.slots = region.allocateContiguous(grant);
+        if (r.slots.empty() && grant > min_cores) {
+            grant = min_cores;
+            r.slots = region.allocateContiguous(grant);
+        }
+        if (r.slots.empty())
+            break;
+
+        bool ok = ledger.tryAllocate(grant);
+        maicc_assert(ok);
+        coresInFlight += grant;
+
+        // Collect the admitted request plus same-model companions
+        // into one batch. Default: only the contiguous same-model
+        // run starting at the admitted position, so batching never
+        // pulls a request past a different-model one (the
+        // no-reordering contract). cfg.batchAcrossQueue restores
+        // the whole-queue scan.
+        std::vector<uint64_t> batch;
+        unsigned max_batch = std::max(1u, cfg.maxBatch);
+        if (cfg.batchAcrossQueue) {
+            for (auto it = queue.begin() + pos;
+                 it != queue.end() && batch.size() < max_batch;) {
+                if (requests[*it].model == head.model) {
+                    batch.push_back(*it);
+                    it = queue.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        } else {
+            auto it = queue.begin() + pos;
+            while (it != queue.end() && batch.size() < max_batch
+                   && requests[*it].model == head.model) {
+                batch.push_back(*it);
+                it = queue.erase(it);
+            }
+        }
+        maicc_assert(!batch.empty());
+
+        r.cores = grant;
+        r.firstId = batch.front();
+
+        const ServiceProfile &sp = profileFn(head.model, grant);
+        minService = std::min(minService, sp.latency);
+        for (size_t k = 0; k < batch.size(); ++k) {
+            RequestRecord &req = requests[batch[k]];
+            req.start = now;
+            req.cores = grant;
+            req.batchSize = unsigned(batch.size());
+            req.finish = now + sp.latency + Cycles(k) * sp.interval;
+            r.finish = req.finish;
+        }
+        running.push(std::move(r));
+        timeline.push_back({now, ledger.used()});
+    }
+    checkInvariants();
+}
+
+} // namespace maicc

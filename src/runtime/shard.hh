@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The per-chip serving engine: one chip shard's event-loop state.
+ *
+ * PR 3–6 grew the single-chip serving loop (serving.cc) into an
+ * admission path with pluggable policies, contiguous region
+ * carving, batching, and self-checked ledger/region lock-step. The
+ * cluster tier (cluster.hh) needs exactly that machinery N times
+ * over — one independent (CoreLedger, RegionAllocator, waiting
+ * queue, running set) per chip — so the loop's mutable state and
+ * its admission/completion transitions live here, extracted
+ * verbatim. ServingSimulator::run() drives one ShardEngine;
+ * ClusterSimulator::run() drives N of them behind a cross-chip
+ * dispatcher. The extraction is behavior-preserving: the
+ * single-chip path performs the identical operations in the
+ * identical order, which is what keeps `--chips=1` byte-identical
+ * to the pre-cluster stats dump.
+ *
+ * A ShardEngine does not own request records or service profiles:
+ * it mutates the shared per-run RequestRecord vector (each record
+ * belongs to exactly one shard once dispatched) and pulls profiles
+ * through a caller-supplied functor — in a cluster, every shard
+ * shares one profiler, because the shards are identical hardware.
+ */
+
+#ifndef MAICC_RUNTIME_SHARD_HH
+#define MAICC_RUNTIME_SHARD_HH
+
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "mapping/allocation.hh"
+#include "mapping/placement.hh"
+#include "runtime/serving.hh"
+
+namespace maicc
+{
+
+/**
+ * One chip shard's discrete-event serving state and transitions.
+ * The caller owns event *ordering* (which shard's completion or
+ * which arrival happens next); the engine owns everything below
+ * that: the waiting queue, policy-driven admission, contiguous
+ * region carving, batching, and completion bookkeeping.
+ */
+class ShardEngine
+{
+  public:
+    /** "No pending completion" sentinel for nextFinish(). */
+    static constexpr Cycles kNever =
+        std::numeric_limits<Cycles>::max();
+
+    /**
+     * Service-profile source: (model index, granted cores) → the
+     * memoized profile. The reference stays valid for the duration
+     * of the call that consumes it.
+     */
+    using ProfileFn =
+        std::function<const ServiceProfile &(size_t, unsigned)>;
+
+    /**
+     * Build the shard from the run's @p cfg (budget, geometry,
+     * policy, batching, selfCheck), the registered @p models and
+     * their @p min_cores table, the run-wide @p requests vector the
+     * engine annotates in place, and the @p profile source.
+     * @p shard_index is stamped into every dispatched record.
+     */
+    ShardEngine(const ServingConfig &cfg,
+                const std::vector<ServedModel> &models,
+                const std::vector<unsigned> &min_cores,
+                std::vector<RequestRecord> &requests,
+                ProfileFn profile, unsigned shard_index = 0);
+
+    /** Earliest running batch's finish cycle, or kNever. */
+    Cycles nextFinish() const
+    {
+        return running.empty() ? kNever : running.top().finish;
+    }
+
+    /** True when nothing is running (the queue is then empty too —
+     * admission at the last event drained or admitted it). */
+    bool idle() const { return running.empty(); }
+
+    /** True when an arrival would be rejected (waiting room full). */
+    bool queueFull() const
+    {
+        return queue.size() >= cfg.queueCapacity;
+    }
+
+    /** Requests waiting for admission (running ones excluded). */
+    size_t queueDepth() const { return queue.size(); }
+
+    /** Cores not held by running batches (dispatcher load metric). */
+    unsigned freeCores() const { return ledger.freeCores(); }
+
+    /**
+     * Dispatch request @p id to this shard: stamps the record's
+     * shard index and queues it. Returns false — rejection — when
+     * the waiting room is full (the caller books the rejection).
+     */
+    bool enqueue(uint64_t id);
+
+    /**
+     * Retire the earliest-finishing batch at @p now (its cores and
+     * slots coalesce back). Caller must have checked nextFinish().
+     */
+    void complete(Cycles now);
+
+    /**
+     * Admit from the waiting queue until the policy yields nothing
+     * admissible: snapshot the queue, let the policy pick, carve a
+     * contiguous region (degrading to the minimum region under
+     * fragmentation), collect the same-model batch, and schedule
+     * its completion from the service profile. Asserts the
+     * ledger/region lock-step afterwards when cfg.selfCheck is on.
+     */
+    void tryAdmit(Cycles now);
+
+    /**
+     * The used-cores time series recorded so far — one sample after
+     * every admission/completion, starting at {0, 0}. Move it out
+     * once the run is over.
+     */
+    std::vector<UtilizationSample> takeTimeline()
+    {
+        return std::move(timeline);
+    }
+
+    /**
+     * Smallest isolated service latency over every (model, cores)
+     * profile this shard admitted with; 0 when nothing was
+     * admitted.
+     */
+    Cycles minServiceLatencySeen() const
+    {
+        return minService == kNever ? 0 : minService;
+    }
+
+  private:
+    /** One admitted batch occupying a region until its last
+     * request finishes. */
+    struct Running
+    {
+        Cycles finish = 0;    ///< last batch member's finish
+        uint64_t firstId = 0; ///< deterministic tie-break
+        unsigned cores = 0;
+        std::vector<unsigned> slots;
+
+        bool
+        operator>(const Running &o) const
+        {
+            return finish != o.finish ? finish > o.finish
+                                      : firstId > o.firstId;
+        }
+    };
+
+    void checkInvariants() const;
+
+    const ServingConfig &cfg;
+    const std::vector<ServedModel> &models;
+    const std::vector<unsigned> &minCores;
+    std::vector<RequestRecord> &requests;
+    ProfileFn profileFn;
+    unsigned shardIndex = 0;
+
+    CoreLedger ledger;
+    RegionAllocator region;
+    std::deque<uint64_t> queue;
+    std::priority_queue<Running, std::vector<Running>,
+                        std::greater<Running>>
+        running;
+    std::unique_ptr<AdmissionPolicy> policy;
+    unsigned coresInFlight = 0;
+    std::vector<UtilizationSample> timeline;
+    Cycles minService = kNever;
+};
+
+} // namespace maicc
+
+#endif // MAICC_RUNTIME_SHARD_HH

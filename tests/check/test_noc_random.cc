@@ -11,6 +11,7 @@
 
 #include "check/invariants.hh"
 #include "common/random.hh"
+#include "common/seeded_test.hh"
 #include "common/trace.hh"
 #include "noc/noc.hh"
 
@@ -90,14 +91,17 @@ runRandomTraffic(uint64_t seed, unsigned queue_depth,
 TEST(NocRandom, InvariantsHoldAcrossQueueDepths)
 {
     for (unsigned depth : {1u, 2u, 4u, 8u}) {
+        uint64_t seed = testseed::seedOrDefault(1000 + depth);
+        MAICC_SEED_TRACE(seed);
         trace::TraceSink sink;
-        runRandomTraffic(1000 + depth, depth, 120, &sink);
+        runRandomTraffic(seed, depth, 120, &sink);
     }
 }
 
 TEST(NocRandom, InvariantsHoldAcrossSeeds)
 {
-    for (uint64_t seed : {5u, 87u, 4242u}) {
+    for (uint64_t seed : testseed::seeds({5, 87, 4242})) {
+        MAICC_SEED_TRACE(seed);
         trace::TraceSink sink;
         runRandomTraffic(seed, 4, 150, &sink);
     }
@@ -105,9 +109,11 @@ TEST(NocRandom, InvariantsHoldAcrossSeeds)
 
 TEST(NocRandom, SameSeedIsBitIdentical)
 {
+    uint64_t seed = testseed::seedOrDefault(99);
+    MAICC_SEED_TRACE(seed);
     trace::TraceSink a, b;
-    TrafficResult ra = runRandomTraffic(99, 2, 100, &a);
-    TrafficResult rb = runRandomTraffic(99, 2, 100, &b);
+    TrafficResult ra = runRandomTraffic(seed, 2, 100, &a);
+    TrafficResult rb = runRandomTraffic(seed, 2, 100, &b);
     EXPECT_EQ(ra.finish, rb.finish);
     EXPECT_EQ(ra.flitHops, rb.flitHops);
     ASSERT_EQ(a.flits.size(), b.flits.size());
@@ -120,8 +126,10 @@ TEST(NocRandom, SameSeedIsBitIdentical)
 TEST(NocRandom, ShallowQueuesOnlySlowThingsDown)
 {
     // Less buffering can never lose traffic; it may add cycles.
-    TrafficResult deep = runRandomTraffic(7, 8, 150);
-    TrafficResult shallow = runRandomTraffic(7, 1, 150);
+    uint64_t seed = testseed::seedOrDefault(7);
+    MAICC_SEED_TRACE(seed);
+    TrafficResult deep = runRandomTraffic(seed, 8, 150);
+    TrafficResult shallow = runRandomTraffic(seed, 1, 150);
     EXPECT_EQ(deep.delivered, shallow.delivered);
     EXPECT_GE(shallow.finish, deep.finish);
 }

@@ -14,6 +14,7 @@
 
 #include "cmem/cmem.hh"
 #include "common/random.hh"
+#include "common/seeded_test.hh"
 
 using namespace maicc;
 
@@ -39,7 +40,10 @@ class MacProperty
 TEST_P(MacProperty, BitSerialEqualsDirectDot)
 {
     auto [n, is_signed] = GetParam();
-    Rng rng(1000 + n * 2 + is_signed);
+    uint64_t seed =
+        testseed::seedOrDefault(1000 + n * 2 + is_signed);
+    MAICC_SEED_TRACE(seed);
+    Rng rng(seed);
     int32_t lo = is_signed ? -(1 << (n - 1)) : 0;
     int32_t hi = is_signed ? (1 << (n - 1)) - 1 : (1 << n) - 1;
     for (int trial = 0; trial < 24; ++trial) {
@@ -74,7 +78,9 @@ class MacMaskProperty : public ::testing::TestWithParam<uint8_t>
 TEST_P(MacMaskProperty, MaskedMacEqualsMaskedDot)
 {
     uint8_t mask = GetParam();
-    Rng rng(777 + mask);
+    uint64_t seed = testseed::seedOrDefault(777u + mask);
+    MAICC_SEED_TRACE(seed);
+    Rng rng(seed);
     CMem cm;
     std::vector<int32_t> a(256), b(256);
     for (auto &v : a)
@@ -129,7 +135,9 @@ TEST(MacPlacement, OperandsAnywhereDisjoint)
 {
     // Filters live at varying row offsets (Fig. 6); the primitive
     // must work for any disjoint placement.
-    Rng rng(4242);
+    uint64_t seed = testseed::seedOrDefault(4242);
+    MAICC_SEED_TRACE(seed);
+    Rng rng(seed);
     CMem cm;
     std::vector<int32_t> a(256), b(256);
     for (auto &v : a)

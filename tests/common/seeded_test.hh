@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Seed plumbing for the randomized/property test suites.
+ *
+ * Every randomized suite (serving properties, ISA fuzz, NoC
+ * random, CMem MAC property, scheduler fuzz) draws from fixed
+ * default seeds so CI is deterministic — but when a seed *does*
+ * expose a failure, the report must say which seed, and a local
+ * rerun must be able to pin it. Contract, via this header:
+ *
+ *  - every randomized test announces its effective seed with
+ *    MAICC_SEED_TRACE(seed), so any assertion failure inside the
+ *    scope prints a ready-to-paste `MAICC_TEST_SEED=<seed>`
+ *    reproduction line;
+ *  - the seed itself comes from testseed::seedOrDefault(default)
+ *    (or testseed::seeds({...}) for multi-seed loops), so setting
+ *    the MAICC_TEST_SEED environment variable overrides the
+ *    default(s) and replays exactly the failing draw:
+ *
+ *        MAICC_TEST_SEED=12345 ./test_foo --gtest_filter=Suite.Case
+ *
+ * For parameterized or looped suites the override replaces the
+ * seed in *every* iteration (combine with --gtest_filter to cut
+ * the rerun down to the failing case); a malformed value is
+ * ignored with a note rather than silently changing the run.
+ */
+
+#ifndef MAICC_TESTS_COMMON_SEEDED_TEST_HH
+#define MAICC_TESTS_COMMON_SEEDED_TEST_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <initializer_list>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace maicc
+{
+namespace testseed
+{
+
+/**
+ * The MAICC_TEST_SEED override, if set and well-formed. A
+ * malformed value warns (once per call) and counts as unset.
+ */
+inline bool
+envSeed(uint64_t &out)
+{
+    const char *env = std::getenv("MAICC_TEST_SEED");
+    if (!env || !*env)
+        return false;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0') {
+        std::cerr << "[seeded_test] ignoring malformed "
+                     "MAICC_TEST_SEED=\""
+                  << env << "\"\n";
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+/** The effective seed: MAICC_TEST_SEED when set, else @p def. */
+inline uint64_t
+seedOrDefault(uint64_t def)
+{
+    uint64_t v = 0;
+    return envSeed(v) ? v : def;
+}
+
+/**
+ * The effective seed list for a multi-seed loop: just the override
+ * when MAICC_TEST_SEED is set (one pinned replay), else
+ * @p defaults.
+ */
+inline std::vector<uint64_t>
+seeds(std::initializer_list<uint64_t> defaults)
+{
+    uint64_t v = 0;
+    if (envSeed(v))
+        return {v};
+    return std::vector<uint64_t>(defaults);
+}
+
+} // namespace testseed
+} // namespace maicc
+
+/**
+ * Announce the effective seed of the enclosing scope: any gtest
+ * failure inside it prints the `MAICC_TEST_SEED=<seed>`
+ * reproduction line.
+ */
+#define MAICC_SEED_TRACE(seed)                                     \
+    SCOPED_TRACE(::testing::Message()                              \
+                 << "reproduce with MAICC_TEST_SEED=" << (seed))
+
+#endif // MAICC_TESTS_COMMON_SEEDED_TEST_HH

@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include "nn/network.hh"
+#include "runtime/cluster.hh"
 #include "runtime/serving.hh"
 
 namespace maicc
@@ -114,6 +115,18 @@ struct Workload
         return sim;
     }
 
+    /** The same two-model mix behind the sharded tier
+     * (cfg.chips/cfg.shardPolicy pick the cluster shape). */
+    std::unique_ptr<ClusterSimulator>
+    cluster(ServingConfig cfg, unsigned camera_class = 0,
+            unsigned radar_class = 0) const
+    {
+        auto c = std::make_unique<ClusterSimulator>(std::move(cfg));
+        c->addModel(camera.served("camera", 3.0, 0, camera_class));
+        c->addModel(radar.served("radar", 1.0, 0, radar_class));
+        return c;
+    }
+
     ModelFixture camera;
     ModelFixture radar;
 };
@@ -153,6 +166,7 @@ expectIdenticalResults(const ServingResult &a,
         EXPECT_EQ(x.finish, y.finish) << "request " << i;
         EXPECT_EQ(x.cores, y.cores) << "request " << i;
         EXPECT_EQ(x.batchSize, y.batchSize) << "request " << i;
+        EXPECT_EQ(x.shard, y.shard) << "request " << i;
         EXPECT_EQ(x.rejected, y.rejected) << "request " << i;
         EXPECT_EQ(x.completed, y.completed) << "request " << i;
     }

@@ -105,6 +105,8 @@ TEST(Config, NonDefaultValuesSurviveTheRoundTrip)
     cfg.serving.backfill = true;
     cfg.serving.sloCycles = 750'000;
     cfg.serving.selfCheck = true;
+    cfg.serving.chips = 4;
+    cfg.serving.shardPolicy = ShardPolicy::LeastLoaded;
 
     SimConfig back;
     std::istringstream in(dumpToString(cfg));
@@ -119,6 +121,8 @@ TEST(Config, NonDefaultValuesSurviveTheRoundTrip)
     EXPECT_TRUE(back.serving.backfill);
     EXPECT_EQ(back.serving.sloCycles, 750'000u);
     EXPECT_TRUE(back.serving.selfCheck);
+    EXPECT_EQ(back.serving.chips, 4u);
+    EXPECT_EQ(back.serving.shardPolicy, ShardPolicy::LeastLoaded);
     EXPECT_EQ(dumpToString(back), dumpToString(cfg));
 }
 
@@ -141,4 +145,43 @@ TEST(Config, SjfPolicySurvivesTheRoundTrip)
     std::string err;
     ASSERT_TRUE(loadConfig(in, back, &err)) << err;
     EXPECT_EQ(back.serving.policy, SchedPolicy::Sjf);
+}
+
+TEST(Config, BadShardPolicySpellingIsAnErrorWithPath)
+{
+    SimConfig cfg;
+    std::istringstream in(
+        "{\"serving\": {\"shardPolicy\": \"hash\"}}");
+    std::string err;
+    EXPECT_FALSE(loadConfig(in, cfg, &err));
+    EXPECT_NE(err.find("shardPolicy"), std::string::npos) << err;
+}
+
+TEST(Config, ZeroChipsIsAnErrorWithPath)
+{
+    SimConfig cfg;
+    std::istringstream in("{\"serving\": {\"chips\": 0}}");
+    std::string err;
+    EXPECT_FALSE(loadConfig(in, cfg, &err));
+    EXPECT_NE(err.find("chips"), std::string::npos) << err;
+}
+
+TEST(Config, ShardPolicySpellingsAllParse)
+{
+    const std::pair<const char *, ShardPolicy> spellings[] = {
+        {"round-robin", ShardPolicy::RoundRobin},
+        {"least-loaded", ShardPolicy::LeastLoaded},
+        {"model-affinity", ShardPolicy::ModelAffinity},
+    };
+    for (const auto &[name, want] : spellings) {
+        SimConfig cfg;
+        std::istringstream in(
+            std::string("{\"serving\": {\"shardPolicy\": \"")
+            + name + "\"}}");
+        std::string err;
+        ASSERT_TRUE(loadConfig(in, cfg, &err)) << err;
+        EXPECT_EQ(cfg.serving.shardPolicy, want) << name;
+        EXPECT_EQ(shardPolicyName(cfg.serving.shardPolicy),
+                  std::string(name));
+    }
 }

@@ -10,6 +10,7 @@
 
 #include "cmem/cmem.hh"
 #include "common/random.hh"
+#include "common/seeded_test.hh"
 #include "core/scheduler.hh"
 #include "core/timing.hh"
 #include "mem/node_memory.hh"
@@ -145,16 +146,17 @@ class SchedulerFuzz : public ::testing::TestWithParam<int>
 
 TEST_P(SchedulerFuzz, SemanticsPreservedOnRandomPrograms)
 {
-    Rng rng(1000 + GetParam());
+    uint64_t seed = testseed::seedOrDefault(1000 + GetParam());
+    MAICC_SEED_TRACE(seed);
+    Rng rng(seed);
     Program p = randomProgram(rng, 60);
     Program q = p;
     staticSchedule(q);
     RunState before = runProgram(p, 77);
     RunState after = runProgram(q, 77);
-    EXPECT_TRUE(before.sameArch(after)) << "seed " << GetParam();
+    EXPECT_TRUE(before.sameArch(after));
     // Scheduling must never make the program slower.
-    EXPECT_LE(after.cycles, before.cycles + 4)
-        << "seed " << GetParam();
+    EXPECT_LE(after.cycles, before.cycles + 4);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerFuzz,
@@ -162,7 +164,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerFuzz,
 
 TEST(SchedulerFuzz, LongProgramStillCorrect)
 {
-    Rng rng(31337);
+    uint64_t seed = testseed::seedOrDefault(31337);
+    MAICC_SEED_TRACE(seed);
+    Rng rng(seed);
     Program p = randomProgram(rng, 500);
     Program q = p;
     staticSchedule(q);

@@ -20,57 +20,21 @@
 #include <gtest/gtest.h>
 
 #include "common/rand_network.hh"
+#include "common/serving_fixtures.hh"
 #include "nn/network.hh"
 #include "runtime/serving.hh"
 
 using namespace maicc;
 
+// Model bundles, the camera/radar workload, and the bitwise result
+// comparison are the shared fixtures (tests/common/
+// serving_fixtures.hh), deduplicated across the serving suites.
+using testserv::ModelFixture;
+using testserv::Workload;
+using testserv::expectIdenticalResults;
+
 namespace
 {
-
-struct ModelFixture
-{
-    explicit ModelFixture(Network n, uint64_t seed)
-        : net(std::move(n)), weights(randomWeights(net, seed))
-    {
-        const LayerSpec &first = net.layer(0);
-        input = Tensor3(first.inH, first.inW, first.inC);
-        Rng rng(seed + 1);
-        input.randomize(rng);
-    }
-
-    Network net;
-    std::vector<Weights4> weights;
-    Tensor3 input;
-};
-
-/** The shared two-model mix: a camera CNN and a smaller radar CNN. */
-struct Workload
-{
-    Workload()
-        : camera(buildSmallCnn(16, 16, 64), 21),
-          radar(buildSmallCnn(8, 8, 64), 23)
-    {
-    }
-
-    // By pointer: a SimComponent is pinned in memory (the registry
-    // holds raw pointers), so the simulator is neither copyable nor
-    // movable.
-    std::unique_ptr<ServingSimulator>
-    simulator(ServingConfig cfg) const
-    {
-        auto sim =
-            std::make_unique<ServingSimulator>(std::move(cfg));
-        sim->addModel({"camera", &camera.net, &camera.weights,
-                       &camera.input, 3.0, 0});
-        sim->addModel({"radar", &radar.net, &radar.weights,
-                       &radar.input, 1.0, 0});
-        return sim;
-    }
-
-    ModelFixture camera;
-    ModelFixture radar;
-};
 
 ServingConfig
 baseConfig()
@@ -80,48 +44,6 @@ baseConfig()
     cfg.offeredRequests = 24;
     cfg.meanInterarrival = 200'000;
     return cfg;
-}
-
-void
-expectIdentical(const ServingResult &a, const ServingResult &b,
-                const char *what)
-{
-    SCOPED_TRACE(what);
-    EXPECT_EQ(a.offered, b.offered);
-    EXPECT_EQ(a.completed, b.completed);
-    EXPECT_EQ(a.rejected, b.rejected);
-    EXPECT_EQ(a.pending, b.pending);
-    EXPECT_EQ(a.endCycle, b.endCycle);
-    EXPECT_EQ(a.minServiceLatency, b.minServiceLatency);
-    // Doubles compared bitwise: both runs must execute the exact
-    // same arithmetic, not merely land close.
-    EXPECT_EQ(a.p50, b.p50);
-    EXPECT_EQ(a.p95, b.p95);
-    EXPECT_EQ(a.p99, b.p99);
-    EXPECT_EQ(a.meanLatency, b.meanLatency);
-    EXPECT_EQ(a.meanQueueing, b.meanQueueing);
-    EXPECT_EQ(a.utilization, b.utilization);
-
-    ASSERT_EQ(a.requests.size(), b.requests.size());
-    for (size_t i = 0; i < a.requests.size(); ++i) {
-        const RequestRecord &x = a.requests[i];
-        const RequestRecord &y = b.requests[i];
-        EXPECT_EQ(x.model, y.model) << "request " << i;
-        EXPECT_EQ(x.arrival, y.arrival) << "request " << i;
-        EXPECT_EQ(x.start, y.start) << "request " << i;
-        EXPECT_EQ(x.finish, y.finish) << "request " << i;
-        EXPECT_EQ(x.cores, y.cores) << "request " << i;
-        EXPECT_EQ(x.batchSize, y.batchSize) << "request " << i;
-        EXPECT_EQ(x.rejected, y.rejected) << "request " << i;
-        EXPECT_EQ(x.completed, y.completed) << "request " << i;
-    }
-
-    ASSERT_EQ(a.coreTimeline.size(), b.coreTimeline.size());
-    for (size_t i = 0; i < a.coreTimeline.size(); ++i) {
-        EXPECT_EQ(a.coreTimeline[i].cycle, b.coreTimeline[i].cycle);
-        EXPECT_EQ(a.coreTimeline[i].usedCores,
-                  b.coreTimeline[i].usedCores);
-    }
 }
 
 } // namespace
@@ -136,8 +58,8 @@ TEST(Serving, BitwiseIdenticalAcrossThreadCounts)
     };
     ServingResult serial = run_at(1);
     ASSERT_GT(serial.completed, 0u);
-    expectIdentical(serial, run_at(2), "2 threads");
-    expectIdentical(serial, run_at(8), "8 threads");
+    expectIdenticalResults(serial, run_at(2), "2 threads");
+    expectIdenticalResults(serial, run_at(8), "8 threads");
 }
 
 TEST(Serving, PercentileOrderingAndServiceFloor)
@@ -329,8 +251,8 @@ TEST(Serving, GeneratedNetworkMixIsServable)
     ServingConfig cfg = baseConfig();
     cfg.offeredRequests = 8;
     ServingSimulator sim(cfg);
-    sim.addModel({"gen-a", &a.net, &a.weights, &a.input, 1.0, 0});
-    sim.addModel({"gen-b", &b.net, &b.weights, &b.input, 1.0, 0});
+    sim.addModel(a.served("gen-a"));
+    sim.addModel(b.served("gen-b"));
     ServingResult r = sim.run();
     EXPECT_EQ(r.completed, r.offered);
     EXPECT_EQ(r.rejected, 0u);

@@ -30,6 +30,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/seeded_test.hh"
 #include "common/serving_fixtures.hh"
 #include "runtime/serving.hh"
 
@@ -181,7 +182,9 @@ checkInvariants(const ServingResult &r, const ServingConfig &cfg)
 TEST(ServingProperties, AllPoliciesHoldInvariantsOnTieHeavyStreams)
 {
     MixedWorkload w;
-    Rng rng(211);
+    uint64_t seed = testseed::seedOrDefault(211);
+    MAICC_SEED_TRACE(seed);
+    Rng rng(seed);
     for (int trial = 0; trial < 6; ++trial) {
         std::string trace = tieHeavyTrace(rng, 24);
         // Vary the pressure knobs across trials.
@@ -233,7 +236,9 @@ TEST(ServingProperties, ConstrainedBudgetFragmentsAndRecovers)
     // asserts that the ledger and the physical region never
     // diverge, and the stream still drains without a cutoff.
     MixedWorkload w;
-    Rng rng(307);
+    uint64_t seed = testseed::seedOrDefault(307);
+    MAICC_SEED_TRACE(seed);
+    Rng rng(seed);
     for (int trial = 0; trial < 3; ++trial) {
         std::string trace = tieHeavyTrace(rng, 20);
         for (const PolicyVariant &v : kVariants) {

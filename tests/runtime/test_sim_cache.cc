@@ -19,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include "common/json.hh"
+#include "common/serving_fixtures.hh"
 #include "common/sim_component.hh"
 #include "nn/network.hh"
 #include "runtime/serving.hh"
@@ -26,49 +27,14 @@
 
 using namespace maicc;
 
+// Model bundles, the camera/radar workload (same shapes as
+// test_serving), and the bitwise result comparison come from the
+// shared fixtures (tests/common/serving_fixtures.hh).
+using testserv::Workload;
+using testserv::expectIdenticalResults;
+
 namespace
 {
-
-struct ModelFixture
-{
-    explicit ModelFixture(Network n, uint64_t seed)
-        : net(std::move(n)), weights(randomWeights(net, seed))
-    {
-        const LayerSpec &first = net.layer(0);
-        input = Tensor3(first.inH, first.inW, first.inC);
-        Rng rng(seed + 1);
-        input.randomize(rng);
-    }
-
-    Network net;
-    std::vector<Weights4> weights;
-    Tensor3 input;
-};
-
-/** The shared two-model mix (same shapes as test_serving). */
-struct Workload
-{
-    Workload()
-        : camera(buildSmallCnn(16, 16, 64), 21),
-          radar(buildSmallCnn(8, 8, 64), 23)
-    {
-    }
-
-    std::unique_ptr<ServingSimulator>
-    simulator(ServingConfig cfg) const
-    {
-        auto sim =
-            std::make_unique<ServingSimulator>(std::move(cfg));
-        sim->addModel({"camera", &camera.net, &camera.weights,
-                       &camera.input, 3.0, 0});
-        sim->addModel({"radar", &radar.net, &radar.weights,
-                       &radar.input, 1.0, 0});
-        return sim;
-    }
-
-    ModelFixture camera;
-    ModelFixture radar;
-};
 
 ServingConfig
 baseConfig(unsigned cache_entries)
@@ -79,36 +45,6 @@ baseConfig(unsigned cache_entries)
     cfg.meanInterarrival = 150'000;
     cfg.system.simCacheEntries = cache_entries;
     return cfg;
-}
-
-void
-expectIdentical(const ServingResult &a, const ServingResult &b,
-                const char *what)
-{
-    SCOPED_TRACE(what);
-    EXPECT_EQ(a.offered, b.offered);
-    EXPECT_EQ(a.completed, b.completed);
-    EXPECT_EQ(a.rejected, b.rejected);
-    EXPECT_EQ(a.pending, b.pending);
-    EXPECT_EQ(a.endCycle, b.endCycle);
-    EXPECT_EQ(a.minServiceLatency, b.minServiceLatency);
-    // Doubles compared bitwise: replaying a cached profile must
-    // execute the exact same arithmetic as simulating it.
-    EXPECT_EQ(a.p50, b.p50);
-    EXPECT_EQ(a.p95, b.p95);
-    EXPECT_EQ(a.p99, b.p99);
-    EXPECT_EQ(a.meanLatency, b.meanLatency);
-    EXPECT_EQ(a.meanQueueing, b.meanQueueing);
-    EXPECT_EQ(a.utilization, b.utilization);
-    ASSERT_EQ(a.requests.size(), b.requests.size());
-    for (size_t i = 0; i < a.requests.size(); ++i) {
-        EXPECT_EQ(a.requests[i].start, b.requests[i].start)
-            << "request " << i;
-        EXPECT_EQ(a.requests[i].finish, b.requests[i].finish)
-            << "request " << i;
-        EXPECT_EQ(a.requests[i].cores, b.requests[i].cores)
-            << "request " << i;
-    }
 }
 
 /** One serving run; returns (result, stats-JSON registry dump). */
@@ -156,8 +92,8 @@ TEST(SimCache, ColdAndWarmRunsMatchUncachedBitwise)
     auto [warm, warm_json] = runOnce(w, baseConfig(8), &cache);
     EXPECT_GT(cache.hits(), 0u);
 
-    expectIdentical(off, cold, "cache off vs cold");
-    expectIdentical(off, warm, "cache off vs warm");
+    expectIdenticalResults(off, cold, "cache off vs cold");
+    expectIdenticalResults(off, warm, "cache off vs warm");
     EXPECT_EQ(off_json, cold_json);
     EXPECT_EQ(off_json, warm_json);
 }
@@ -202,7 +138,7 @@ TEST(SimCache, SecondSimulatorInstanceReusesEntries)
     auto [second, second_json] = runOnce(w, baseConfig(8), &cache);
     EXPECT_EQ(cache.misses(), misses_after_first);
     EXPECT_GT(cache.hits(), 0u);
-    expectIdentical(first, second, "first vs second instance");
+    expectIdenticalResults(first, second, "first vs second instance");
     EXPECT_EQ(first_json, second_json);
 }
 

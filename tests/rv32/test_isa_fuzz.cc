@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.hh"
+#include "common/seeded_test.hh"
 #include "rv32/encoding.hh"
 
 using namespace maicc;
@@ -14,7 +15,9 @@ using namespace maicc::rv32;
 
 TEST(IsaFuzz, DecoderIsTotal)
 {
-    Rng rng(77);
+    uint64_t seed = testseed::seedOrDefault(77);
+    MAICC_SEED_TRACE(seed);
+    Rng rng(seed);
     for (int i = 0; i < 200'000; ++i) {
         uint32_t word = static_cast<uint32_t>(rng.next());
         Inst in = decode(word);
@@ -29,7 +32,9 @@ TEST(IsaFuzz, DecoderIsTotal)
 
 TEST(IsaFuzz, EncodeDecodeFixedPoint)
 {
-    Rng rng(78);
+    uint64_t seed = testseed::seedOrDefault(78);
+    MAICC_SEED_TRACE(seed);
+    Rng rng(seed);
     int checked = 0;
     for (int i = 0; i < 100'000; ++i) {
         uint32_t word = static_cast<uint32_t>(rng.next());
@@ -49,7 +54,9 @@ TEST(IsaFuzz, EncodeDecodeFixedPoint)
 
 TEST(IsaFuzz, RandomValidInstructionsRoundTrip)
 {
-    Rng rng(79);
+    uint64_t seed = testseed::seedOrDefault(79);
+    MAICC_SEED_TRACE(seed);
+    Rng rng(seed);
     for (int i = 0; i < 20'000; ++i) {
         Inst in;
         in.op = static_cast<Op>(
