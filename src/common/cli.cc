@@ -131,10 +131,22 @@ Options::Options(std::string tool_name, int &argc, char **argv)
         error = "--shard-policy: expected round-robin, "
                 "least-loaded, or model-affinity";
     }
+    std::string engine_s = take(argc, argv, "engine");
+    if (!engine_s.empty()
+        && !parseEngine(engine_s, config.system.engine)
+        && error.empty()) {
+        error = "--engine: expected ticked or event";
+    }
+    hostTimers = !take(argc, argv, "host-timers").empty();
     statsJson = take(argc, argv, "stats-json");
     dumpConfig = !take(argc, argv, "dump-config").empty();
 
-    // Keep the one system tree consistent (serving runs under it).
+    // Keep the one system tree consistent (serving runs under it)
+    // and slave every per-model engine knob to system.engine —
+    // `--engine` is the single selector (DESIGN.md §15).
+    config.system.noc.engine = config.system.engine;
+    config.system.dram.engine = config.system.engine;
+    config.core.engine = config.system.engine;
     config.serving.system = config.system;
     if (seedSet)
         config.serving.seed = seedVal;
@@ -194,6 +206,7 @@ Options::finish(bool allow_extra)
             "common flags: --config=FILE --dump-config "
             "--stats-json=FILE --threads=N --seed=S "
             "--trace=FILE --sim-cache=N "
+            "--engine=ticked|event --host-timers "
             "--policy=fifo|sjf|priority --slo-cycles=N "
             "--chips=N "
             "--shard-policy=round-robin|least-loaded|"
@@ -216,6 +229,9 @@ Options::dumpConfigOnly()
 bool
 Options::writeStats(SimContext &ctx) const
 {
+    // --host-timers opts the nondeterministic wall-clock counters
+    // into the dump (SimContext::enableHostTimers).
+    ctx.enableHostTimers(hostTimers);
     if (statsJson.empty())
         return true;
     if (!ctx.writeStatsJsonFile(statsJson)) {

@@ -23,6 +23,14 @@
  *                     (runtime/cluster.hh; 1 = single chip)
  *   --shard-policy=P  cross-chip dispatch: round-robin,
  *                     least-loaded, or model-affinity
+ *   --engine=E        simulation engine: event (skip-ahead
+ *                     wake-up scheduling, the default) or ticked
+ *                     (legacy advance-every-cycle loops); also
+ *                     MAICC_ENGINE. Results are byte-identical;
+ *                     only the simulator's wall-clock changes
+ *                     (DESIGN.md §15)
+ *   --host-timers     include per-component host wall-clock
+ *                     attribution (hostSeconds) in --stats-json
  *
  * Precedence: defaults < MAICC_* environment < --config file <
  * explicit flags. Binaries fetch their own extra flags with
@@ -136,6 +144,7 @@ class Options
     uint64_t seedVal = 0;
     bool seedSet = false;
     bool dumpConfig = false;
+    bool hostTimers = false;
     std::string error;
 };
 

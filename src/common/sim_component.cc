@@ -169,6 +169,8 @@ SimContext::statsToJson()
             histograms.set(h.first, histogramToJson(h.second));
         if (!histograms.members().empty())
             comp.set("histograms", std::move(histograms));
+        if (hostTimers)
+            comp.set("hostSeconds", kv.second->hostSeconds());
         root.set(kv.first, std::move(comp));
     }
     return root;

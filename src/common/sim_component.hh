@@ -30,6 +30,7 @@
 #ifndef MAICC_COMMON_SIM_COMPONENT_HH
 #define MAICC_COMMON_SIM_COMPONENT_HH
 
+#include <chrono>
 #include <iosfwd>
 #include <map>
 #include <string>
@@ -98,6 +99,24 @@ class SimComponent
     trace::TraceSink *traceSink() const { return sink; }
 
     /**
+     * Accumulate host wall-clock time attributed to this
+     * component (seconds). The drive loops (MeshNoc::drain,
+     * MaiccSystem::run, ServingSimulator::run, ...) charge their
+     * elapsed time here via ScopedHostTimer; the counter is
+     * published into a stats dump only when the owning context
+     * enables host timers (SimContext::enableHostTimers — wall
+     * clock is nondeterministic, so it must never leak into the
+     * byte-compared default dumps). Deliberately *not* cleared by
+     * reset(): host time profiles the simulator process itself,
+     * not simulated state, and resetting a reused system between
+     * probes must not discard its attribution.
+     */
+    void addHostSeconds(double s) { hostSecs += s; }
+
+    /** Accumulated host wall-clock seconds (see addHostSeconds). */
+    double hostSeconds() const { return hostSecs; }
+
+    /**
      * Return to the just-constructed state (same config, all
      * run-accumulated state discarded), so a following run is
      * bitwise identical to one on a freshly constructed instance.
@@ -127,6 +146,34 @@ class SimComponent
     std::string fullName;
     SimContext *ctx = nullptr;
     StatGroup statGroup;
+    double hostSecs = 0.0;
+};
+
+/**
+ * RAII host-time attribution: charges the enclosed scope's wall
+ * clock to a component's hostSeconds. Cheap enough (two
+ * steady_clock reads) to wrap whole drive loops unconditionally.
+ */
+class ScopedHostTimer
+{
+  public:
+    explicit ScopedHostTimer(SimComponent &c)
+        : comp(c), start(std::chrono::steady_clock::now())
+    {}
+
+    ScopedHostTimer(const ScopedHostTimer &) = delete;
+    ScopedHostTimer &operator=(const ScopedHostTimer &) = delete;
+
+    ~ScopedHostTimer()
+    {
+        std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - start;
+        comp.addHostSeconds(dt.count());
+    }
+
+  private:
+    SimComponent &comp;
+    std::chrono::steady_clock::time_point start;
 };
 
 /**
@@ -154,6 +201,17 @@ class SimContext
     /** reset() every registered component, in name order. */
     void resetAll();
 
+    /**
+     * Publish each component's hostSeconds (host wall-clock
+     * attribution, SimComponent::addHostSeconds) as a top-level
+     * "hostSeconds" member in statsToJson(). Off by default: wall
+     * clock is nondeterministic, and the determinism suites
+     * byte-compare the default dumps. `--host-timers` on every
+     * bench and example turns it on.
+     */
+    void enableHostTimers(bool on) { hostTimers = on; }
+    bool hostTimersEnabled() const { return hostTimers; }
+
     /** recordStats() on every component, in name order. */
     void recordAll();
 
@@ -179,6 +237,7 @@ class SimContext
     void unregisterComponent(SimComponent &c);
 
     std::map<std::string, SimComponent *> registry;
+    bool hostTimers = false;
 };
 
 } // namespace maicc

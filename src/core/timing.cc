@@ -67,24 +67,49 @@ CoreTimingModel::recordStats()
 Cycles
 CoreTimingModel::bookWbPort(Cycles ready)
 {
-    Cycles slot = ready;
-    while (true) {
-        auto it = wbBookings.find(slot);
-        if (it == wbBookings.end()) {
-            wbBookings.emplace(slot, 1);
-            return slot;
+    if (cfg.engine == EngineKind::Ticked) {
+        // Legacy per-cycle probe: try ready, ready+1, ... until a
+        // cycle with a free port turns up.
+        Cycles slot = ready;
+        while (true) {
+            auto it = wbBookings.find(slot);
+            if (it == wbBookings.end()) {
+                wbBookings.emplace(slot, 1);
+                return slot;
+            }
+            if (it->second < cfg.wbPorts) {
+                ++it->second;
+                return slot;
+            }
+            ++slot;
         }
-        if (it->second < cfg.wbPorts) {
-            ++it->second;
-            return slot;
-        }
-        ++slot;
     }
+
+    // Event engine: the booking map is sparse — any cycle without
+    // an entry is free — so walk the ordered entries from `ready`
+    // and stop at the first gap or not-fully-booked entry. Picks
+    // exactly the slot the per-cycle probe would (the first cycle
+    // >= ready with bookings < wbPorts), without touching the
+    // fully-booked cycles in between one at a time.
+    Cycles slot = ready;
+    auto it = wbBookings.lower_bound(ready);
+    while (it != wbBookings.end() && it->first == slot
+           && it->second >= cfg.wbPorts) {
+        ++slot;
+        ++it;
+    }
+    if (it != wbBookings.end() && it->first == slot) {
+        ++it->second;
+        return slot;
+    }
+    wbBookings.emplace_hint(it, slot, 1);
+    return slot;
 }
 
 CoreRunStats
 CoreTimingModel::run(uint64_t max_insts)
 {
+    ScopedHostTimer host_timer(*this);
     runStats = CoreRunStats{};
     Cycles end_time = 0;
 

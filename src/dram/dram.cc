@@ -1,8 +1,10 @@
 #include "dram/dram.hh"
 
 #include <algorithm>
+#include <functional>
 
 #include "common/logging.hh"
+#include "engine/event_queue.hh"
 #include "mem/address_map.hh"
 
 namespace maicc
@@ -169,7 +171,7 @@ DramChannel::recordStats()
 }
 
 ManyCoreDram::ManyCoreDram(unsigned channels, const DramConfig &cfg)
-    : SimComponent("dram")
+    : SimComponent("dram"), engine(cfg.engine)
 {
     maicc_assert(channels >= 1);
     chans.reserve(channels);
@@ -194,8 +196,14 @@ ManyCoreDram::enqueue(Addr addr, bool write, uint64_t tag, Cycles now)
 void
 ManyCoreDram::tick(Cycles now)
 {
-    for (auto &c : chans)
-        c->tick(now);
+    // Event engine: only channels with queued or in-flight work
+    // can change observable state; an idle channel's tick merely
+    // advances its private clock, which re-synchronizes on the
+    // next enqueue anyway.
+    for (auto &c : chans) {
+        if (engine == EngineKind::Ticked || !c->idle())
+            c->tick(now);
+    }
 }
 
 bool
@@ -206,6 +214,53 @@ ManyCoreDram::idle() const
             return false;
     }
     return true;
+}
+
+Cycles
+ManyCoreDram::nextEventAt() const
+{
+    Cycles t = ~Cycles(0);
+    for (const auto &c : chans)
+        t = std::min(t, c->nextEventAt());
+    return t;
+}
+
+Cycles
+ManyCoreDram::drainVia(EventQueue &eq,
+                       std::vector<DramCompletion> *out)
+{
+    ScopedHostTimer host_timer(*this);
+    constexpr Cycles never = ~Cycles(0);
+    Cycles last = 0;
+    // Per-channel wake-up chain: each handler services exactly the
+    // work that becomes actionable at its cycle, then re-arms at
+    // the channel's next event. Priority = channel index keeps
+    // same-cycle collections in ascending channel order — the same
+    // order a per-cycle polling sweep would observe them in.
+    std::function<void(unsigned, Cycles)> arm =
+        [&](unsigned i, Cycles when) {
+            eq.schedule(when, int(i), [&, i](Cycles now) {
+                DramChannel &c = *chans[i];
+                std::vector<DramCompletion> fin = c.collect(now);
+                if (!fin.empty()) {
+                    last = std::max(last, fin.back().finishedAt);
+                    if (out) {
+                        out->insert(out->end(), fin.begin(),
+                                    fin.end());
+                    }
+                }
+                Cycles next = c.nextEventAt();
+                if (next != never)
+                    arm(i, next);
+            });
+        };
+    for (unsigned i = 0; i < chans.size(); ++i) {
+        Cycles next = chans[i]->nextEventAt();
+        if (next != never)
+            arm(i, next);
+    }
+    eq.drain();
+    return last;
 }
 
 DramStats

@@ -23,9 +23,12 @@
 
 #include "common/sim_component.hh"
 #include "common/types.hh"
+#include "engine/engine_kind.hh"
 
 namespace maicc
 {
+
+class EventQueue;
 
 /** Timing and geometry of one DRAM channel (1 GHz core cycles). */
 struct DramConfig
@@ -38,6 +41,16 @@ struct DramConfig
     Cycles tRP = 14;
     Cycles tRAS = 33;
     Cycles burst = 4;          ///< data-bus cycles per access
+
+    /**
+     * Inner-loop engine (DESIGN.md §15): `Event` skips idle
+     * channels in ManyCoreDram::tick and enables the
+     * next-ready-scheduled drainVia path; `Ticked` polls every
+     * channel every call. Host-side knob, results identical.
+     * Set through `system.engine` / `--engine`, not a config-file
+     * key of its own.
+     */
+    EngineKind engine = defaultEngineKind();
 };
 
 /** Event counters for the energy model. */
@@ -139,8 +152,31 @@ class ManyCoreDram : public SimComponent
     /** Route an access to its channel by address. */
     void enqueue(Addr addr, bool write, uint64_t tag, Cycles now);
 
+    /**
+     * Advance scheduling on every channel holding work. Under the
+     * event engine, channels with nothing queued or in flight are
+     * skipped (a tick on an idle channel is a no-op but for its
+     * private clock, which is unobservable until work arrives).
+     */
     void tick(Cycles now);
     bool idle() const;
+
+    /** Earliest pending event across channels; DramChannel's
+     * ~Cycles(0) sentinel when everything is idle. */
+    Cycles nextEventAt() const;
+
+    /**
+     * Event-kernel drain (DESIGN.md §15): instead of polling every
+     * channel every cycle, each busy channel schedules one wake-up
+     * on @p eq at its own nextEventAt() (priority = channel index,
+     * so same-cycle completions collect in ascending channel
+     * order, exactly like a per-cycle polling sweep), collects its
+     * finished requests, and re-arms until idle. Completions are
+     * appended to @p out when given, in (cycle, channel) order.
+     * @return the last completion cycle (0 when nothing drained).
+     */
+    Cycles drainVia(EventQueue &eq,
+                    std::vector<DramCompletion> *out = nullptr);
 
     /** Aggregate stats across channels. */
     DramStats totalStats() const;
@@ -160,6 +196,7 @@ class ManyCoreDram : public SimComponent
     // registry holds raw pointers), so channels cannot live in a
     // reallocating vector by value.
     std::vector<std::unique_ptr<DramChannel>> chans;
+    EngineKind engine;
 };
 
 } // namespace maicc

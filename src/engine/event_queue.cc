@@ -1,0 +1,43 @@
+#include "engine/event_queue.hh"
+
+#include <utility>
+
+namespace maicc
+{
+
+bool
+EventQueue::step()
+{
+    if (heap.empty())
+        return false;
+    // Move the handler out before popping: the handler may
+    // schedule new events, which mutates the heap.
+    Event ev = std::move(const_cast<Event &>(heap.top()));
+    heap.pop();
+    current = ev.when;
+    ++executed;
+    ev.fn(ev.when);
+    return true;
+}
+
+uint64_t
+EventQueue::runUntil(Cycles limit)
+{
+    uint64_t n = 0;
+    while (!heap.empty() && heap.top().when <= limit) {
+        step();
+        ++n;
+    }
+    return n;
+}
+
+uint64_t
+EventQueue::drain()
+{
+    uint64_t n = 0;
+    while (step())
+        ++n;
+    return n;
+}
+
+} // namespace maicc

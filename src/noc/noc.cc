@@ -23,7 +23,8 @@ MeshNoc::MeshNoc(const NocConfig &config)
       injectQueues(cfg.width * cfg.height),
       deliverQueues(cfg.width * cfg.height),
       injProgress(cfg.width * cfg.height, 0),
-      frontPacketIdx(cfg.width * cfg.height, 0)
+      frontPacketIdx(cfg.width * cfg.height, 0),
+      routerFlits(cfg.width * cfg.height, 0)
 {
     maicc_assert(cfg.width >= 1 && cfg.height >= 1);
     maicc_assert(cfg.queueDepth >= 1);
@@ -58,6 +59,12 @@ MeshNoc::reset()
     flitHopCount = 0;
     deliveredCount = 0;
     latencySum = 0.0;
+    std::fill(routerFlits.begin(), routerFlits.end(), 0u);
+    queuedFlits = 0;
+    pendingInjectPackets = 0;
+    activeRouters.clear();
+    activeInjectors.clear();
+    lastTickProgress = false;
     SimComponent::reset();
 }
 
@@ -141,7 +148,43 @@ MeshNoc::inject(Packet pkt)
         sink->packets.push_back({pkt.id, pkt.src, pkt.dst,
                                  pkt.sizeFlits, pkt.injectTime});
     }
+    ++pendingInjectPackets;
+    activeInjectors.insert(pkt.src);
     injectQueues[pkt.src].push_back(pkt);
+}
+
+void
+MeshNoc::pushRouterFlit(NodeId n, int in_dir, const Flit &f)
+{
+    routers[n].in[in_dir].q.push_back(f);
+    ++queuedFlits;
+    if (routerFlits[n]++ == 0)
+        activeRouters.insert(n);
+}
+
+void
+MeshNoc::popRouterFlit(NodeId n, int in_dir)
+{
+    routers[n].in[in_dir].q.pop_front();
+    --queuedFlits;
+    if (--routerFlits[n] == 0)
+        activeRouters.erase(n);
+}
+
+Cycles
+MeshNoc::nextFrontReadyAtOrAfter(Cycles from) const
+{
+    Cycles best = kNeverReady;
+    for (NodeId n : activeRouters) {
+        for (const auto &in : routers[n].in) {
+            if (in.q.empty())
+                continue;
+            Cycles r = in.q.front().readyAt;
+            if (r >= from && r < best)
+                best = r;
+        }
+    }
+    return best;
 }
 
 std::deque<Packet> &
@@ -179,17 +222,9 @@ ShardedInjector::commit(MeshNoc &noc)
 bool
 MeshNoc::idle() const
 {
-    for (const auto &q : injectQueues) {
-        if (!q.empty())
-            return false;
-    }
-    for (const auto &r : routers) {
-        for (const auto &in : r.in) {
-            if (!in.q.empty())
-                return false;
-        }
-    }
-    return true;
+    // Maintained counters; formerly an O(routers x ports) scan
+    // that ran once per drained cycle.
+    return pendingInjectPackets == 0 && queuedFlits == 0;
 }
 
 double
@@ -210,9 +245,12 @@ MeshNoc::tick()
     std::vector<Move> moves;
 
     // Phase 1: each output port picks at most one eligible input,
-    // based on start-of-cycle queue state.
+    // based on start-of-cycle queue state. The event engine walks
+    // only routers holding flits — a flit-less router can produce
+    // no candidate, so the move list (in ascending router id under
+    // both engines) is identical to the full ticked sweep.
     int num_nodes = cfg.width * cfg.height;
-    for (NodeId n = 0; n < num_nodes; ++n) {
+    auto arbitrate = [&](NodeId n) {
         Router &r = routers[n];
         for (int o = 0; o < numDirs; ++o) {
             int candidate = -1;
@@ -256,13 +294,20 @@ MeshNoc::tick()
                 r.rrNext[o] = (candidate + 1) % numDirs;
             moves.push_back({n, candidate, o});
         }
+    };
+    if (cfg.engine == EngineKind::Event) {
+        for (NodeId n : activeRouters)
+            arbitrate(n);
+    } else {
+        for (NodeId n = 0; n < num_nodes; ++n)
+            arbitrate(n);
     }
 
     // Phase 2: commit the moves simultaneously.
     for (const Move &m : moves) {
         Router &r = routers[m.router];
         Flit flit = r.in[m.in_dir].q.front();
-        r.in[m.in_dir].q.pop_front();
+        popRouterFlit(m.router, m.in_dir);
         if (flit.head)
             r.outLockedTo[m.out_dir] = m.in_dir;
         if (flit.tail)
@@ -291,19 +336,24 @@ MeshNoc::tick()
             int in_dir;
             downstream(m.router, m.out_dir, next, in_dir);
             flit.readyAt = cycle + 1 + cfg.routerLatency;
-            routers[next].in[in_dir].q.push_back(flit);
+            pushRouterFlit(next, in_dir, flit);
             ++flitHopCount;
         }
     }
 
-    // Phase 3: injection, one flit per node per cycle.
-    for (NodeId n = 0; n < num_nodes; ++n) {
+    // Phase 3: injection, one flit per node per cycle. As in
+    // phase 1, the event engine walks only nodes with a non-empty
+    // inject queue (in ascending node id, via the ordered set) —
+    // every skipped node is one the ticked sweep would `continue`
+    // past anyway.
+    bool injected = false;
+    auto inject_one = [&](NodeId n) {
         auto &q = injectQueues[n];
         if (q.empty())
-            continue;
+            return;
         auto &local = routers[n].in[dirLocal].q;
         if (local.size() >= cfg.queueDepth)
-            continue;
+            return;
         Packet &pkt = q.front();
         unsigned &progress = injProgress[n];
         if (progress == 0) {
@@ -331,26 +381,69 @@ MeshNoc::tick()
                  static_cast<int8_t>(dirLocal), flit.head,
                  flit.tail, cycle});
         }
-        local.push_back(flit);
+        pushRouterFlit(n, dirLocal, flit);
+        injected = true;
         ++progress;
         if (progress == pkt.sizeFlits) {
             progress = 0;
             q.pop_front();
+            --pendingInjectPackets;
+            if (q.empty())
+                activeInjectors.erase(n);
         }
+    };
+    if (cfg.engine == EngineKind::Event) {
+        // Snapshot: inject_one erases a drained node from the set.
+        std::vector<NodeId> injectors(activeInjectors.begin(),
+                                      activeInjectors.end());
+        for (NodeId n : injectors)
+            inject_one(n);
+    } else {
+        for (NodeId n = 0; n < num_nodes; ++n)
+            inject_one(n);
     }
 
+    lastTickProgress = !moves.empty() || injected;
     ++cycle;
 }
 
 void
 MeshNoc::drain(Cycles max_cycles)
 {
-    Cycles budget = max_cycles;
+    ScopedHostTimer host_timer(*this);
+    if (cfg.engine == EngineKind::Ticked) {
+        Cycles budget = max_cycles;
+        while (!idle()) {
+            if (budget-- == 0)
+                maicc_fatal("NoC failed to drain in %llu cycles",
+                            (unsigned long long)max_cycles);
+            tick();
+        }
+        return;
+    }
+
+    // Event engine: tick only productive cycles. After a tick in
+    // which nothing moved and nothing injected, the mesh state is
+    // static except for time — arbitration inputs (queues, locks,
+    // round-robin pointers, credits) change only through moves and
+    // injections — so every cycle before the next front-flit
+    // pipeline-eligibility boundary is a provable no-op and the
+    // clock jumps there directly. Zero progress with no future
+    // eligibility is a genuine deadlock (all fronts already
+    // eligible, none can move), which no amount of ticking fixes.
+    Cycles start = cycle;
     while (!idle()) {
-        if (budget-- == 0)
+        if (cycle - start >= max_cycles)
             maicc_fatal("NoC failed to drain in %llu cycles",
                         (unsigned long long)max_cycles);
         tick();
+        if (!lastTickProgress && !idle()) {
+            Cycles next = nextFrontReadyAtOrAfter(cycle);
+            if (next == kNeverReady)
+                maicc_fatal("NoC deadlock: no flit moved and none "
+                            "will become eligible");
+            cycle = next;
+        }
     }
 }
 

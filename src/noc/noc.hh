@@ -15,11 +15,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <set>
 #include <vector>
 
 #include "common/sim_component.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "engine/engine_kind.hh"
 
 namespace maicc
 {
@@ -31,6 +33,16 @@ struct NocConfig
     int height = 16;             ///< mesh rows
     unsigned routerLatency = 2;  ///< per-hop pipeline cycles
     unsigned queueDepth = 4;     ///< flits per input queue
+
+    /**
+     * Inner-loop engine (DESIGN.md §15). `Event` walks only the
+     * active-router/injector sets each cycle and lets drain()
+     * skip idle stretches outright; `Ticked` is the legacy
+     * visit-every-router loop. Results are byte-identical —
+     * the knob is host-side, like numThreads. Not a config-file
+     * key of its own: `system.engine` (and `--engine`) set it.
+     */
+    EngineKind engine = defaultEngineKind();
 };
 
 /** An in-flight packet. Payload words ride with the head flit. */
@@ -108,12 +120,22 @@ class MeshNoc : public SimComponent
     /** Advance one cycle. */
     void tick();
 
-    /** Run until nothing is in flight (or @p max_cycles). */
+    /**
+     * Run until nothing is in flight (or @p max_cycles). Under
+     * the event engine, cycles in which no flit can move (all
+     * queued flits still in router pipelines) are skipped in one
+     * jump to the next eligibility cycle — the observable end
+     * state, final cycle count, and every counter are identical
+     * to the ticked loop (the skipped ticks are provably no-ops).
+     */
     void drain(Cycles max_cycles = 10'000'000);
 
     Cycles now() const { return cycle; }
 
-    /** True when no flits are queued or in flight anywhere. */
+    /**
+     * True when no flits are queued or in flight anywhere.
+     * O(1): maintained packet/flit counters, not a mesh scan.
+     */
     bool idle() const;
 
     /** Packets fully delivered at node @p id, in arrival order. */
@@ -163,6 +185,20 @@ class MeshNoc : public SimComponent
     void downstream(NodeId at, int out_dir, NodeId &next,
                     int &in_dir) const;
 
+    /** Queue-maintenance helpers keeping the active sets and the
+     * O(1) idle() counters consistent with every push/pop. */
+    void pushRouterFlit(NodeId n, int in_dir, const Flit &f);
+    void popRouterFlit(NodeId n, int in_dir);
+
+    /**
+     * Earliest front-flit pipeline eligibility at or after
+     * @p from, over the active routers only; kNeverReady when no
+     * front can ever become newly eligible (the deadlock test in
+     * the event drain).
+     */
+    static constexpr Cycles kNeverReady = ~Cycles(0);
+    Cycles nextFrontReadyAtOrAfter(Cycles from) const;
+
     NocConfig cfg;
     Cycles cycle = 0;
     std::vector<Router> routers;
@@ -176,6 +212,21 @@ class MeshNoc : public SimComponent
     uint64_t flitHopCount = 0;
     uint64_t deliveredCount = 0;
     double latencySum = 0.0;
+
+    // Active-set / O(1)-idle bookkeeping (kept consistent by
+    // pushRouterFlit/popRouterFlit and the injection path under
+    // BOTH engines, so idle() and the differential suite see one
+    // truth). activeRouters/activeInjectors are ordered sets:
+    // the event engine iterates them in ascending node id, the
+    // same relative order as the ticked full sweep — that is what
+    // makes the move list (and thus every commit, stat update,
+    // and floating-point accumulation) byte-identical.
+    std::vector<uint32_t> routerFlits; ///< flits queued per router
+    uint64_t queuedFlits = 0;          ///< total router-queued flits
+    uint64_t pendingInjectPackets = 0; ///< packets not fully injected
+    std::set<NodeId> activeRouters;    ///< routers with >=1 flit
+    std::set<NodeId> activeInjectors;  ///< nodes with inject backlog
+    bool lastTickProgress = false; ///< last tick moved/injected
 };
 
 /**

@@ -1,9 +1,11 @@
 #include "runtime/cluster.hh"
 
 #include <algorithm>
+#include <functional>
 #include <numeric>
 
 #include "common/logging.hh"
+#include "engine/event_queue.hh"
 #include "runtime/shard.hh"
 
 namespace maicc
@@ -137,6 +139,7 @@ ClusterSimulator::publishStats(const ClusterResult &out)
 ClusterResult
 ClusterSimulator::run()
 {
+    ScopedHostTimer host_timer(*this);
     ClusterResult out;
     if (nChips == 1) {
         // Delegate outright: the single-chip path, untouched.
@@ -246,42 +249,101 @@ ClusterSimulator::run()
                 return true;
         return false;
     };
-    while (next_arrival < arrivals.size() || any_running()) {
-        Cycles t_arrive = next_arrival < arrivals.size()
-            ? arrivals[next_arrival].cycle
-            : kNever;
-        Cycles t_finish = kNever;
-        unsigned finish_shard = 0;
-        for (unsigned s = 0; s < nChips; ++s) {
-            if (shards[s]->nextFinish() < t_finish) {
-                t_finish = shards[s]->nextFinish();
-                finish_shard = s;
-            }
+    auto dispatch = [&](Cycles t) {
+        uint64_t id = next_arrival++;
+        now = t;
+        size_t model = arrivals[id].model;
+        int target = pick_shard(model);
+        if (target < 0) {
+            // No shard has the model registered with room to
+            // queue it: cluster-level admission control.
+            agg.requests[id].rejected = true;
+            ++agg.rejected;
+            return -1;
         }
-        Cycles t_next = std::min(t_arrive, t_finish);
-        if (cfg.cutoff && t_next > cfg.cutoff) {
-            truncated = true;
-            break;
-        }
-        now = t_next;
-        if (t_finish <= t_arrive) {
-            shards[finish_shard]->complete(now);
-            shards[finish_shard]->tryAdmit(now);
-        } else {
-            uint64_t id = next_arrival++;
-            size_t model = arrivals[id].model;
-            int target = pick_shard(model);
-            if (target < 0) {
-                // No shard has the model registered with room to
-                // queue it: cluster-level admission control.
-                agg.requests[id].rejected = true;
-                ++agg.rejected;
-                continue;
+        served[target][model] = 1;
+        bool ok = shards[target]->enqueue(id);
+        maicc_assert(ok);
+        shards[target]->tryAdmit(now);
+        return target;
+    };
+    if (cfg.system.engine == EngineKind::Event) {
+        // Skip-ahead variant: the same processing order, reached
+        // by wake-up events instead of re-minimizing over every
+        // shard per iteration. Priority = shard index for
+        // completion wakes and nChips for arrivals encodes the
+        // ticked loop's tie-breaks (lowest shard first, all
+        // completions before any arrival at equal cycles).
+        EventQueue eq;
+        const int kPrioArrive = int(nChips);
+        // Earliest outstanding completion wake per shard; a wake
+        // whose finish was already drained by an earlier duplicate
+        // fires as a harmless no-op (DESIGN.md §15 stale rule).
+        std::vector<Cycles> armed(nChips, kNever);
+        std::function<void(unsigned, Cycles)> arm =
+            [&](unsigned s, Cycles) {
+                Cycles nf = shards[s]->nextFinish();
+                if (nf == kNever || nf >= armed[s])
+                    return;
+                armed[s] = nf;
+                eq.schedule(nf, int(s), [&, s](Cycles t) {
+                    if (armed[s] <= t)
+                        armed[s] = kNever;
+                    while (shards[s]->nextFinish() == t) {
+                        now = t;
+                        shards[s]->complete(t);
+                        shards[s]->tryAdmit(t);
+                    }
+                    arm(s, t);
+                });
+            };
+        std::function<void(Cycles)> arrive = [&](Cycles t) {
+            if (next_arrival + 1 < arrivals.size()) {
+                eq.schedule(arrivals[next_arrival + 1].cycle,
+                            kPrioArrive, arrive);
             }
-            served[target][model] = 1;
-            bool ok = shards[target]->enqueue(id);
-            maicc_assert(ok);
-            shards[target]->tryAdmit(now);
+            int target = dispatch(t);
+            if (target >= 0)
+                arm(unsigned(target), t);
+        };
+        if (!arrivals.empty())
+            eq.schedule(arrivals[0].cycle, kPrioArrive, arrive);
+        while (!eq.empty()) {
+            if (cfg.cutoff && eq.nextAt() > cfg.cutoff)
+                break;
+            eq.step();
+        }
+        // Any event left beyond the cutoff implies undone work
+        // (arrivals still queued, or a batch still in flight) —
+        // the ticked loop's exit predicate, evaluated on the end
+        // state.
+        truncated = cfg.cutoff != 0
+            && (next_arrival < arrivals.size() || any_running());
+    } else {
+        while (next_arrival < arrivals.size() || any_running()) {
+            Cycles t_arrive = next_arrival < arrivals.size()
+                ? arrivals[next_arrival].cycle
+                : kNever;
+            Cycles t_finish = kNever;
+            unsigned finish_shard = 0;
+            for (unsigned s = 0; s < nChips; ++s) {
+                if (shards[s]->nextFinish() < t_finish) {
+                    t_finish = shards[s]->nextFinish();
+                    finish_shard = s;
+                }
+            }
+            Cycles t_next = std::min(t_arrive, t_finish);
+            if (cfg.cutoff && t_next > cfg.cutoff) {
+                truncated = true;
+                break;
+            }
+            now = t_next;
+            if (t_finish <= t_arrive) {
+                shards[finish_shard]->complete(now);
+                shards[finish_shard]->tryAdmit(now);
+            } else {
+                dispatch(now);
+            }
         }
     }
 

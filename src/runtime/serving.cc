@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <functional>
 #include <limits>
 #include <sstream>
 
 #include "common/logging.hh"
+#include "engine/event_queue.hh"
 #include "runtime/host.hh"
 #include "runtime/shard.hh"
 #include "runtime/sim_cache.hh"
@@ -351,6 +353,7 @@ ServingSimulator::run()
 {
     constexpr Cycles kNever = ShardEngine::kNever;
 
+    ScopedHostTimer host_timer(*this);
     ServingResult res;
     std::vector<ServingArrival> arrivals = generateArrivals();
     res.offered = arrivals.size();
@@ -379,28 +382,94 @@ ServingSimulator::run()
     size_t next_arrival = 0;
     Cycles now = 0;
     bool truncated = false;
-    while (next_arrival < arrivals.size() || !engine.idle()) {
-        Cycles t_arrive = next_arrival < arrivals.size()
-            ? arrivals[next_arrival].cycle
-            : kNever;
-        Cycles t_finish = engine.nextFinish();
-        Cycles t_next = std::min(t_arrive, t_finish);
-        if (cfg.cutoff && t_next > cfg.cutoff) {
-            truncated = true;
-            break;
-        }
-        now = t_next;
-        if (t_finish <= t_arrive) {
-            engine.complete(now);
-        } else {
+    if (cfg.system.engine == EngineKind::Event) {
+        // The same loop as scheduled events on the shared kernel
+        // (DESIGN.md §15). Completions ride priority 0, arrivals
+        // priority 1, so at one cycle every completion retires
+        // before the arrival is considered — the documented
+        // tie-break, now encoded in the ordering key instead of a
+        // comparison. Arrivals form a self-scheduling chain (each
+        // handler schedules its successor); completions use
+        // wake-up scheduling with stale-event guards: the engine
+        // arms one wake at its earliest pending finish whenever
+        // that moves earlier, a fired wake re-checks actual state,
+        // and a wake that no longer matches (batch already retired
+        // by an earlier event this cycle) is a harmless no-op.
+        EventQueue eq;
+        constexpr int kPrioComplete = 0;
+        constexpr int kPrioArrive = 1;
+        Cycles armed = kNever;
+        std::function<void(Cycles)> arm = [&](Cycles) {
+            Cycles nf = engine.nextFinish();
+            if (nf != kNever && nf < armed) {
+                armed = nf;
+                eq.schedule(nf, kPrioComplete, [&](Cycles t) {
+                    if (armed <= t)
+                        armed = kNever;
+                    // Retire every batch finishing at t, admitting
+                    // after each retirement — exactly the sequence
+                    // the ticked loop produces when it re-picks
+                    // this engine while its nextFinish stays at t.
+                    while (engine.nextFinish() == t) {
+                        now = t;
+                        engine.complete(t);
+                        engine.tryAdmit(t);
+                    }
+                    arm(t);
+                });
+            }
+        };
+        std::function<void(Cycles)> arrive = [&](Cycles t) {
             uint64_t id = next_arrival++;
+            now = t;
+            if (next_arrival < arrivals.size()) {
+                eq.schedule(arrivals[next_arrival].cycle,
+                            kPrioArrive, arrive);
+            }
             if (!engine.enqueue(id)) {
                 res.requests[id].rejected = true;
                 ++res.rejected;
-                continue;
+                return; // rejected arrivals admit nothing
             }
+            engine.tryAdmit(t);
+            arm(t);
+        };
+        if (!arrivals.empty())
+            eq.schedule(arrivals[0].cycle, kPrioArrive, arrive);
+        while (!eq.empty()) {
+            if (cfg.cutoff && eq.nextAt() > cfg.cutoff)
+                break;
+            eq.step();
         }
-        engine.tryAdmit(now);
+        // Same exit predicate as the ticked loop's break: work
+        // remained past the cutoff. (Leftover stale wakes alone
+        // are not work; engine.idle() is the truth.)
+        truncated = cfg.cutoff
+            && (next_arrival < arrivals.size() || !engine.idle());
+    } else {
+        while (next_arrival < arrivals.size() || !engine.idle()) {
+            Cycles t_arrive = next_arrival < arrivals.size()
+                ? arrivals[next_arrival].cycle
+                : kNever;
+            Cycles t_finish = engine.nextFinish();
+            Cycles t_next = std::min(t_arrive, t_finish);
+            if (cfg.cutoff && t_next > cfg.cutoff) {
+                truncated = true;
+                break;
+            }
+            now = t_next;
+            if (t_finish <= t_arrive) {
+                engine.complete(now);
+            } else {
+                uint64_t id = next_arrival++;
+                if (!engine.enqueue(id)) {
+                    res.requests[id].rejected = true;
+                    ++res.rejected;
+                    continue;
+                }
+            }
+            engine.tryAdmit(now);
+        }
     }
 
     // The measured window ends at the last event when the run
