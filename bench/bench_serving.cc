@@ -40,6 +40,18 @@
  * (the `--chips=1` compatibility contract, DESIGN.md §14); either
  * failing fails the run.
  *
+ * The run ends with the **availability-under-faults sweep**
+ * (src/fault/, DESIGN.md §16): one scenario per fault class —
+ * chip fail-stop, permanent core loss, a windowed DRAM-channel
+ * outage — plus a seeded Poisson chaos schedule, each served over
+ * a two-chip cluster with timeouts, bounded retries, and overload
+ * shedding on. The table reports the disposition breakdown,
+ * retry/failover counters, and availability (completed/offered);
+ * every scenario is rerun at 8 host threads (byte-identical stats
+ * required) and must satisfy request conservation. The fault runs
+ * join the combined --stats-json registry under `faults-<name>`,
+ * so BENCH_serving.json doubles as the availability baseline.
+ *
  * Flags: the common set (common/cli.hh: --config --dump-config
  * --stats-json --threads --seed --trace --sim-cache --policy
  * --slo-cycles --chips --shard-policy) plus --requests=R --batch=B
@@ -52,6 +64,7 @@
  * the checked-in baseline.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <iostream>
@@ -439,9 +452,129 @@ main(int argc, char **argv)
                 scaling_monotone ? "PASS" : "FAIL",
                 chips1_identical ? "PASS" : "FAIL");
 
+    // ---- Availability under faults ----
+    // The same coupled stream at a moderate load over a two-chip
+    // cluster with the recovery knobs on (timeout + bounded retry,
+    // overload shedding), swept across one scenario per fault
+    // class plus a seeded Poisson chaos schedule. Availability is
+    // completed/offered; every scenario is rerun at 8 host threads
+    // and must dump a byte-identical stats registry (the fault
+    // determinism contract, DESIGN.md §16), and the disposition
+    // counters must partition the offered stream (the
+    // request-conservation rule, check/invariants.hh).
+    struct FaultScenario
+    {
+        const char *what;
+        ServingConfig cfg;
+    };
+    std::vector<FaultScenario> fscen;
+    {
+        ServingConfig f = cfg;
+        f.meanInterarrival = 100'000;
+        f.chips = 2;
+        f.system.simCacheEntries = 0;
+        f.timeoutCycles = 1'500'000;
+        f.maxRetries = 2;
+        f.backoffCycles = 20'000;
+        f.shedQueueDepth = 64;
+        fscen.push_back({"none", f});
+        {
+            ServingConfig s = f;
+            FaultEvent e;
+            e.kind = FaultKind::ChipFailStop;
+            e.cycle = 1'200'000;
+            e.chip = 1;
+            s.faults.events.push_back(e);
+            fscen.push_back({"chip-fail", s});
+        }
+        {
+            ServingConfig s = f;
+            FaultEvent e;
+            e.kind = FaultKind::CoreLoss;
+            e.cycle = 800'000;
+            e.chip = 0;
+            e.count = 8;
+            s.faults.events.push_back(e);
+            fscen.push_back({"core-loss", s});
+        }
+        {
+            ServingConfig s = f;
+            FaultEvent e;
+            e.kind = FaultKind::DramOutage;
+            e.cycle = 500'000;
+            e.chip = 0;
+            e.count = std::max(1u, f.system.dramChannels / 2);
+            e.until = 2'500'000;
+            s.faults.events.push_back(e);
+            fscen.push_back({"dram-outage", s});
+        }
+        {
+            ServingConfig s = f;
+            s.faults.seed = 7;
+            s.faults.rate = 1.5;
+            fscen.push_back({"chaos", s});
+        }
+    }
+
+    TextTable ft({"scenario", "offered", "done", "rej", "shed",
+                  "timeout", "retries", "failovers", "avail %"});
+    bool faults_identical = true;
+    bool faults_conserved = true;
+    for (const FaultScenario &fs : fscen) {
+        // Determinism rerun first, in throwaway registries.
+        std::string dumps[2];
+        for (unsigned ti = 0; ti < 2; ++ti) {
+            ServingConfig rc = fs.cfg;
+            rc.system.numThreads = ti ? 8 : 1;
+            SimContext fctx;
+            auto sim = makeCluster(rc);
+            sim->attach(fctx, std::string("faults-") + fs.what);
+            sim->run();
+            dumps[ti] = fctx.statsToJson().dump();
+        }
+        faults_identical = faults_identical
+            && dumps[0] == dumps[1];
+
+        // The authoritative run joins the combined registry, so
+        // the dumped baseline carries the availability counters.
+        auto sim = makeCluster(fs.cfg);
+        sim->attach(scale_ctx, std::string("faults-") + fs.what);
+        ClusterResult fr = sim->run();
+        kept.push_back(std::move(sim));
+        const ServingResult &a = fr.aggregate;
+        faults_conserved = faults_conserved
+            && a.completed + a.rejected + a.shed + a.timedOut
+                    + a.pending
+                == a.offered;
+        ft.addRow({fs.what, TextTable::num(a.offered),
+                   TextTable::num(a.completed),
+                   TextTable::num(a.rejected),
+                   TextTable::num(a.shed),
+                   TextTable::num(a.timedOut),
+                   TextTable::num(a.retries),
+                   TextTable::num(a.failovers),
+                   TextTable::num(a.offered ? 100.0
+                                       * double(a.completed)
+                                       / double(a.offered)
+                                            : 0.0,
+                                  1)});
+    }
+    std::printf("\n== Availability under faults (2 chips, gap "
+                "1/%.3f ms, timeout %.3f ms, %u retries, shed "
+                "depth %u) ==\n\n",
+                100'000 / 1e6, 1'500'000 * ms,
+                fscen[0].cfg.maxRetries,
+                fscen[0].cfg.shedQueueDepth);
+    ft.print(std::cout);
+    std::printf("\nPer-scenario determinism (1 vs 8 threads): %s\n"
+                "Request conservation (every scenario): %s\n",
+                faults_identical ? "PASS" : "FAIL",
+                faults_conserved ? "PASS" : "FAIL");
+
     bool stats_ok = opt.writeStats(scale_ctx);
     return monotone && stats_ok && identical && policies_identical
             && scaling_monotone && chips1_identical
+            && faults_identical && faults_conserved
         ? 0
         : 1;
 }

@@ -15,6 +15,9 @@
  *   --queue-depth=N     flits per input queue          (default 4)
  *   --cycles=N          reported total cycles (enables the
  *                       cycle-bound rule; default off)
+ *   --offered=N         offered serving requests (enables the
+ *                       count-vs-offered half of the
+ *                       request-conservation rule; default off)
  *
  * Exits 0 when every file passes, 1 on any violation or I/O error.
  */
@@ -50,6 +53,7 @@ main(int argc, char **argv)
 
     check::CoreCheckParams core;
     check::NocCheckParams noc;
+    long long offered = 0;
     std::vector<std::string> files;
 
     for (int i = 1; i < argc; ++i) {
@@ -67,6 +71,8 @@ main(int argc, char **argv)
         } else if (intFlag(argv[i], "--cycles", v)) {
             core.totalCycles = Cycles(v);
             noc.totalCycles = Cycles(v);
+        } else if (intFlag(argv[i], "--offered", v)) {
+            offered = v;
         } else if (!std::strncmp(argv[i], "--", 2)) {
             std::fprintf(stderr, "check_trace: unknown option %s\n",
                          argv[i]);
@@ -91,12 +97,19 @@ main(int argc, char **argv)
             all_ok = false;
             continue;
         }
-        check::CheckResult res = check::checkTrace(sink, core, noc);
-        std::printf("%s: %zu inst, %zu pkt, %zu eject, %zu flit "
-                    "records -> %zu violation(s)\n",
+        // Not checkTrace(): the serving rules need the --offered
+        // count, so run the three rule sets explicitly.
+        check::CheckResult res =
+            check::checkInstTrace(sink.insts, core);
+        res.merge(check::checkNocTrace(sink, noc));
+        res.merge(check::checkServingTrace(
+            sink.serving, offered > 0 ? uint64_t(offered) : 0));
+        std::printf("%s: %zu inst, %zu pkt, %zu eject, %zu flit, "
+                    "%zu serving records -> %zu violation(s)\n",
                     path.c_str(), sink.insts.size(),
                     sink.packets.size(), sink.ejects.size(),
-                    sink.flits.size(), res.violations.size());
+                    sink.flits.size(), sink.serving.size(),
+                    res.violations.size());
         if (!res.ok()) {
             std::fputs(res.summary().c_str(), stdout);
             all_ok = false;

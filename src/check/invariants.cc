@@ -524,12 +524,95 @@ checkNocTrace(const trace::TraceSink &sink,
 }
 
 CheckResult
+checkServingCounters(const ServingCheckParams &p)
+{
+    CheckResult res;
+    uint64_t sum =
+        p.completed + p.rejected + p.shed + p.timedOut + p.pending;
+    if (sum != p.offered) {
+        res.add("request-conservation",
+                fmt("completed %llu + rejected %llu + shed %llu + "
+                    "timed-out %llu + pending %llu = %llu != "
+                    "offered %llu",
+                    (unsigned long long)p.completed,
+                    (unsigned long long)p.rejected,
+                    (unsigned long long)p.shed,
+                    (unsigned long long)p.timedOut,
+                    (unsigned long long)p.pending,
+                    (unsigned long long)sum,
+                    (unsigned long long)p.offered));
+    }
+    return res;
+}
+
+CheckResult
+checkServingTrace(const std::vector<trace::ServingRecord> &reqs,
+                  uint64_t offered)
+{
+    CheckResult res;
+    std::unordered_map<uint64_t, size_t> seen;
+    for (const trace::ServingRecord &r : reqs) {
+        auto [it, fresh] = seen.emplace(r.id, 1);
+        if (!fresh) {
+            res.add("request-conservation",
+                    fmt("request %llu has more than one final "
+                        "disposition record",
+                        (unsigned long long)r.id));
+        }
+        if (r.disposition > trace::kDispPending) {
+            res.add("request-causality",
+                    fmt("request %llu: unknown disposition %u",
+                        (unsigned long long)r.id,
+                        unsigned(r.disposition)));
+            continue;
+        }
+        bool ran = r.disposition == trace::kDispCompleted;
+        if (ran) {
+            if (r.start < r.arrival) {
+                res.add("request-causality",
+                        fmt("request %llu admitted at %llu before "
+                            "its arrival at %llu",
+                            (unsigned long long)r.id,
+                            (unsigned long long)r.start,
+                            (unsigned long long)r.arrival));
+            }
+            if (r.finish < r.start) {
+                res.add("request-causality",
+                        fmt("request %llu finished at %llu before "
+                            "its admission at %llu",
+                            (unsigned long long)r.id,
+                            (unsigned long long)r.finish,
+                            (unsigned long long)r.start));
+            }
+        } else if (r.disposition != trace::kDispPending
+                   && (r.start != 0 || r.finish != 0)) {
+            // A rejected, shed, or timed-out request never holds
+            // an admission: its stamps must have been cleared.
+            res.add("request-causality",
+                    fmt("request %llu (disposition %u) never ran "
+                        "but carries admission stamps %llu/%llu",
+                        (unsigned long long)r.id,
+                        unsigned(r.disposition),
+                        (unsigned long long)r.start,
+                        (unsigned long long)r.finish));
+        }
+    }
+    if (offered && seen.size() != offered) {
+        res.add("request-conservation",
+                fmt("%zu distinct request records != offered %llu",
+                    seen.size(), (unsigned long long)offered));
+    }
+    return res;
+}
+
+CheckResult
 checkTrace(const trace::TraceSink &sink,
            const CoreCheckParams &core_params,
            const NocCheckParams &noc_params)
 {
     CheckResult res = checkInstTrace(sink.insts, core_params);
     res.merge(checkNocTrace(sink, noc_params));
+    res.merge(checkServingTrace(sink.serving));
     return res;
 }
 

@@ -45,6 +45,17 @@
  *                        count and size;
  *  - cycle-bound:        no record is stamped after the reported
  *                        final cycle.
+ *
+ * Serving rules (checkServingCounters / checkServingTrace):
+ *  - request-conservation: every offered request ends in exactly
+ *                        one disposition class — completed +
+ *                        rejected + shed + timed-out + pending ==
+ *                        offered — and (trace form) no request id
+ *                        appears twice;
+ *  - request-causality:  a completed request obeys arrival <=
+ *                        start <= finish; requests that never ran
+ *                        (rejected/shed/timed-out) carry no
+ *                        admission stamp; dispositions are valid.
  */
 
 #ifndef MAICC_CHECK_INVARIANTS_HH
@@ -117,6 +128,36 @@ struct NocCheckParams
     Cycles totalCycles = 0;
 };
 
+/**
+ * Serving-tier disposition counters (runtime/serving.hh
+ * ServingResult), for the counter form of request-conservation.
+ * Plain integers so the check layer stays independent of the
+ * runtime types it audits (maicc_runtime links maicc_check, not
+ * the other way around).
+ */
+struct ServingCheckParams
+{
+    uint64_t offered = 0;
+    uint64_t completed = 0;
+    uint64_t rejected = 0;
+    uint64_t shed = 0;
+    uint64_t timedOut = 0;
+    uint64_t pending = 0;
+};
+
+/** Check request-conservation over the counters alone. */
+CheckResult checkServingCounters(const ServingCheckParams &p);
+
+/**
+ * Check request-conservation and request-causality over per-request
+ * serving records. @p offered enables the count-vs-offered half of
+ * conservation (0 checks only id uniqueness and causality, for
+ * traces without a known offered count).
+ */
+CheckResult checkServingTrace(
+    const std::vector<trace::ServingRecord> &reqs,
+    uint64_t offered = 0);
+
 /** Check the core-pipeline rules over @p insts. */
 CheckResult checkInstTrace(
     const std::vector<trace::InstRecord> &insts,
@@ -126,7 +167,10 @@ CheckResult checkInstTrace(
 CheckResult checkNocTrace(const trace::TraceSink &sink,
                           const NocCheckParams &params);
 
-/** Run both rule sets over @p sink and merge the results. */
+/**
+ * Run every rule set over @p sink (serving records are checked
+ * with an unknown offered count) and merge the results.
+ */
 CheckResult checkTrace(const trace::TraceSink &sink,
                        const CoreCheckParams &core_params,
                        const NocCheckParams &noc_params);

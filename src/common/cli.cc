@@ -1,5 +1,6 @@
 #include "common/cli.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +25,20 @@ parseUint(const std::string &s, uint64_t &out)
     char *end = nullptr;
     errno = 0;
     unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseDouble(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    double v = std::strtod(s.c_str(), &end);
     if (errno != 0 || end != s.c_str() + s.size())
         return false;
     out = v;
@@ -137,9 +152,83 @@ Options::Options(std::string tool_name, int &argc, char **argv)
         && error.empty()) {
         error = "--engine: expected ticked or event";
     }
+    std::string faults_s = take(argc, argv, "faults");
+    if (!faults_s.empty()) {
+        std::string err;
+        if (!loadFaultsFile(faults_s, config.serving.faults, &err)
+            && error.empty()) {
+            error = "--faults: " + err;
+        }
+    }
+    std::string fault_seed_s = take(argc, argv, "fault-seed");
+    if (!fault_seed_s.empty()) {
+        uint64_t v = 0;
+        if (parseUint(fault_seed_s, v))
+            config.serving.faults.seed = v;
+        else if (error.empty())
+            error = "--fault-seed: expected an unsigned integer";
+    }
+    std::string fault_rate_s = take(argc, argv, "fault-rate");
+    if (!fault_rate_s.empty()) {
+        double v = 0.0;
+        if (parseDouble(fault_rate_s, v) && v >= 0.0)
+            config.serving.faults.rate = v;
+        else if (error.empty())
+            error = "--fault-rate: expected a non-negative number "
+                    "(faults per million cycles)";
+    }
+    std::string timeout_s = take(argc, argv, "timeout-cycles");
+    if (!timeout_s.empty()) {
+        uint64_t v = 0;
+        if (parseUint(timeout_s, v))
+            config.serving.timeoutCycles = v;
+        else if (error.empty())
+            error = "--timeout-cycles: expected an unsigned "
+                    "integer";
+    }
+    std::string retries_s = take(argc, argv, "max-retries");
+    if (!retries_s.empty()) {
+        uint64_t v = 0;
+        if (parseUint(retries_s, v))
+            config.serving.maxRetries = unsigned(v);
+        else if (error.empty())
+            error = "--max-retries: expected an unsigned integer";
+    }
+    std::string backoff_s = take(argc, argv, "backoff-cycles");
+    if (!backoff_s.empty()) {
+        uint64_t v = 0;
+        if (parseUint(backoff_s, v))
+            config.serving.backoffCycles = v;
+        else if (error.empty())
+            error = "--backoff-cycles: expected an unsigned "
+                    "integer";
+    }
+    std::string shed_s = take(argc, argv, "shed-queue-depth");
+    if (!shed_s.empty()) {
+        uint64_t v = 0;
+        if (parseUint(shed_s, v))
+            config.serving.shedQueueDepth = unsigned(v);
+        else if (error.empty())
+            error = "--shed-queue-depth: expected an unsigned "
+                    "integer";
+    }
     hostTimers = !take(argc, argv, "host-timers").empty();
     statsJson = take(argc, argv, "stats-json");
     dumpConfig = !take(argc, argv, "dump-config").empty();
+
+    // Re-validate the fault spec against the *final* serving shape:
+    // --chips (above) and --faults can each arrive after the other
+    // precedence layers, so the config-file-time check in
+    // fromJson(SimConfig) may have seen a different chip range.
+    if (error.empty()) {
+        std::string err;
+        if (!validateFaultConfig(
+                config.serving.faults,
+                std::max(1u, config.serving.chips),
+                config.system.dramChannels, &err)) {
+            error = err;
+        }
+    }
 
     // Keep the one system tree consistent (serving runs under it)
     // and slave every per-model engine knob to system.engine —
@@ -210,7 +299,10 @@ Options::finish(bool allow_extra)
             "--policy=fifo|sjf|priority --slo-cycles=N "
             "--chips=N "
             "--shard-policy=round-robin|least-loaded|"
-            "model-affinity\n");
+            "model-affinity "
+            "--faults=FILE --fault-seed=S --fault-rate=R "
+            "--timeout-cycles=N --max-retries=N "
+            "--backoff-cycles=N --shed-queue-depth=N\n");
         return false;
     }
     return true;

@@ -23,6 +23,18 @@
  *                     (runtime/cluster.hh; 1 = single chip)
  *   --shard-policy=P  cross-chip dispatch: round-robin,
  *                     least-loaded, or model-affinity
+ *   --faults=FILE     load a fault-schedule JSON document
+ *                     (fault/fault_model.hh; "-" = stdin) into
+ *                     serving.faults
+ *   --fault-seed=S    seed of the random fault schedule
+ *   --fault-rate=R    random faults per million cycles (0 = none)
+ *   --timeout-cycles=N per-request serving timeout before a retry
+ *                     (0 = timeouts off)
+ *   --max-retries=N   retry budget per request before it is
+ *                     dropped as timed out
+ *   --backoff-cycles=N base of the exponential retry backoff
+ *   --shed-queue-depth=N shed fresh arrivals when the total queued
+ *                     depth reaches N (0 = shedding off)
  *   --engine=E        simulation engine: event (skip-ahead
  *                     wake-up scheduling, the default) or ticked
  *                     (legacy advance-every-cycle loops); also

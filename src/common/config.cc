@@ -1,5 +1,6 @@
 #include "common/config.hh"
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <set>
@@ -336,6 +337,83 @@ fromJson(const Json &j, SystemConfig &out, std::string *err,
     return r.finish();
 }
 
+Json
+toJson(const FaultEvent &e)
+{
+    Json j = Json::object();
+    j.set("kind", faultKindName(e.kind));
+    j.set("cycle", e.cycle);
+    j.set("chip", e.chip);
+    j.set("count", e.count);
+    j.set("until", e.until);
+    j.set("factor", e.factor);
+    return j;
+}
+
+bool
+fromJson(const Json &j, FaultEvent &out, std::string *err,
+         const std::string &path)
+{
+    ObjectReader r(j, path, err);
+    std::string kind = faultKindName(out.kind);
+    r.string("kind", kind);
+    if (!parseFaultKind(kind, out.kind)) {
+        r.fail("kind",
+               "expected \"chip-fail-stop\", \"core-loss\", "
+               "\"dram-outage\", or \"noc-degrade\"");
+    }
+    r.integer("cycle", out.cycle);
+    r.integer("chip", out.chip);
+    r.integer("count", out.count);
+    r.integer("until", out.until);
+    r.number("factor", out.factor);
+    return r.finish();
+}
+
+Json
+toJson(const FaultConfig &c)
+{
+    Json j = Json::object();
+    Json events = Json::array();
+    for (const FaultEvent &e : c.events)
+        events.push(toJson(e));
+    j.set("events", std::move(events));
+    j.set("seed", c.seed);
+    j.set("rate", c.rate);
+    j.set("window", c.window);
+    return j;
+}
+
+bool
+fromJson(const Json &j, FaultConfig &out, std::string *err,
+         const std::string &path)
+{
+    ObjectReader r(j, path, err);
+    if (const Json *ev = r.take("events")) {
+        if (!ev->isArray()) {
+            r.fail("events", "expected an array");
+        } else {
+            out.events.clear();
+            for (size_t i = 0; i < ev->size(); ++i) {
+                FaultEvent e;
+                std::string sub =
+                    path + ".events[" + std::to_string(i) + "]";
+                if (!fromJson(ev->at(i), e, err, sub)) {
+                    r.invalidate();
+                    break;
+                }
+                out.events.push_back(e);
+            }
+        }
+    }
+    r.integer("seed", out.seed);
+    r.number("rate", out.rate);
+    if (out.rate < 0.0)
+        r.fail("rate", "expected a non-negative rate");
+    r.integer("window", out.window);
+    return r.finish();
+}
+
 namespace
 {
 
@@ -364,6 +442,11 @@ servingToJson(const ServingConfig &c)
     j.set("selfCheck", c.selfCheck);
     j.set("chips", c.chips);
     j.set("shardPolicy", shardPolicyName(c.shardPolicy));
+    j.set("faults", toJson(c.faults));
+    j.set("timeoutCycles", c.timeoutCycles);
+    j.set("maxRetries", c.maxRetries);
+    j.set("backoffCycles", c.backoffCycles);
+    j.set("shedQueueDepth", c.shedQueueDepth);
     return j;
 }
 
@@ -406,6 +489,11 @@ servingFromJson(const Json &j, ServingConfig &out,
         r.fail("shardPolicy",
                "expected \"round-robin\", \"least-loaded\", or "
                "\"model-affinity\"");
+    r.nested("faults", out.faults);
+    r.integer("timeoutCycles", out.timeoutCycles);
+    r.integer("maxRetries", out.maxRetries);
+    r.integer("backoffCycles", out.backoffCycles);
+    r.integer("shedQueueDepth", out.shedQueueDepth);
     return r.finish();
 }
 
@@ -432,6 +520,16 @@ fromJson(const Json &j, SimConfig &out, std::string *err)
             r.invalidate();
     }
     bool ok = r.finish();
+    // Cross-field fault validation needs both subtrees: chip range
+    // from serving.chips, channel count from system.dramChannels.
+    // (The CLI re-validates after --chips, which can change the
+    // range after this file was read.)
+    if (ok
+        && !validateFaultConfig(out.serving.faults,
+                                std::max(1u, out.serving.chips),
+                                out.system.dramChannels, err)) {
+        ok = false;
+    }
     // One system tree: the serving layer always runs under the
     // top-level system config. The core model's engine knob is
     // likewise slaved to system.engine (one `--engine` flag, one
@@ -450,6 +548,28 @@ loadConfig(std::istream &in, SimConfig &out, std::string *err)
     if (!Json::parse(buf.str(), j, err))
         return false;
     return fromJson(j, out, err);
+}
+
+bool
+loadFaultsFile(const std::string &path, FaultConfig &out,
+               std::string *err)
+{
+    std::ostringstream buf;
+    if (path == "-") {
+        buf << std::cin.rdbuf();
+    } else {
+        std::ifstream in(path);
+        if (!in) {
+            if (err)
+                *err = "cannot open faults file: " + path;
+            return false;
+        }
+        buf << in.rdbuf();
+    }
+    Json j;
+    if (!Json::parse(buf.str(), j, err))
+        return false;
+    return fromJson(j, out, err, "faults");
 }
 
 bool

@@ -57,6 +57,8 @@ Json toJson(const DramConfig &c);
 Json toJson(const CacheConfig &c);
 Json toJson(const CoreConfig &c);
 Json toJson(const SystemConfig &c);
+Json toJson(const FaultEvent &e);
+Json toJson(const FaultConfig &c);
 Json toJson(const SimConfig &c);
 
 bool fromJson(const Json &j, ArrayGeometry &out, std::string *err,
@@ -71,6 +73,10 @@ bool fromJson(const Json &j, CoreConfig &out, std::string *err,
               const std::string &path = "core");
 bool fromJson(const Json &j, SystemConfig &out, std::string *err,
               const std::string &path = "system");
+bool fromJson(const Json &j, FaultEvent &out, std::string *err,
+              const std::string &path = "faults.events[]");
+bool fromJson(const Json &j, FaultConfig &out, std::string *err,
+              const std::string &path = "faults");
 bool fromJson(const Json &j, SimConfig &out, std::string *err);
 
 /**
@@ -81,6 +87,18 @@ bool loadConfig(std::istream &in, SimConfig &out, std::string *err);
 
 /** loadConfig from @p path; "-" reads stdin. */
 bool loadConfigFile(const std::string &path, SimConfig &out,
+                    std::string *err);
+
+/**
+ * Load a standalone FaultConfig document (the `--faults=FILE`
+ * payload) from @p path ("-" reads stdin) and overlay it onto
+ * @p out. Structural validation only — the cross-field check
+ * against the serving shape (chip range, DRAM channel count) is
+ * validateFaultConfig, run by the caller once --chips and the
+ * system tree are final. @return false with a message in @p err on
+ * failure.
+ */
+bool loadFaultsFile(const std::string &path, FaultConfig &out,
                     std::string *err);
 
 /** Pretty-print the full tree (the --dump-config output). */

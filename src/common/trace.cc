@@ -87,6 +87,15 @@ TraceSink::writeJsonl(std::ostream &os) const
            << ",\"head\":" << r.head << ",\"tail\":" << r.tail
            << ",\"cyc\":" << r.cycle << "}\n";
     }
+    for (const ServingRecord &r : serving) {
+        os << "{\"t\":\"serv\",\"id\":" << r.id
+           << ",\"disp\":" << unsigned(r.disposition)
+           << ",\"shard\":" << r.shard
+           << ",\"arr\":" << r.arrival
+           << ",\"start\":" << r.start
+           << ",\"fin\":" << r.finish
+           << ",\"retries\":" << r.retries << "}\n";
+    }
 }
 
 bool
@@ -159,6 +168,18 @@ TraceSink::readJsonl(std::istream &is)
             r.tail = jsonInt(line, "tail");
             r.cycle = jsonInt(line, "cyc");
             flits.push_back(r);
+        } else if (jsonHas(line, "serv")) {
+            ServingRecord r;
+            r.id = jsonInt(line, "id");
+            r.disposition =
+                static_cast<uint8_t>(jsonInt(line, "disp"));
+            r.shard = static_cast<unsigned>(jsonInt(line, "shard"));
+            r.arrival = jsonInt(line, "arr");
+            r.start = jsonInt(line, "start");
+            r.finish = jsonInt(line, "fin");
+            r.retries =
+                static_cast<unsigned>(jsonInt(line, "retries"));
+            serving.push_back(r);
         } else if (line[0] == '{') {
             continue; // unknown record type: skip
         } else {

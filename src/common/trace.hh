@@ -136,6 +136,34 @@ struct FlitRecord
     Cycles cycle = 0;
 };
 
+/** ServingRecord::disposition values. */
+enum Disposition : uint8_t
+{
+    kDispCompleted = 0,
+    kDispRejected = 1,
+    kDispShed = 2,
+    kDispTimedOut = 3,
+    kDispPending = 4,
+};
+
+/**
+ * Final disposition of one serving-tier request (one per offered
+ * request of a ServingSimulator / ClusterSimulator run — see
+ * runtime/serving.hh appendServingTrace). The request-conservation
+ * and request-causality rules in check/invariants.hh re-derive the
+ * serving layer's bookkeeping from these records alone.
+ */
+struct ServingRecord
+{
+    uint64_t id = 0;        ///< arrival order, 0-based
+    uint8_t disposition = kDispCompleted; ///< Disposition value
+    unsigned shard = 0;     ///< serving chip (0 on single-chip)
+    Cycles arrival = 0;
+    Cycles start = 0;       ///< admission cycle (0 if never ran)
+    Cycles finish = 0;      ///< completion cycle (0 if never ran)
+    unsigned retries = 0;   ///< timeout-driven retries consumed
+};
+
 /**
  * Collects records from the models it is attached to. A sink is
  * node-private state in the sense of DESIGN.md's concurrency model:
@@ -149,6 +177,7 @@ class TraceSink
     std::vector<PacketRecord> packets;
     std::vector<PacketEjectRecord> ejects;
     std::vector<FlitRecord> flits;
+    std::vector<ServingRecord> serving;
 
     void
     clear()
@@ -157,13 +186,14 @@ class TraceSink
         packets.clear();
         ejects.clear();
         flits.clear();
+        serving.clear();
     }
 
     bool
     empty() const
     {
         return insts.empty() && packets.empty() && ejects.empty()
-            && flits.empty();
+            && flits.empty() && serving.empty();
     }
 
     /** Dump every record as JSONL, one object per line. */

@@ -56,6 +56,13 @@ CoreLedger::release(unsigned cores)
     _used -= cores;
 }
 
+void
+CoreLedger::retire(unsigned cores)
+{
+    maicc_assert(cores <= freeCores());
+    _total -= cores;
+}
+
 namespace
 {
 

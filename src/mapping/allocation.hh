@@ -81,6 +81,14 @@ class CoreLedger
     /** Return @p cores to the pool; asserts against over-free. */
     void release(unsigned cores);
 
+    /**
+     * Permanently shrink the budget by @p cores (core-loss /
+     * fail-stop faults). The cores must be free — the serving
+     * layer displaces the batches occupying them first — so the
+     * invariant used() <= total() holds unconditionally.
+     */
+    void retire(unsigned cores);
+
   private:
     unsigned _total;
     unsigned _used = 0;

@@ -40,7 +40,7 @@ SegmentPlacement::layerNodes(size_t layer) const
 
 RegionAllocator::RegionAllocator(const ArrayGeometry &geo)
     : _geo(geo), _used(geo.computeNodes(), false),
-      _free(geo.computeNodes())
+      _dead(geo.computeNodes(), false), _free(geo.computeNodes())
 {
 }
 
@@ -83,6 +83,17 @@ RegionAllocator::longestFreeRun() const
     return best;
 }
 
+unsigned
+RegionAllocator::longestPossibleRun() const
+{
+    unsigned best = 0, run = 0;
+    for (unsigned i = 0; i < _dead.size(); ++i) {
+        run = _dead[i] ? 0 : run + 1;
+        best = std::max(best, run);
+    }
+    return best;
+}
+
 std::vector<unsigned>
 RegionAllocator::allocate(unsigned count)
 {
@@ -110,9 +121,27 @@ RegionAllocator::release(const std::vector<unsigned> &slots)
 {
     for (unsigned s : slots) {
         maicc_assert(_used.at(s));
+        maicc_assert(!_dead.at(s));
         _used[s] = false;
         ++_free;
     }
+}
+
+void
+RegionAllocator::markDead(unsigned slot)
+{
+    maicc_assert(slot < _used.size());
+    if (_dead[slot])
+        return;
+    // The serving layer displaces any batch occupying the victim
+    // first, so the slot is free here; marking it used-forever is
+    // what makes every existing walk (allocateContiguous,
+    // longestFreeRun) coalesce around it with no extra cases.
+    maicc_assert(!_used[slot]);
+    _used[slot] = true;
+    _dead[slot] = true;
+    ++_dead_count;
+    --_free;
 }
 
 SegmentPlacement

@@ -111,6 +111,10 @@ class RegionAllocator
     unsigned freeNodes() const { return _free; }
     bool used(unsigned slot) const { return _used.at(slot); }
 
+    /** Slots permanently lost to core faults (see markDead). */
+    unsigned deadNodes() const { return _dead_count; }
+    bool dead(unsigned slot) const { return _dead.at(slot); }
+
     /**
      * Allocate @p count serpentine slots; the returned indices are
      * sorted ascending. Empty when fewer than @p count are free
@@ -132,13 +136,35 @@ class RegionAllocator
     /** Length of the longest free contiguous serpentine run. */
     unsigned longestFreeRun() const;
 
+    /**
+     * Longest contiguous run of *non-dead* slots, regardless of
+     * current occupancy: the largest region this allocator can ever
+     * satisfy again. The serving layer uses it to spot requests
+     * whose minimum region became permanently unservable after a
+     * core-loss fault.
+     */
+    unsigned longestPossibleRun() const;
+
     /** Release previously allocated @p slots (asserts each used). */
     void release(const std::vector<unsigned> &slots);
+
+    /**
+     * Permanently remove @p slot from the allocatable region
+     * (core-loss fault, DESIGN.md §16). The slot must not be held
+     * by a live allocation — the serving layer kills any batch
+     * occupying a victim before marking it — and marking is
+     * idempotent. Dead slots count as occupied forever: contiguous
+     * runs re-coalesce *around* them, freeNodes() excludes them,
+     * and release() of a dead slot asserts.
+     */
+    void markDead(unsigned slot);
 
   private:
     ArrayGeometry _geo;
     std::vector<bool> _used;
+    std::vector<bool> _dead;
     unsigned _free = 0;
+    unsigned _dead_count = 0;
 };
 
 } // namespace maicc

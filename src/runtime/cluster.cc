@@ -6,51 +6,11 @@
 
 #include "common/logging.hh"
 #include "engine/event_queue.hh"
+#include "runtime/recovery.hh"
 #include "runtime/shard.hh"
 
 namespace maicc
 {
-
-namespace
-{
-
-/**
- * Sum the per-shard used-core step functions into one cluster-wide
- * timeline: a k-way walk emitting one sample per distinct event
- * cycle. Within one shard, the last sample at a cycle wins (an
- * admission right after a completion at the same cycle), matching
- * how the single-chip timeline reads.
- */
-std::vector<UtilizationSample>
-mergeTimelines(
-    const std::vector<std::vector<UtilizationSample>> &per_shard)
-{
-    std::vector<size_t> idx(per_shard.size(), 0);
-    std::vector<unsigned> cur(per_shard.size(), 0);
-    std::vector<UtilizationSample> out;
-    for (;;) {
-        Cycles next = ShardEngine::kNever;
-        for (size_t s = 0; s < per_shard.size(); ++s) {
-            if (idx[s] < per_shard[s].size())
-                next = std::min(next, per_shard[s][idx[s]].cycle);
-        }
-        if (next == ShardEngine::kNever)
-            break;
-        for (size_t s = 0; s < per_shard.size(); ++s) {
-            while (idx[s] < per_shard[s].size()
-                   && per_shard[s][idx[s]].cycle == next) {
-                cur[s] = per_shard[s][idx[s]].usedCores;
-                ++idx[s];
-            }
-        }
-        unsigned total =
-            std::accumulate(cur.begin(), cur.end(), 0u);
-        out.push_back({next, total});
-    }
-    return out;
-}
-
-} // namespace
 
 ClusterSimulator::ClusterSimulator(ServingConfig config)
     : SimComponent("cluster"), cfg(std::move(config)),
@@ -165,6 +125,53 @@ ClusterSimulator::run()
         agg.requests[i].priorityClass =
             models[arrivals[i].model].priorityClass;
         agg.requests[i].arrival = arrivals[i].cycle;
+    }
+
+    if (recoveryActive(cfg)) {
+        // Recovery semantics requested: the unified recovery loop
+        // (recovery.cc) replaces the fast path below, driving
+        // every shard off the inner simulator's fault injector.
+        auto shard_out = runRecoveryLoop(
+            cfg, models, min_cores, arrivals, shardMasks, nChips,
+            [this](size_t model,
+                   unsigned cores) -> const ServiceProfile & {
+                return inner.profile(model, cores);
+            },
+            inner.faultInjector(), agg);
+        agg.minServiceLatency = 0;
+        std::vector<std::vector<UtilizationSample>> timelines;
+        timelines.reserve(nChips);
+        for (unsigned i = 0; i < nChips; ++i) {
+            Cycles m = shard_out[i].minServiceLatency;
+            if (m && (agg.minServiceLatency == 0
+                      || m < agg.minServiceLatency))
+                agg.minServiceLatency = m;
+            timelines.push_back(std::move(shard_out[i].timeline));
+        }
+        agg.coreTimeline = mergeShardTimelines(timelines);
+        finalizeServingResult(agg, cfg.sloCycles,
+                              nChips * cfg.system.coreBudget);
+        for (unsigned i = 0; i < nChips; ++i) {
+            ServingResult slice;
+            slice.recovery = true;
+            slice.endCycle = agg.endCycle;
+            slice.sloCycles = cfg.sloCycles;
+            slice.minServiceLatency = shard_out[i].minServiceLatency;
+            slice.coreTimeline = std::move(timelines[i]);
+            // Rejections and sheds belong to the dispatcher, not a
+            // shard; timed-out requests were dispatched somewhere
+            // and report in that shard's slice.
+            for (const RequestRecord &r : agg.requests) {
+                if (!r.rejected && !r.shed && r.shard == i)
+                    slice.requests.push_back(r);
+            }
+            slice.offered = slice.requests.size();
+            finalizeServingResult(slice, cfg.sloCycles,
+                                  cfg.system.coreBudget);
+            out.shards.push_back(std::move(slice));
+        }
+        publishStats(out);
+        return out;
     }
 
     // One independent chip per shard; all pull profiles from the
@@ -361,7 +368,7 @@ ClusterSimulator::run()
             agg.minServiceLatency = m;
         timelines.push_back(shards[i]->takeTimeline());
     }
-    agg.coreTimeline = mergeTimelines(timelines);
+    agg.coreTimeline = mergeShardTimelines(timelines);
     finalizeServingResult(agg, cfg.sloCycles,
                           nChips * cfg.system.coreBudget);
 

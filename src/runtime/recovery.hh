@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The unified serving-tier recovery event loop (DESIGN.md §16).
+ *
+ * When a ServingConfig asks for any recovery semantics
+ * (recoveryActive: fault injection, queueing timeouts, or overload
+ * shedding), ServingSimulator::run and ClusterSimulator::run route
+ * here instead of their fault-free fast paths. One implementation
+ * serves both tiers — a single chip is the 1-shard cluster — and
+ * runs on the shared EventQueue kernel regardless of
+ * SystemConfig::engine: with recovery active there is no legacy
+ * ticked twin to stay byte-identical to, and the priority-lane
+ * ordering below *is* the recovery semantics, so emulating it with
+ * a ticked scan would be the same loop written twice. (The
+ * engine-identity contract of DESIGN.md §15 applies to the
+ * fault-free paths, which this file never touches.)
+ *
+ * Event ordering at one cycle, by ascending priority lane:
+ *
+ *   kLaneFault (-3)    faults strike first — a batch finishing at
+ *                      the very cycle its chip dies is killed, not
+ *                      completed (the fault hits at the start of
+ *                      the cycle);
+ *   kLaneTimeout (-2)  queueing timeouts pull waiting requests out
+ *                      before completions free cores — a request
+ *                      that waited its full timeout is retried
+ *                      even if capacity opens the same cycle;
+ *   0..nChips-1        per-shard completion wakes, ascending shard
+ *                      index (the PR 7 cross-shard tie-break);
+ *   nChips             fresh arrivals;
+ *   nChips+1           retry re-dispatches — behind the cycle's
+ *                      fresh arrivals, so backoff never lets a
+ *                      retried request jump a simultaneous fresh
+ *                      one.
+ *
+ * Determinism: the loop is serial, every draw comes from seeded
+ * state resolved before the first event, and the ordering key is a
+ * pure function of the schedule() stream — a fixed (seed, config)
+ * run is bitwise identical at any host thread count and sim-cache
+ * setting.
+ */
+
+#ifndef MAICC_RUNTIME_RECOVERY_HH
+#define MAICC_RUNTIME_RECOVERY_HH
+
+#include <vector>
+
+#include "runtime/shard.hh"
+
+namespace maicc
+{
+
+class FaultInjector;
+
+/**
+ * Per-shard raw outputs of a recovery run, for the cluster tier's
+ * slice reports (the aggregate lives in the ServingResult the loop
+ * fills in place).
+ */
+struct RecoveryShardOutcome
+{
+    std::vector<UtilizationSample> timeline;
+    Cycles minServiceLatency = 0; ///< 0 when nothing admitted
+};
+
+/**
+ * Sum per-shard used-core step functions into one cluster-wide
+ * timeline (one sample per distinct event cycle; within a shard
+ * the last sample at a cycle wins). Shared by the fault-free
+ * cluster path and the recovery loop so both merge identically.
+ */
+std::vector<UtilizationSample> mergeShardTimelines(
+    const std::vector<std::vector<UtilizationSample>> &per_shard);
+
+/**
+ * Run the recovery event loop over @p n_chips shards.
+ *
+ * @p res must arrive with requests prefilled in arrival order
+ * (id/model/priorityClass/arrival) and offered/sloCycles set; the
+ * loop marks rejected/shed/timedOut flags and retry counts on the
+ * records, fills the availability counters, the applied per-class
+ * fault counters, endCycle, and sets res.recovery — everything
+ * finalizeServingResult needs, which the caller runs afterwards
+ * (the caller owns total-core normalization and stats publishing).
+ *
+ * @p shard_masks is per model (bit i = shard i may serve it);
+ * @p injector may be null (timeout/shedding-only recovery).
+ */
+std::vector<RecoveryShardOutcome>
+runRecoveryLoop(const ServingConfig &cfg,
+                const std::vector<ServedModel> &models,
+                const std::vector<unsigned> &min_cores,
+                const std::vector<ServingArrival> &arrivals,
+                const std::vector<uint64_t> &shard_masks,
+                unsigned n_chips,
+                const ShardEngine::ProfileFn &profile,
+                const FaultInjector *injector, ServingResult &res);
+
+} // namespace maicc
+
+#endif // MAICC_RUNTIME_RECOVERY_HH

@@ -7,9 +7,12 @@
 #include <limits>
 #include <sstream>
 
+#include "check/invariants.hh"
 #include "common/logging.hh"
 #include "engine/event_queue.hh"
+#include "fault/injector.hh"
 #include "runtime/host.hh"
+#include "runtime/recovery.hh"
 #include "runtime/shard.hh"
 #include "runtime/sim_cache.hh"
 
@@ -36,6 +39,20 @@ ServingResult::dumpStats(StatGroup &stats) const
         .inc(minServiceLatency);
     stats.counter("sloMet").inc(sloMet);
     stats.counter("sloMissed").inc(sloMissed);
+    // Availability keys exist only on recovery runs, so a
+    // fault-free dump stays byte-identical to the pre-fault
+    // schema (DESIGN.md §16).
+    if (recovery) {
+        stats.counter("shed").inc(shed);
+        stats.counter("timedOut").inc(timedOut);
+        stats.counter("retries").inc(retries);
+        stats.counter("failovers").inc(failovers);
+        stats.counter("faults.chipFailStop")
+            .inc(faultChipFailStop);
+        stats.counter("faults.coreLoss").inc(faultCoreLoss);
+        stats.counter("faults.dramOutage").inc(faultDramOutage);
+        stats.counter("faults.nocDegrade").inc(faultNocDegrade);
+    }
     for (const auto &r : requests) {
         if (!r.completed)
             continue;
@@ -66,6 +83,25 @@ ServingSimulator::ServingSimulator(ServingConfig config)
 {
     maicc_assert(cfg.system.coreBudget
                  <= cfg.system.geometry.computeNodes());
+    if (cfg.faults.active()) {
+        // Resolve the fault schedule once, here: a pure function
+        // of the config (fault_model.hh), shared by every run()
+        // and — through faultInjector() — by every shard of a
+        // cluster built on this simulator.
+        injector = std::make_unique<FaultInjector>(
+            cfg.faults, std::max(1u, cfg.chips),
+            cfg.system.dramChannels,
+            Cycles(cfg.offeredRequests) * cfg.meanInterarrival);
+    }
+}
+
+ServingSimulator::~ServingSimulator() = default;
+
+void
+ServingSimulator::onAttach()
+{
+    if (injector)
+        injector->attachTo(*context(), name() + ".faults");
 }
 
 void
@@ -73,6 +109,8 @@ ServingSimulator::reset()
 {
     profiles.clear();
     systems.clear();
+    if (injector)
+        injector->reset();
     SimComponent::reset();
 }
 
@@ -210,7 +248,8 @@ ServingSimulator::profile(size_t model, unsigned cores)
     TimingResultCache *cache = timingCache();
     TimingKey tkey;
     if (cache) {
-        tkey = makeTimingKey(*m.net, plan, cfg.maxBatch, cfg.system);
+        tkey = makeTimingKey(*m.net, plan, cfg.maxBatch, cfg.system,
+                             faultSignature(cfg.faults));
         if (const CachedRun *hit = cache->lookup(tkey)) {
             sys.applyCachedRun(*hit);
             ServiceProfile sp =
@@ -287,7 +326,12 @@ finalizeServingResult(ServingResult &res, Cycles slo_cycles,
         ClassResult &cr = class_results[r.priorityClass];
         cr.priorityClass = r.priorityClass;
         ++cr.offered;
-        if (!r.rejected) {
+        res.retries += r.retries;
+        if (r.shed) {
+            ++res.shed;
+        } else if (r.timedOut) {
+            ++res.timedOut;
+        } else if (!r.rejected) {
             r.completed = r.cores > 0 && r.finish <= res.endCycle;
             if (r.completed) {
                 ++res.completed;
@@ -300,17 +344,27 @@ finalizeServingResult(ServingResult &res, Cycles slo_cycles,
                 ++res.pending;
             }
         }
-        // SLO attainment over *offered* requests: a reject or a
-        // request stranded at the cutoff missed its deadline just
-        // as surely as a late completion did.
+        // SLO attainment over *offered* requests: a reject, a
+        // shed or timed-out drop, or a request stranded at the
+        // cutoff missed its deadline just as surely as a late
+        // completion did.
         if (slo_cycles) {
             bool met = r.completed
                 && r.latency() <= slo_cycles;
             ++(met ? cr.sloMet : cr.sloMissed);
         }
     }
-    maicc_assert(res.completed + res.pending + res.rejected
-                 == res.offered);
+    // Request conservation: every offered request ends in exactly
+    // one disposition class. Enforced through the check:: rule on
+    // every serving/cluster run, single-chip or sharded, faults or
+    // not — a lost or double-counted request panics here instead
+    // of silently skewing throughput.
+    check::CheckResult conservation =
+        check::checkServingCounters({res.offered, res.completed,
+                                     res.rejected, res.shed,
+                                     res.timedOut, res.pending});
+    if (!conservation.ok())
+        maicc_panic("%s", conservation.summary().c_str());
     res.p50 = latencies.percentile(50);
     res.p95 = latencies.percentile(95);
     res.p99 = latencies.percentile(99);
@@ -348,6 +402,34 @@ finalizeServingResult(ServingResult &res, Cycles slo_cycles,
     }
 }
 
+void
+appendServingTrace(const ServingResult &res,
+                   trace::TraceSink &sink)
+{
+    sink.serving.reserve(sink.serving.size()
+                         + res.requests.size());
+    for (const RequestRecord &r : res.requests) {
+        trace::ServingRecord t;
+        t.id = r.id;
+        if (r.shed)
+            t.disposition = trace::kDispShed;
+        else if (r.timedOut)
+            t.disposition = trace::kDispTimedOut;
+        else if (r.rejected)
+            t.disposition = trace::kDispRejected;
+        else if (r.completed)
+            t.disposition = trace::kDispCompleted;
+        else
+            t.disposition = trace::kDispPending;
+        t.shard = r.shard;
+        t.arrival = r.arrival;
+        t.start = r.start;
+        t.finish = r.finish;
+        t.retries = r.retries;
+        sink.serving.push_back(t);
+    }
+}
+
 ServingResult
 ServingSimulator::run()
 {
@@ -365,6 +447,28 @@ ServingSimulator::run()
         res.requests[i].priorityClass =
             models[arrivals[i].model].priorityClass;
         res.requests[i].arrival = arrivals[i].cycle;
+    }
+
+    if (recoveryActive(cfg)) {
+        // Recovery semantics requested (faults, timeouts, or
+        // shedding): the unified recovery loop (recovery.cc)
+        // replaces the fast path below — a single chip is its
+        // 1-shard case.
+        std::vector<uint64_t> masks(models.size(), ~0ull);
+        auto shard_out = runRecoveryLoop(
+            cfg, models, minCoresCache, arrivals, masks, 1,
+            [this](size_t model,
+                   unsigned cores) -> const ServiceProfile & {
+                return profile(model, cores);
+            },
+            injector.get(), res);
+        res.minServiceLatency = shard_out[0].minServiceLatency;
+        res.coreTimeline = std::move(shard_out[0].timeline);
+        finalizeServingResult(res, cfg.sloCycles,
+                              cfg.system.coreBudget);
+        stats().resetAll();
+        res.dumpStats(stats());
+        return res;
     }
 
     // The whole per-chip event-loop state — ledger, region, queue,

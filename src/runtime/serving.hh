@@ -33,16 +33,20 @@
 
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/trace.hh"
+#include "fault/fault_model.hh"
 #include "runtime/admission.hh"
 #include "runtime/system.hh"
 
 namespace maicc
 {
 
+class FaultInjector;
 class TimingResultCache;
 
 /** Where request arrival times come from. */
@@ -175,7 +179,62 @@ struct ServingConfig
 
     /** Cross-chip dispatch rule (`--shard-policy=`, cluster.hh). */
     ShardPolicy shardPolicy = ShardPolicy::RoundRobin;
+
+    // ------------------------------------------------------------
+    // Fault injection and recovery (DESIGN.md §16). All defaults
+    // leave recovery inactive, which routes run() through the
+    // pre-fault event loops unchanged — the byte-identity
+    // contract for fault-free runs.
+    // ------------------------------------------------------------
+
+    /** Fault schedule (`--faults=FILE`, `--fault-seed/-rate`). */
+    FaultConfig faults;
+
+    /**
+     * Queueing timeout (`--timeout-cycles=N`): a request still
+     * *waiting* this many cycles after being queued is pulled out
+     * and retried (bounded by maxRetries, spaced by backoff).
+     * 0 disables timeouts. Requests already admitted to a region
+     * are never interrupted by a timeout.
+     */
+    Cycles timeoutCycles = 0;
+
+    /**
+     * Retry budget per request (`--max-retries=N`): timeouts and
+     * failed re-dispatches beyond this drop the request as
+     * timed-out. Failover off a faulted shard does not consume
+     * budget — the request did nothing wrong.
+     */
+    unsigned maxRetries = 3;
+
+    /**
+     * Base of the exponential retry backoff
+     * (`--backoff-cycles=N`): retry k waits
+     * backoffCycles * 2^(k-1) cycles. 0 retries immediately.
+     */
+    Cycles backoffCycles = 0;
+
+    /**
+     * Overload shedding (`--shed-queue-depth=N`): a fresh arrival
+     * finding at least this many requests queued across all shards
+     * is shed outright instead of dispatched. 0 disables shedding.
+     * Sheds only fresh arrivals — retries and failovers of
+     * already-accepted requests are never shed.
+     */
+    unsigned shedQueueDepth = 0;
 };
+
+/**
+ * True when @p cfg asks for any recovery semantics: run() then
+ * takes the unified recovery event loop (runtime/recovery.hh)
+ * instead of the fault-free fast paths.
+ */
+inline bool
+recoveryActive(const ServingConfig &cfg)
+{
+    return cfg.faults.active() || cfg.timeoutCycles != 0
+        || cfg.shedQueueDepth != 0;
+}
 
 /** Life of one request, all times in cycles. */
 struct RequestRecord
@@ -197,6 +256,15 @@ struct RequestRecord
     unsigned shard = 0;
     bool rejected = false;
     bool completed = false;
+
+    /** Timeout-driven retries consumed (recovery runs only). */
+    unsigned retries = 0;
+
+    /** Dropped by overload shedding (never dispatched). */
+    bool shed = false;
+
+    /** Dropped after exhausting the retry budget. */
+    bool timedOut = false;
 
     Cycles queueing() const { return start - arrival; }
     Cycles latency() const { return finish - arrival; }
@@ -268,6 +336,26 @@ struct ServingResult
     uint64_t pending = 0; ///< queued or in flight at cutoff
 
     /**
+     * Recovery semantics were active for this run (DESIGN.md §16).
+     * Gates the availability counters below in dumpStats so a
+     * fault-free run's stats dump stays byte-identical to the
+     * pre-fault schema.
+     */
+    bool recovery = false;
+
+    uint64_t shed = 0;     ///< dropped by overload shedding
+    uint64_t timedOut = 0; ///< dropped after the retry budget
+    uint64_t retries = 0;  ///< total timeout-driven retries
+    uint64_t failovers = 0; ///< displaced requests re-dispatched
+
+    /** Fault events actually applied, per class (no-ops on an
+     * already-dead shard are not counted). */
+    uint64_t faultChipFailStop = 0;
+    uint64_t faultCoreLoss = 0;
+    uint64_t faultDramOutage = 0;
+    uint64_t faultNocDegrade = 0;
+
+    /**
      * The cycle throughput and utilization are measured over: the
      * last event (completion) cycle when the run drains, the
      * cutoff when it is truncated by one. Never inflated to an
@@ -334,6 +422,16 @@ void finalizeServingResult(ServingResult &res, Cycles slo_cycles,
                            unsigned total_cores);
 
 /**
+ * Append one trace::ServingRecord per request of @p res to
+ * @p sink, mapping each RequestRecord to its final disposition.
+ * Call after finalizeServingResult (completed flags must be
+ * derived); the records feed the request-conservation and
+ * request-causality rules (check/invariants.hh, `check_trace`).
+ */
+void appendServingTrace(const ServingResult &res,
+                        trace::TraceSink &sink);
+
+/**
  * The request-driven serving simulator. Register models, choose an
  * arrival process, run(). run() may be called repeatedly; each call
  * re-seeds from the config and starts from an empty array.
@@ -349,6 +447,9 @@ class ServingSimulator : public SimComponent
 {
   public:
     explicit ServingSimulator(ServingConfig cfg);
+
+    /** Out-of-line: the FaultInjector is incomplete here. */
+    ~ServingSimulator() override;
 
     /** Register a model; @return its model index. */
     size_t addModel(ServedModel m);
@@ -408,6 +509,18 @@ class ServingSimulator : public SimComponent
         return generateArrivals();
     }
 
+    /**
+     * The fault schedule resolved from cfg.faults; nullptr when
+     * faults are inactive (the injector then does not exist, so a
+     * fault-free stats dump carries no extra component). The
+     * cluster tier drives every shard from this one injector.
+     */
+    FaultInjector *faultInjector() { return injector.get(); }
+
+  protected:
+    /** Attaches the fault injector (when one exists). */
+    void onAttach() override;
+
   private:
     std::vector<ServingArrival> generateArrivals() const;
 
@@ -427,6 +540,7 @@ class ServingSimulator : public SimComponent
     TimingResultCache *timingCache();
 
     ServingConfig cfg;
+    std::unique_ptr<FaultInjector> injector; ///< null = no faults
     TimingResultCache *injectedCache = nullptr;
     std::vector<ServedModel> models;
     std::vector<ServingArrival> traceArrivals;

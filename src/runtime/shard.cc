@@ -33,6 +33,7 @@ ShardEngine::checkInvariants() const
     maicc_assert(ledger.used() <= ledger.total());
     maicc_assert(ledger.used() == coresInFlight);
     maicc_assert(region.totalNodes() - region.freeNodes()
+                     - region.deadNodes()
                  == coresInFlight);
 }
 
@@ -95,6 +96,12 @@ ShardEngine::tryAdmit(Cycles now)
         unsigned min_cores = minCores[head.model];
         maicc_assert(min_cores <= ledger.freeCores());
         unsigned want = models[head.model].preferredCores;
+        // Graceful degradation: once core-loss faults have shrunk
+        // the region, wide preferred grants fragment what is left
+        // and starve admission — fall back to minimum-region
+        // grants so every survivor keeps serving.
+        if (region.deadNodes() > 0)
+            want = min_cores;
         unsigned grant =
             std::clamp(want == 0 ? min_cores : want, min_cores,
                        ledger.freeCores());
@@ -150,21 +157,162 @@ ShardEngine::tryAdmit(Cycles now)
 
         r.cores = grant;
         r.firstId = batch.front();
+        r.members = batch;
 
         const ServiceProfile &sp = profileFn(head.model, grant);
-        minService = std::min(minService, sp.latency);
+        Cycles lat = sp.latency;
+        Cycles interval = sp.interval;
+        // Transient DRAM-outage / NoC-degradation windows scale
+        // the service profile at admission time. Applied only when
+        // the product differs from 1.0 so the fault-free path runs
+        // the exact pre-fault integer arithmetic.
+        double slow = slowdownAt(now);
+        if (slow != 1.0) {
+            lat = static_cast<Cycles>(
+                static_cast<double>(lat) * slow);
+            interval = static_cast<Cycles>(
+                static_cast<double>(interval) * slow);
+        }
+        minService = std::min(minService, lat);
         for (size_t k = 0; k < batch.size(); ++k) {
             RequestRecord &req = requests[batch[k]];
             req.start = now;
             req.cores = grant;
             req.batchSize = unsigned(batch.size());
-            req.finish = now + sp.latency + Cycles(k) * sp.interval;
+            req.finish = now + lat + Cycles(k) * interval;
             r.finish = req.finish;
         }
         running.push(std::move(r));
         timeline.push_back({now, ledger.used()});
     }
     checkInvariants();
+}
+
+std::vector<uint64_t>
+ShardEngine::failStop(Cycles now)
+{
+    // The recovery loop retires completions strictly before the
+    // fault cycle first, so every batch still running here is
+    // genuinely in flight — its members are killed mid-service and
+    // must be re-dispatched elsewhere.
+    std::vector<uint64_t> displaced;
+    while (!running.empty()) {
+        const Running &r = running.top();
+        displaced.insert(displaced.end(), r.members.begin(),
+                         r.members.end());
+        ledger.release(r.cores);
+        region.release(r.slots);
+        maicc_assert(coresInFlight >= r.cores);
+        coresInFlight -= r.cores;
+        running.pop();
+    }
+    displaced.insert(displaced.end(), queue.begin(), queue.end());
+    queue.clear();
+
+    for (unsigned s = 0; s < region.totalNodes(); ++s) {
+        if (!region.dead(s))
+            region.markDead(s);
+    }
+    ledger.retire(ledger.freeCores());
+    isDead = true;
+    slowdowns.clear();
+    timeline.push_back({now, 0});
+    std::sort(displaced.begin(), displaced.end());
+    checkInvariants();
+    return displaced;
+}
+
+std::vector<uint64_t>
+ShardEngine::loseCores(unsigned count, Cycles now)
+{
+    // Victims: the highest-index live serpentine slots, clamped to
+    // what is left. Highest-index keeps the low end — where
+    // first-fit carves — coalescible for as long as possible.
+    std::vector<unsigned> victims;
+    for (unsigned s = region.totalNodes();
+         s-- > 0 && victims.size() < count;) {
+        if (!region.dead(s))
+            victims.push_back(s);
+    }
+    if (victims.size() == region.totalNodes() - region.deadNodes())
+        return failStop(now);
+
+    auto isVictim = [&](unsigned s) {
+        return std::find(victims.begin(), victims.end(), s)
+            != victims.end();
+    };
+
+    // Kill every batch occupying a victim slot; survivors keep
+    // running untouched.
+    std::vector<uint64_t> displaced;
+    std::vector<Running> keep;
+    while (!running.empty()) {
+        const Running &r = running.top();
+        bool hit = std::any_of(r.slots.begin(), r.slots.end(),
+                               isVictim);
+        if (hit) {
+            displaced.insert(displaced.end(), r.members.begin(),
+                             r.members.end());
+            ledger.release(r.cores);
+            region.release(r.slots);
+            maicc_assert(coresInFlight >= r.cores);
+            coresInFlight -= r.cores;
+        } else {
+            keep.push_back(running.top());
+        }
+        running.pop();
+    }
+    for (Running &r : keep)
+        running.push(std::move(r));
+
+    for (unsigned s : victims)
+        region.markDead(s);
+    ledger.retire(std::min(unsigned(victims.size()),
+                           ledger.freeCores()));
+
+    // Queued requests whose minimum region no longer fits any
+    // possible run on this shard would wait forever — displace
+    // them for the dispatcher to fail over.
+    for (auto it = queue.begin(); it != queue.end();) {
+        if (!canServe(minCores[requests[*it].model])) {
+            displaced.push_back(*it);
+            it = queue.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    timeline.push_back({now, ledger.used()});
+    std::sort(displaced.begin(), displaced.end());
+    checkInvariants();
+    return displaced;
+}
+
+void
+ShardEngine::pushSlowdown(Cycles from, Cycles until, double factor)
+{
+    slowdowns.push_back({from, until, factor});
+}
+
+double
+ShardEngine::slowdownAt(Cycles now) const
+{
+    double f = 1.0;
+    for (const Slowdown &w : slowdowns) {
+        if (now >= w.from && now < w.until)
+            f *= w.factor;
+    }
+    return f;
+}
+
+bool
+ShardEngine::removeQueued(uint64_t id)
+{
+    auto it = std::find(queue.begin(), queue.end(), id);
+    if (it == queue.end())
+        return false;
+    queue.erase(it);
+    return true;
 }
 
 } // namespace maicc

@@ -140,6 +140,60 @@ class ShardEngine
         return minService == kNever ? 0 : minService;
     }
 
+    // ------------------------------------------------------------
+    // Fault transitions (DESIGN.md §16). Only the recovery loop
+    // (recovery.cc) calls these; the fault-free serving/cluster
+    // paths never touch them, which is what keeps those paths
+    // byte-identical to the pre-fault build.
+    // ------------------------------------------------------------
+
+    /** True after a chip-fail-stop killed this shard. */
+    bool dead() const { return isDead; }
+
+    /**
+     * True when a request needing @p min_cores can ever be served
+     * here again: the shard is alive, the budget covers it, and a
+     * contiguous non-dead run that long still exists.
+     */
+    bool
+    canServe(unsigned min_cores) const
+    {
+        return !isDead && min_cores <= ledger.total()
+            && min_cores <= region.longestPossibleRun();
+    }
+
+    /**
+     * Chip fail-stop at @p now: every running batch is killed and
+     * every queued request displaced; cores and slots are retired
+     * permanently and the shard reports dead() from here on. The
+     * returned ids (ascending) are the displaced requests the
+     * dispatcher must fail over to surviving shards.
+     */
+    std::vector<uint64_t> failStop(Cycles now);
+
+    /**
+     * Permanently lose @p count cores at @p now (clamped to the
+     * slots still alive): the highest-index live serpentine slots
+     * die, batches occupying a victim are killed (their members
+     * are displaced), the region re-coalesces around the dead
+     * slots, and the core budget shrinks. Queued requests whose
+     * minimum region no longer fits any possible run are displaced
+     * too. Returns the displaced ids, ascending.
+     */
+    std::vector<uint64_t> loseCores(unsigned count, Cycles now);
+
+    /**
+     * Open a transient service-time slowdown window [from, until):
+     * admissions inside it scale the service profile by @p factor
+     * (DRAM outage, NoC degradation). Windows stack
+     * multiplicatively.
+     */
+    void pushSlowdown(Cycles from, Cycles until, double factor);
+
+    /** Remove request @p id from the waiting queue (timeout /
+     * shed). False when it is not queued here. */
+    bool removeQueued(uint64_t id);
+
   private:
     /** One admitted batch occupying a region until its last
      * request finishes. */
@@ -149,6 +203,7 @@ class ShardEngine
         uint64_t firstId = 0; ///< deterministic tie-break
         unsigned cores = 0;
         std::vector<unsigned> slots;
+        std::vector<uint64_t> members; ///< batch request ids
 
         bool
         operator>(const Running &o) const
@@ -157,6 +212,17 @@ class ShardEngine
                                       : firstId > o.firstId;
         }
     };
+
+    /** One active slowdown window (see pushSlowdown). */
+    struct Slowdown
+    {
+        Cycles from = 0;
+        Cycles until = 0;
+        double factor = 1.0;
+    };
+
+    /** Product of the windows covering @p now (1.0 when none). */
+    double slowdownAt(Cycles now) const;
 
     void checkInvariants() const;
 
@@ -177,6 +243,11 @@ class ShardEngine
     unsigned coresInFlight = 0;
     std::vector<UtilizationSample> timeline;
     Cycles minService = kNever;
+
+    // Fault state — all of it stays at the defaults on the
+    // fault-free paths.
+    bool isDead = false;
+    std::vector<Slowdown> slowdowns;
 };
 
 } // namespace maicc

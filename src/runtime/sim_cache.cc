@@ -43,7 +43,8 @@ append(std::string &m, int v)
 
 TimingKey
 makeTimingKey(const Network &net, const MappingPlan &plan,
-              unsigned batch, const SystemConfig &sys)
+              unsigned batch, const SystemConfig &sys,
+              const std::string &fault_sig)
 {
     std::string m;
     m.reserve(2048);
@@ -124,6 +125,15 @@ makeTimingKey(const Network &net, const MappingPlan &plan,
     pinned.engine = EngineKind::Event;
     m += "sys=";
     m += toJson(pinned).dump();
+
+    // Fault-configuration signature, appended only when non-empty:
+    // fault-free keys stay byte-identical to the pre-fault format
+    // (warm caches keep hitting), while profiles probed under an
+    // active schedule can never replay across topologies.
+    if (!fault_sig.empty()) {
+        m += ";faults=";
+        m += fault_sig;
+    }
 
     TimingKey key;
     key.material = std::move(m);

@@ -82,9 +82,18 @@ struct TimingKey
  * simCacheEntries) pinned to 0 — those change the simulator's
  * wall-clock, never its results, so they must not fragment the key
  * space.
+ *
+ * @p fault_sig is the canonical fault-configuration signature
+ * (faultSignature, fault_model.hh): empty — the default, and what
+ * every fault-free caller passes — leaves the material byte-for-
+ * byte what it was before fault injection existed, so warm caches
+ * keep hitting; non-empty marks profiles probed under an active
+ * fault schedule so they can never replay into a run with a
+ * different (or no) degradation topology.
  */
 TimingKey makeTimingKey(const Network &net, const MappingPlan &plan,
-                        unsigned batch, const SystemConfig &sys);
+                        unsigned batch, const SystemConfig &sys,
+                        const std::string &fault_sig = "");
 
 /**
  * LRU cache of TimingKey → CachedRun. See the file comment for the

@@ -141,6 +141,14 @@ expectIdenticalResults(const ServingResult &a,
     EXPECT_EQ(a.completed, b.completed);
     EXPECT_EQ(a.rejected, b.rejected);
     EXPECT_EQ(a.pending, b.pending);
+    EXPECT_EQ(a.shed, b.shed);
+    EXPECT_EQ(a.timedOut, b.timedOut);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.failovers, b.failovers);
+    EXPECT_EQ(a.faultChipFailStop, b.faultChipFailStop);
+    EXPECT_EQ(a.faultCoreLoss, b.faultCoreLoss);
+    EXPECT_EQ(a.faultDramOutage, b.faultDramOutage);
+    EXPECT_EQ(a.faultNocDegrade, b.faultNocDegrade);
     EXPECT_EQ(a.endCycle, b.endCycle);
     EXPECT_EQ(a.minServiceLatency, b.minServiceLatency);
     EXPECT_EQ(a.sloMet, b.sloMet);
@@ -169,6 +177,9 @@ expectIdenticalResults(const ServingResult &a,
         EXPECT_EQ(x.shard, y.shard) << "request " << i;
         EXPECT_EQ(x.rejected, y.rejected) << "request " << i;
         EXPECT_EQ(x.completed, y.completed) << "request " << i;
+        EXPECT_EQ(x.retries, y.retries) << "request " << i;
+        EXPECT_EQ(x.shed, y.shed) << "request " << i;
+        EXPECT_EQ(x.timedOut, y.timedOut) << "request " << i;
     }
 
     ASSERT_EQ(a.classes.size(), b.classes.size());

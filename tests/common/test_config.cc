@@ -185,3 +185,141 @@ TEST(Config, ShardPolicySpellingsAllParse)
                   std::string(name));
     }
 }
+
+TEST(Config, FaultConfigSurvivesTheRoundTrip)
+{
+    SimConfig cfg;
+    std::istringstream in(
+        "{\"serving\": {\"chips\": 2, \"timeoutCycles\": 5000,"
+        " \"maxRetries\": 5, \"backoffCycles\": 100,"
+        " \"shedQueueDepth\": 9,"
+        " \"faults\": {\"seed\": 77, \"rate\": 1.5,"
+        "  \"window\": 400000,"
+        "  \"events\": [{\"kind\": \"dram-outage\", \"cycle\": 10,"
+        "   \"chip\": 1, \"count\": 4, \"until\": 900},"
+        "  {\"kind\": \"chip-fail-stop\", \"cycle\": 50}]}}}");
+    std::string err;
+    ASSERT_TRUE(loadConfig(in, cfg, &err)) << err;
+    EXPECT_EQ(cfg.serving.timeoutCycles, 5000u);
+    EXPECT_EQ(cfg.serving.maxRetries, 5u);
+    EXPECT_EQ(cfg.serving.backoffCycles, 100u);
+    EXPECT_EQ(cfg.serving.shedQueueDepth, 9u);
+    EXPECT_EQ(cfg.serving.faults.seed, 77u);
+    EXPECT_EQ(cfg.serving.faults.rate, 1.5);
+    EXPECT_EQ(cfg.serving.faults.window, 400'000u);
+    ASSERT_EQ(cfg.serving.faults.events.size(), 2u);
+    EXPECT_EQ(cfg.serving.faults.events[0].kind,
+              FaultKind::DramOutage);
+    EXPECT_EQ(cfg.serving.faults.events[0].count, 4u);
+    EXPECT_EQ(cfg.serving.faults.events[1].kind,
+              FaultKind::ChipFailStop);
+
+    // dump -> load -> dump is byte-stable with faults configured.
+    std::string dumped = dumpToString(cfg);
+    SimConfig back;
+    std::istringstream in2(dumped);
+    ASSERT_TRUE(loadConfig(in2, back, &err)) << err;
+    EXPECT_EQ(dumpToString(back), dumped);
+}
+
+TEST(Config, UnknownFaultKindIsAnErrorWithPath)
+{
+    SimConfig cfg;
+    std::istringstream in(
+        "{\"serving\": {\"faults\": {\"events\":"
+        " [{\"kind\": \"meteor-strike\"}]}}}");
+    std::string err;
+    EXPECT_FALSE(loadConfig(in, cfg, &err));
+    EXPECT_NE(err.find("events[0].kind"), std::string::npos) << err;
+    EXPECT_NE(err.find("chip-fail-stop"), std::string::npos) << err;
+}
+
+TEST(Config, OutOfRangeFaultChipIsAnErrorWithPath)
+{
+    SimConfig cfg;
+    std::istringstream in(
+        "{\"serving\": {\"chips\": 2, \"faults\": {\"events\":"
+        " [{\"kind\": \"core-loss\", \"chip\": 5}]}}}");
+    std::string err;
+    EXPECT_FALSE(loadConfig(in, cfg, &err));
+    EXPECT_NE(err.find("events[0].chip"), std::string::npos) << err;
+    EXPECT_NE(err.find("out of range"), std::string::npos) << err;
+}
+
+TEST(Config, EmptyFaultWindowIsAnErrorWithPath)
+{
+    SimConfig cfg;
+    std::istringstream in(
+        "{\"serving\": {\"faults\": {\"events\":"
+        " [{\"kind\": \"noc-degrade\", \"cycle\": 100,"
+        "   \"until\": 100}]}}}");
+    std::string err;
+    EXPECT_FALSE(loadConfig(in, cfg, &err));
+    EXPECT_NE(err.find("events[0].until"), std::string::npos)
+        << err;
+    EXPECT_NE(err.find("empty fault window"), std::string::npos)
+        << err;
+}
+
+TEST(Config, WindowOnPermanentFaultKindIsAnError)
+{
+    SimConfig cfg;
+    std::istringstream in(
+        "{\"serving\": {\"faults\": {\"events\":"
+        " [{\"kind\": \"core-loss\", \"cycle\": 5,"
+        "   \"until\": 50}]}}}");
+    std::string err;
+    EXPECT_FALSE(loadConfig(in, cfg, &err));
+    EXPECT_NE(err.find("events[0].until"), std::string::npos)
+        << err;
+    EXPECT_NE(err.find("permanent"), std::string::npos) << err;
+}
+
+TEST(Config, DramOutageMustLeaveAChannel)
+{
+    SimConfig cfg;
+    std::istringstream in(
+        "{\"system\": {\"dramChannels\": 8},"
+        " \"serving\": {\"faults\": {\"events\":"
+        " [{\"kind\": \"dram-outage\", \"count\": 8}]}}}");
+    std::string err;
+    EXPECT_FALSE(loadConfig(in, cfg, &err));
+    EXPECT_NE(err.find("events[0].count"), std::string::npos)
+        << err;
+    EXPECT_NE(err.find("DRAM channels"), std::string::npos) << err;
+}
+
+TEST(Config, NegativeFaultRateIsAnError)
+{
+    SimConfig cfg;
+    std::istringstream in(
+        "{\"serving\": {\"faults\": {\"rate\": -0.5}}}");
+    std::string err;
+    EXPECT_FALSE(loadConfig(in, cfg, &err));
+    EXPECT_NE(err.find("rate"), std::string::npos) << err;
+}
+
+TEST(Config, SubUnityNocDegradeFactorIsAnError)
+{
+    SimConfig cfg;
+    std::istringstream in(
+        "{\"serving\": {\"faults\": {\"events\":"
+        " [{\"kind\": \"noc-degrade\", \"factor\": 0.5}]}}}");
+    std::string err;
+    EXPECT_FALSE(loadConfig(in, cfg, &err));
+    EXPECT_NE(err.find("events[0].factor"), std::string::npos)
+        << err;
+}
+
+TEST(Config, UnknownFaultEventKeyIsAnErrorWithPath)
+{
+    SimConfig cfg;
+    std::istringstream in(
+        "{\"serving\": {\"faults\": {\"events\":"
+        " [{\"kind\": \"core-loss\", \"cores\": 4}]}}}");
+    std::string err;
+    EXPECT_FALSE(loadConfig(in, cfg, &err));
+    EXPECT_NE(err.find("events[0].cores"), std::string::npos)
+        << err;
+    EXPECT_NE(err.find("unknown key"), std::string::npos) << err;
+}

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Randomized chaos suite for the fault/recovery machinery
+ * (DESIGN.md §16): random fault schedules — all four kinds, random
+ * cycles, counts, and windows — over random serving shapes, with
+ * the in-loop ledger/region self-checks on. Properties pinned per
+ * draw:
+ *
+ *  - no request is ever lost: the disposition counters and the
+ *    per-request trace records both satisfy request-conservation
+ *    (check/invariants.hh), whatever the schedule kills;
+ *  - causality holds for every disposition (a dropped request
+ *    carries no admission stamps, a completed one obeys
+ *    arrival <= start <= finish);
+ *  - a fixed (serving seed, fault seed) pair is bitwise identical
+ *    across host thread counts — the fault schedule is a pure
+ *    function of the config, never of execution timing.
+ *
+ * Seeds are overridable via MAICC_TEST_SEED (common/seeded_test.hh)
+ * so a failing draw replays exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/invariants.hh"
+#include "common/random.hh"
+#include "common/seeded_test.hh"
+#include "common/serving_fixtures.hh"
+#include "common/sim_component.hh"
+#include "common/trace.hh"
+#include "runtime/cluster.hh"
+#include "runtime/serving.hh"
+
+using namespace maicc;
+using testserv::Workload;
+using testserv::expectIdenticalResults;
+
+namespace
+{
+
+/** A random fault schedule over @p chips chips. */
+FaultConfig
+randomFaults(Rng &rng, unsigned chips, unsigned dram_channels,
+             Cycles span)
+{
+    FaultConfig fc;
+    fc.seed = rng.below(1u << 20) + 1;
+    // Half the draws also carry a random Poisson schedule.
+    if (rng.below(2))
+        fc.rate = 0.5 + rng.real() * 3.0;
+    unsigned n = rng.below(4);
+    for (unsigned i = 0; i < n; ++i) {
+        FaultEvent e;
+        switch (rng.below(4)) {
+          case 0:
+            e.kind = FaultKind::ChipFailStop;
+            break;
+          case 1:
+            e.kind = FaultKind::CoreLoss;
+            e.count = 1 + rng.below(12);
+            break;
+          case 2:
+            e.kind = FaultKind::DramOutage;
+            e.count = 1 + rng.below(dram_channels - 1);
+            break;
+          default:
+            e.kind = FaultKind::NocDegrade;
+            e.factor = 1.0 + rng.real() * 3.0;
+            break;
+        }
+        e.cycle = rng.below(span);
+        e.chip = unsigned(rng.below(chips));
+        if (e.kind == FaultKind::DramOutage
+            || e.kind == FaultKind::NocDegrade) {
+            if (rng.below(2))
+                e.until = e.cycle + 1 + rng.below(span);
+        }
+        fc.events.push_back(e);
+    }
+    return fc;
+}
+
+ClusterResult
+runOnce(const Workload &w, const ServingConfig &cfg)
+{
+    SimContext ctx;
+    auto c = w.cluster(cfg);
+    c->attach(ctx);
+    return c->run();
+}
+
+} // namespace
+
+TEST(FaultChaos, NoRequestLostUnderRandomSchedules)
+{
+    Workload w;
+    for (uint64_t seed : testseed::seeds({101, 202, 303, 404})) {
+        MAICC_SEED_TRACE(seed);
+        Rng rng(seed);
+
+        ServingConfig cfg;
+        cfg.seed = seed;
+        cfg.chips = 1 + unsigned(rng.below(3));
+        cfg.offeredRequests = 10 + unsigned(rng.below(10));
+        cfg.meanInterarrival = 20'000 + rng.below(120'000);
+        cfg.maxBatch = 1 + unsigned(rng.below(3));
+        cfg.selfCheck = true;
+        Cycles span =
+            Cycles(cfg.offeredRequests) * cfg.meanInterarrival;
+        cfg.faults = randomFaults(rng, cfg.chips,
+                                  cfg.system.dramChannels, span);
+        if (rng.below(2)) {
+            cfg.timeoutCycles = 100'000 + rng.below(span);
+            cfg.maxRetries = unsigned(rng.below(4));
+            cfg.backoffCycles = rng.below(50'000);
+        }
+        if (rng.below(2))
+            cfg.shedQueueDepth = 2 + unsigned(rng.below(16));
+        if (!recoveryActive(cfg))
+            cfg.timeoutCycles = span * 8; // force the loop anyway
+
+        ClusterResult r = runOnce(w, cfg);
+        const ServingResult &agg = r.aggregate;
+
+        // Conservation over counters and over the trace records.
+        check::CheckResult counters = check::checkServingCounters(
+            {agg.offered, agg.completed, agg.rejected, agg.shed,
+             agg.timedOut, agg.pending});
+        EXPECT_TRUE(counters.ok()) << counters.summary();
+        trace::TraceSink sink;
+        appendServingTrace(agg, sink);
+        check::CheckResult causal =
+            check::checkServingTrace(sink.serving, agg.offered);
+        EXPECT_TRUE(causal.ok()) << causal.summary();
+
+        // The shard slices partition the dispatched work.
+        uint64_t sliced = 0;
+        for (const ServingResult &s : r.shards)
+            sliced += s.offered;
+        EXPECT_EQ(sliced + agg.rejected + agg.shed, agg.offered);
+    }
+}
+
+TEST(FaultChaos, FixedSeedsBitwiseIdenticalAcrossThreadCounts)
+{
+    Workload w;
+    for (uint64_t seed : testseed::seeds({7, 99})) {
+        MAICC_SEED_TRACE(seed);
+        ServingConfig cfg;
+        cfg.seed = seed;
+        cfg.chips = 2;
+        cfg.offeredRequests = 14;
+        cfg.meanInterarrival = 60'000;
+        cfg.selfCheck = true;
+        cfg.faults.seed = seed * 17 + 1;
+        cfg.faults.rate = 2.5;
+        cfg.timeoutCycles = 300'000;
+        cfg.maxRetries = 2;
+        cfg.backoffCycles = 20'000;
+        cfg.shedQueueDepth = 24;
+
+        cfg.system.numThreads = 1;
+        ClusterResult a = runOnce(w, cfg);
+        cfg.system.numThreads = 8;
+        ClusterResult b = runOnce(w, cfg);
+        expectIdenticalResults(a.aggregate, b.aggregate,
+                               "aggregate 1 vs 8 threads");
+        ASSERT_EQ(a.shards.size(), b.shards.size());
+        for (size_t i = 0; i < a.shards.size(); ++i)
+            expectIdenticalResults(a.shards[i], b.shards[i],
+                                   "shard");
+    }
+}
